@@ -1,0 +1,41 @@
+package gks
+
+import (
+	"strings"
+
+	"repro/internal/dewey"
+	"repro/internal/xmltree"
+)
+
+// parseDewey parses a user-facing Dewey ID string.
+func parseDewey(s string) (dewey.ID, error) { return dewey.Parse(s) }
+
+// renderChunk renders a node's subtree as indented XML without a header —
+// the response presentation of the paper's prototype.
+func renderChunk(n *xmltree.Node) string {
+	var b strings.Builder
+	writeChunk(&b, n, 0)
+	return b.String()
+}
+
+func writeChunk(b *strings.Builder, n *xmltree.Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.Kind == xmltree.Text {
+		b.WriteString(indent)
+		b.WriteString(n.Text)
+		b.WriteByte('\n')
+		return
+	}
+	if n.DirectlyContainsValue() {
+		b.WriteString(indent)
+		b.WriteString("<" + n.Label + ">" + n.Value() + "</" + n.Label + ">\n")
+		return
+	}
+	b.WriteString(indent)
+	b.WriteString("<" + n.Label + ">\n")
+	for _, c := range n.Children {
+		writeChunk(b, c, depth+1)
+	}
+	b.WriteString(indent)
+	b.WriteString("</" + n.Label + ">\n")
+}

@@ -1,0 +1,274 @@
+// Command gks is the interactive front end of the Generic Keyword Search
+// system: it indexes XML repositories, runs GKS searches with a tunable
+// threshold s, reports the LCA baselines and discovers Deeper Analytical
+// Insights.
+//
+// Usage:
+//
+//	gks index  -out repo.gksidx file.xml [file.xml ...]
+//	gks search [-index repo.gksidx | -files a.xml,b.xml] [-s N] [-top K]
+//	           [-di M] [-baselines] [-chunks] "query terms"
+//	gks stats  -index repo.gksidx
+//
+// Query strings support double-quoted phrases, e.g.
+//
+//	gks search -files dblp.xml -s 2 '"Peter Buneman" "Wenfei Fan" 2001'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	gks "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "index":
+		cmdIndex(os.Args[2:])
+	case "search":
+		cmdSearch(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	case "repl":
+		cmdRepl(os.Args[2:])
+	case "xpath":
+		cmdXPath(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gks {index|search|stats|repl|xpath} [flags] ...")
+	fmt.Fprintln(os.Stderr, "  gks index  -out repo.gksidx file.xml ...")
+	fmt.Fprintln(os.Stderr, `  gks search [-index repo.gksidx | -files a.xml,b.xml] [-s N] [-top K] [-di M] [-baselines] [-chunks] "query"`)
+	fmt.Fprintln(os.Stderr, "  gks stats  -index repo.gksidx")
+	fmt.Fprintln(os.Stderr, "  gks repl   [-index repo.gksidx | -files a.xml,b.xml]")
+	fmt.Fprintln(os.Stderr, `  gks xpath  -files a.xml,b.xml "//Course[Name=\"AI\"]/Students/Student"`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gks:", err)
+	os.Exit(1)
+}
+
+func cmdIndex(args []string) {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	out := fs.String("out", "repo.gksidx", "output index file")
+	stream := fs.Bool("stream", false, "single-pass streaming build (O(depth) memory, for large files)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("no input files"))
+	}
+	var sys *gks.System
+	var err error
+	if *stream {
+		sys, err = gks.IndexFilesStreaming(fs.Args()...)
+	} else {
+		sys, err = gks.IndexFiles(fs.Args()...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.SaveIndexFile(*out); err != nil {
+		fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("indexed %d document(s): %d elements, %d entity nodes, %d distinct keywords -> %s\n",
+		st.Documents, st.ElementNodes, st.EntityNodes, st.DistinctKeywords, *out)
+}
+
+func loadSystem(indexPath, files string) (*gks.System, error) {
+	switch {
+	case files != "":
+		return gks.IndexFiles(strings.Split(files, ",")...)
+	case indexPath != "":
+		return gks.LoadIndexFile(indexPath)
+	}
+	return nil, fmt.Errorf("provide -index or -files")
+}
+
+func cmdSearch(args []string) {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	indexPath := fs.String("index", "", "saved index file")
+	files := fs.String("files", "", "comma-separated XML files to index on the fly")
+	sThresh := fs.Int("s", 1, "minimum number of query keywords per result subtree")
+	top := fs.Int("top", 10, "number of results to print")
+	diM := fs.Int("di", 3, "number of deeper analytical insights to print (0 to disable)")
+	baselines := fs.Bool("baselines", false, "also print SLCA/ELCA baseline answers")
+	chunks := fs.Bool("chunks", false, "print each result's XML chunk (requires -files)")
+	explain := fs.Bool("explain", false, "print pipeline diagnostics")
+	snippets := fs.Bool("snippets", false, "print highlighted snippets (requires -files)")
+	pruned := fs.Bool("pruned", false, "print MaxMatch-style pruned chunks (requires -files)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("no query"))
+	}
+	sys, err := loadSystem(*indexPath, *files)
+	if err != nil {
+		fatal(err)
+	}
+	queryStr := strings.Join(fs.Args(), " ")
+	var resp *gks.Response
+	if *explain {
+		ex, err := sys.Explain(queryStr, *sThresh)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(ex.String())
+		resp = ex.Response
+	} else {
+		var err error
+		resp, err = sys.Search(queryStr, *sThresh)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("query %s (|Q|=%d, s=%d): %d result(s), |S_L|=%d\n",
+		resp.Query, resp.Query.Len(), resp.S, len(resp.Results), resp.SLSize)
+	for _, kw := range resp.Query.Keywords {
+		if len(kw.Tokens) == 1 && !sys.HasMatches(kw.Raw) {
+			if sug := sys.Suggest(kw.Raw, 2, 1); len(sug) > 0 {
+				fmt.Printf("  (no matches for %q — did you mean %q?)\n", kw.Raw, sug[0].Keyword)
+			}
+		}
+	}
+	for i, r := range resp.Results {
+		if i >= *top {
+			fmt.Printf("  ... %d more\n", len(resp.Results)-*top)
+			break
+		}
+		kind := "LCP"
+		if r.IsEntity {
+			kind = "LCE"
+		}
+		fmt.Printf("%3d. <%s> %s  rank=%.3f  keywords=%d (%s)  [%s]\n",
+			i+1, r.Label, r.ID, r.Rank, r.KeywordCount,
+			strings.Join(resp.KeywordsOf(r), ", "), kind)
+		if *snippets {
+			lines, err := sys.Snippet(resp, r, 4)
+			if err != nil {
+				fmt.Printf("     (snippet unavailable: %v)\n", err)
+			}
+			for _, l := range lines {
+				fmt.Printf("     %s\n", l)
+			}
+		}
+		if *pruned {
+			chunk, err := sys.PrunedChunk(resp, r)
+			if err != nil {
+				fmt.Printf("     (pruned chunk unavailable: %v)\n", err)
+			} else {
+				for _, line := range strings.Split(strings.TrimRight(chunk, "\n"), "\n") {
+					fmt.Printf("     %s\n", line)
+				}
+			}
+		}
+		if *chunks {
+			chunk, err := sys.Chunk(r)
+			if err != nil {
+				fmt.Printf("     (chunk unavailable: %v)\n", err)
+				continue
+			}
+			for _, line := range strings.Split(strings.TrimRight(chunk, "\n"), "\n") {
+				fmt.Printf("     %s\n", line)
+			}
+		}
+	}
+	if *diM > 0 {
+		fmt.Println("deeper analytical insights:")
+		for _, in := range sys.Insights(resp, *diM) {
+			fmt.Printf("  %s  (weight %.3f over %d node(s))\n", in, in.Weight, in.Count)
+		}
+		if refs := sys.Refinements(resp, 3); len(refs) > 0 {
+			parts := make([]string, len(refs))
+			for i, q := range refs {
+				parts[i] = "{" + q.String() + "}"
+			}
+			fmt.Printf("refinement suggestions: %s\n", strings.Join(parts, ", "))
+		}
+	}
+	if *baselines {
+		q := gks.ParseQuery(queryStr)
+		fmt.Printf("SLCA baseline: %v\n", orNull(sys.SLCA(q)))
+		fmt.Printf("ELCA baseline: %v\n", orNull(sys.ELCA(q)))
+	}
+}
+
+func orNull(v []string) interface{} {
+	if len(v) == 0 {
+		return "NULL"
+	}
+	return v
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	indexPath := fs.String("index", "", "saved index file")
+	files := fs.String("files", "", "comma-separated XML files to index on the fly")
+	top := fs.Int("top", 0, "also print the N most frequent keywords and labels")
+	fs.Parse(args)
+	sys, err := loadSystem(*indexPath, *files)
+	if err != nil {
+		fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("documents:          %d\n", st.Documents)
+	fmt.Printf("element nodes:      %d\n", st.ElementNodes)
+	fmt.Printf("text nodes:         %d\n", st.TextNodes)
+	fmt.Printf("attribute nodes:    %d\n", st.AttributeNodes)
+	fmt.Printf("repeating nodes:    %d\n", st.RepeatingNodes)
+	fmt.Printf("entity nodes:       %d\n", st.EntityNodes)
+	fmt.Printf("connecting nodes:   %d\n", st.ConnectingNodes)
+	fmt.Printf("distinct keywords:  %d\n", st.DistinctKeywords)
+	fmt.Printf("posting entries:    %d\n", st.PostingEntries)
+	fmt.Printf("max depth:          %d\n", st.MaxDepth)
+	if *top > 0 {
+		fmt.Printf("top %d keywords:\n", *top)
+		for _, kf := range sys.TopKeywords(*top) {
+			fmt.Printf("  %-24s %d\n", kf.Keyword, kf.Count)
+		}
+		fmt.Printf("top %d labels (count AN/RN/EN/CN):\n", *top)
+		for i, lc := range sys.LabelHistogram() {
+			if i >= *top {
+				break
+			}
+			fmt.Printf("  %-24s %d  %d/%d/%d/%d\n", lc.Label, lc.Count,
+				lc.PerCategory[0], lc.PerCategory[1], lc.PerCategory[2], lc.PerCategory[3])
+		}
+		fmt.Printf("elements per depth: %v\n", sys.DepthHistogram())
+	}
+}
+
+func cmdXPath(args []string) {
+	fs := flag.NewFlagSet("xpath", flag.ExitOnError)
+	files := fs.String("files", "", "comma-separated XML files")
+	values := fs.Bool("values", false, "print node values instead of Dewey IDs")
+	fs.Parse(args)
+	if fs.NArg() == 0 || *files == "" {
+		fatal(fmt.Errorf("usage: gks xpath -files a.xml \"//expr\""))
+	}
+	sys, err := loadSystem("", *files)
+	if err != nil {
+		fatal(err)
+	}
+	nodes, err := sys.XPath(strings.Join(fs.Args(), " "))
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range nodes {
+		if *values {
+			fmt.Printf("%s\t%s\n", n.ID, n.Value())
+		} else {
+			fmt.Printf("%s\t<%s>\n", n.ID, n.Label)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d node(s)\n", len(nodes))
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The CLI is tested end-to-end against a compiled binary: TestMain builds
+// cmd/gks once into a temp dir, and each test drives a subcommand the way
+// a user would.
+
+var (
+	gksBinary string
+	sampleXML string
+)
+
+const universityXML = `<?xml version="1.0"?>
+<Dept>
+  <Dept_Name>CS</Dept_Name>
+  <Area>
+    <Name>Databases</Name>
+    <Courses>
+      <Course>
+        <Name>Data Mining</Name>
+        <Students>
+          <Student>Karen</Student>
+          <Student>Mike</Student>
+        </Students>
+      </Course>
+      <Course>
+        <Name>Algorithms</Name>
+        <Students>
+          <Student>Karen</Student>
+          <Student>Julie</Student>
+        </Students>
+      </Course>
+    </Courses>
+  </Area>
+</Dept>`
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "gkscli")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	gksBinary = filepath.Join(dir, "gks")
+	build := exec.Command("go", "build", "-o", gksBinary, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		panic(string(out))
+	}
+	sampleXML = filepath.Join(dir, "university.xml")
+	if err := os.WriteFile(sampleXML, []byte(universityXML), 0o644); err != nil {
+		panic(err)
+	}
+	os.Exit(m.Run())
+}
+
+// run executes the binary and returns combined output and the exit error.
+func run(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(gksBinary, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+func TestCLIIndexAndSearch(t *testing.T) {
+	idx := filepath.Join(t.TempDir(), "u.gksidx")
+	out, err := run(t, "index", "-out", idx, sampleXML)
+	if err != nil {
+		t.Fatalf("index: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "entity nodes") {
+		t.Errorf("index output: %s", out)
+	}
+	out, err = run(t, "search", "-index", idx, "-s", "2", "karen mike")
+	if err != nil {
+		t.Fatalf("search: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "<Course>") || !strings.Contains(out, "1 result(s)") {
+		t.Errorf("search output: %s", out)
+	}
+}
+
+func TestCLIStreamingIndex(t *testing.T) {
+	idx := filepath.Join(t.TempDir(), "s.gksidx")
+	out, err := run(t, "index", "-stream", "-out", idx, sampleXML)
+	if err != nil {
+		t.Fatalf("index -stream: %v\n%s", err, out)
+	}
+	out, err = run(t, "search", "-index", idx, "karen")
+	if err != nil || !strings.Contains(out, "result(s)") {
+		t.Fatalf("search on streamed index: %v\n%s", err, out)
+	}
+}
+
+func TestCLISearchWithFilesAndFeatures(t *testing.T) {
+	out, err := run(t, "search", "-files", sampleXML, "-baselines", "-snippets",
+		"-explain", "-di", "2", "karen mike")
+	if err != nil {
+		t.Fatalf("search: %v\n%s", err, out)
+	}
+	for _, want := range []string{"SLCA baseline", "«Karen»", "|S_L|", "insights"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIDidYouMean(t *testing.T) {
+	out, err := run(t, "search", "-files", sampleXML, "-di", "0", "karne")
+	if err != nil {
+		t.Fatalf("search: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "did you mean") {
+		t.Errorf("no did-you-mean suggestion:\n%s", out)
+	}
+}
+
+func TestCLIStats(t *testing.T) {
+	out, err := run(t, "stats", "-files", sampleXML, "-top", "2")
+	if err != nil {
+		t.Fatalf("stats: %v\n%s", err, out)
+	}
+	for _, want := range []string{"entity nodes", "top 2 keywords", "elements per depth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIXPath(t *testing.T) {
+	out, err := run(t, "xpath", "-files", sampleXML, "-values",
+		`//Course[Name="Data Mining"]/Students/Student`)
+	if err != nil {
+		t.Fatalf("xpath: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Karen") || !strings.Contains(out, "Mike") {
+		t.Errorf("xpath output:\n%s", out)
+	}
+}
+
+func TestCLIRepl(t *testing.T) {
+	cmd := exec.Command(gksBinary, "repl", "-files", sampleXML)
+	cmd.Stdin = strings.NewReader("karen mike\n:s 0\nkaren julie serena\n:stats\n:quit\n")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("repl: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"result(s) at s=2", "elements="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in repl output:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, err := run(t, "search", "karen"); err == nil {
+		t.Error("search without index/files must fail")
+	}
+	if _, err := run(t, "nonsense"); err == nil {
+		t.Error("unknown subcommand must fail")
+	}
+	if _, err := run(t, "index"); err == nil {
+		t.Error("index without files must fail")
+	}
+}

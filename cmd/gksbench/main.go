@@ -1,0 +1,203 @@
+// Command gksbench regenerates the tables and figures of the paper's
+// evaluation (Agarwal et al., EDBT 2016, §7) over the synthetic dataset
+// analogs. Each experiment prints the same rows/series the paper reports,
+// alongside the paper's numbers where applicable.
+//
+// Usage:
+//
+//	gksbench [-scale N] [-exp name]
+//
+// Experiments: table1, table4, table5, table7, table8, fig8, fig9, fig10,
+// fig8s, refine, feedback, hybrid, naive, schema, formats, meaning, fslca,
+// recursive, or "all" (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "dataset scale factor")
+	exp := flag.String("exp", "all", "experiment to run (comma separated), or 'all'")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		wanted[strings.TrimSpace(e)] = true
+	}
+	all := wanted["all"]
+	run := func(name string) bool { return all || wanted[name] }
+
+	s := experiments.NewSuite(*scale)
+	out := os.Stdout
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "gksbench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if run("table1") {
+		rows, err := experiments.Table1()
+		if err != nil {
+			fail("table1", err)
+		}
+		fmt.Fprintln(out, "== Table 1: GKS vs ELCA vs SLCA on the Figure 1 tree ==")
+		experiments.PrintTable1(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("table4") {
+		rows, err := s.Table4()
+		if err != nil {
+			fail("table4", err)
+		}
+		fmt.Fprintln(out, "== Table 4: index size and preparation time ==")
+		experiments.PrintTable4(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("table5") {
+		rows, err := s.Table5()
+		if err != nil {
+			fail("table5", err)
+		}
+		fmt.Fprintln(out, "== Table 5: distribution of XML elements over node categories ==")
+		experiments.PrintTable5(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("fig8") {
+		points, err := s.Figure8()
+		if err != nil {
+			fail("fig8", err)
+		}
+		experiments.PrintRTPoints(out, "== Figure 8: response time vs merged list size (n=8) ==", points)
+		fmt.Fprintln(out)
+	}
+	if run("fig8s") {
+		points, err := s.Figure8Sampled(8)
+		if err != nil {
+			fail("fig8s", err)
+		}
+		fmt.Fprintln(out, "== Figure 8 (sampled workload) ==")
+		experiments.PrintFigure8Sampled(out, points)
+		fmt.Fprintln(out)
+	}
+	if run("fig9") {
+		points, err := s.Figure9()
+		if err != nil {
+			fail("fig9", err)
+		}
+		experiments.PrintRTPoints(out, "== Figure 9: response time vs keywords in query (n) ==", points)
+		fmt.Fprintln(out)
+	}
+	if run("fig10") {
+		points, err := s.Figure10()
+		if err != nil {
+			fail("fig10", err)
+		}
+		fmt.Fprintln(out, "== Figure 10: scalability over replicated datasets ==")
+		experiments.PrintFigure10(out, points)
+		fmt.Fprintln(out)
+	}
+	if run("table7") {
+		rows, err := s.Table7()
+		if err != nil {
+			fail("table7", err)
+		}
+		fmt.Fprintln(out, "== Table 7: comparison with SLCA and rank score ==")
+		experiments.PrintTable7(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("table8") {
+		rows, err := s.Table8()
+		if err != nil {
+			fail("table8", err)
+		}
+		fmt.Fprintln(out, "== Table 8: DI discovered for different queries ==")
+		experiments.PrintTable8(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("refine") {
+		r, err := s.Refinement()
+		if err != nil {
+			fail("refine", err)
+		}
+		fmt.Fprintln(out, "== Section 7.4: DI-driven query refinement ==")
+		experiments.PrintRefinement(out, r)
+		fmt.Fprintln(out)
+	}
+	if run("feedback") {
+		rows, err := s.Feedback()
+		if err != nil {
+			fail("feedback", err)
+		}
+		fmt.Fprintln(out, "== Section 7.5: simulated crowd feedback (GKS vs SLCA) ==")
+		experiments.PrintFeedback(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("hybrid") {
+		r, err := s.Hybrid()
+		if err != nil {
+			fail("hybrid", err)
+		}
+		fmt.Fprintln(out, "== Section 7.6: hybrid queries over merged repositories ==")
+		experiments.PrintHybrid(out, r)
+		fmt.Fprintln(out)
+	}
+	if run("naive") {
+		rows, err := s.NaiveAblation()
+		if err != nil {
+			fail("naive", err)
+		}
+		fmt.Fprintln(out, "== Lemma 3 ablation ==")
+		experiments.PrintNaiveAblation(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("schema") {
+		rows, err := s.SchemaAblation()
+		if err != nil {
+			fail("schema", err)
+		}
+		fmt.Fprintln(out, "== Schema-aware categorization ablation (§2.2 future work) ==")
+		experiments.PrintSchemaAblation(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("meaning") {
+		rows, err := s.Meaningfulness()
+		if err != nil {
+			fail("meaning", err)
+		}
+		fmt.Fprintln(out, "== Meaningfulness: precision/recall vs SLCA (§1.2) ==")
+		experiments.PrintMeaningfulness(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("recursive") {
+		rows, err := s.RecursiveDI(3)
+		if err != nil {
+			fail("recursive", err)
+		}
+		fmt.Fprintln(out, "== Recursive DI rounds (§2.3) ==")
+		experiments.PrintRecursiveDI(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("fslca") {
+		rows, err := s.FSLCA()
+		if err != nil {
+			fail("fslca", err)
+		}
+		fmt.Fprintln(out, "== FSLCA (simplified MESSIAH) comparison (§7.3) ==")
+		experiments.PrintFSLCA(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("formats") {
+		rows, err := s.IndexFormats()
+		if err != nil {
+			fail("formats", err)
+		}
+		fmt.Fprintln(out, "== Index persistence format comparison ==")
+		experiments.PrintIndexFormats(out, rows)
+		fmt.Fprintln(out)
+	}
+}

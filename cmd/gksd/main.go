@@ -1,0 +1,56 @@
+// Command gksd serves a GKS index over HTTP with a JSON API — see
+// internal/server for the endpoint list.
+//
+// Usage:
+//
+//	gksd -index repo.gksidx -addr :8791
+//	gksd -files dblp.xml,sigmod.xml -addr 127.0.0.1:8791
+//
+// Example session:
+//
+//	curl 'localhost:8791/search?q="Peter Buneman" "Wenfei Fan"&s=2'
+//	curl 'localhost:8791/insights?q=karen&m=5'
+//	curl 'localhost:8791/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	gks "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	indexPath := flag.String("index", "", "saved index file")
+	files := flag.String("files", "", "comma-separated XML files to index on startup")
+	addr := flag.String("addr", "127.0.0.1:8791", "listen address")
+	schemaCats := flag.Bool("schema", false, "apply schema-aware categorization at startup")
+	cacheSize := flag.Int("cache", 256, "LRU entries for /search responses (0 disables)")
+	flag.Parse()
+
+	var sys *gks.System
+	var err error
+	switch {
+	case *files != "":
+		sys, err = gks.IndexFiles(strings.Split(*files, ",")...)
+	case *indexPath != "":
+		sys, err = gks.LoadIndexFile(*indexPath)
+	default:
+		err = fmt.Errorf("provide -index or -files")
+	}
+	if err != nil {
+		log.Fatal("gksd: ", err)
+	}
+	if *schemaCats {
+		changed := sys.ApplySchemaCategorization()
+		log.Printf("schema-aware categorization: %d node(s) reclassified", changed)
+	}
+	st := sys.Stats()
+	log.Printf("serving %d document(s), %d elements, %d entity nodes on %s",
+		st.Documents, st.ElementNodes, st.EntityNodes, *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.NewWithCache(sys, *cacheSize)))
+}

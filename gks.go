@@ -1,0 +1,449 @@
+// Package gks is a from-scratch Go implementation of Generic Keyword
+// Search over XML data (Agarwal, Ramamritham, Agarwal — EDBT 2016).
+//
+// GKS generalizes LCA-based XML keyword search: for a query Q and a
+// threshold s ≤ |Q|, it returns every meaningful XML node whose subtree
+// contains at least min(s, |Q|) distinct query keywords, ranks the results
+// with a potential-flow model, and mines Deeper Analytical Insights (DI) —
+// the most relevant attribute keywords together with their schema context —
+// from the Least Common Entity (LCE) nodes of the response. SLCA and ELCA
+// baselines are included for comparison.
+//
+// Basic usage:
+//
+//	doc, _ := gks.ParseDocument(strings.NewReader(xmlData), "catalog.xml")
+//	sys, _ := gks.IndexDocuments(doc)
+//	resp, _ := sys.Search(`"Peter Buneman" "Wenfei Fan" 2001`, 1)
+//	for _, r := range resp.Results {
+//	    fmt.Println(r.ID, r.Label, r.Rank)
+//	}
+//	for _, in := range sys.Insights(resp, 5) {
+//	    fmt.Println(in) // e.g. <inproceedings: journal: SIGMOD Record>
+//	}
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
+// reproduction results.
+package gks
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/di"
+	"repro/internal/index"
+	"repro/internal/lca"
+	"repro/internal/schema"
+	"repro/internal/snippet"
+	"repro/internal/textproc"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Re-exported types. The implementation lives in internal packages; these
+// aliases form the public surface.
+type (
+	// Document is a parsed XML document (a labeled, ordered tree with
+	// Dewey identifiers).
+	Document = xmltree.Document
+	// Node is one node of a document tree.
+	Node = xmltree.Node
+	// Query is a GKS keyword query; quoted phrases act as one keyword.
+	Query = core.Query
+	// Keyword is one unit of a query.
+	Keyword = core.Keyword
+	// Response is a ranked GKS search response R_Q(s).
+	Response = core.Response
+	// Result is one ranked response node.
+	Result = core.Result
+	// Insight is one Deeper Analytical Insight.
+	Insight = di.Insight
+	// IndexStats summarizes a built index (node-category distribution,
+	// posting counts, depth).
+	IndexStats = index.Stats
+	// Category is the node-categorization bit set (AN/RN/EN/CN).
+	Category = index.Category
+)
+
+// Node category bits (§2.2 of the paper).
+const (
+	AttributeNode  = index.Attribute
+	RepeatingNode  = index.Repeating
+	EntityNode     = index.Entity
+	ConnectingNode = index.Connecting
+)
+
+// System bundles an index with the search and analysis engines. It is safe
+// for concurrent readers once built.
+type System struct {
+	ix     *index.Index
+	engine *core.Engine
+	an     *di.Analyzer
+	repo   *xmltree.Repository // nil when loaded from a saved index
+
+	vocabOnce sync.Once
+	vocab     map[string]int
+}
+
+// ParseDocument parses one XML document from r. XML attributes are
+// normalized into leading child elements.
+func ParseDocument(r io.Reader, name string) (*Document, error) {
+	return xmltree.Parse(r, 0, name)
+}
+
+// ParseDocumentString parses an XML document held in a string.
+func ParseDocumentString(src, name string) (*Document, error) {
+	return xmltree.ParseString(src, 0, name)
+}
+
+// BuildDocument wraps a programmatically built tree (see E, ET, T) in a
+// document and assigns Dewey identifiers.
+func BuildDocument(name string, root *Node) *Document {
+	return xmltree.NewDocument(name, 0, root)
+}
+
+// E constructs an element node with the given label and children.
+func E(label string, children ...*Node) *Node { return xmltree.E(label, children...) }
+
+// ET constructs an element that directly contains a single text value.
+func ET(label, value string) *Node { return xmltree.ET(label, value) }
+
+// T constructs a text node.
+func T(value string) *Node { return xmltree.T(value) }
+
+// IndexDocuments indexes one or more documents as a single searchable
+// repository. Documents are renumbered in order.
+func IndexDocuments(docs ...*Document) (*System, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("gks: no documents")
+	}
+	repo := &xmltree.Repository{}
+	for _, d := range docs {
+		repo.Add(d)
+	}
+	ix, err := index.Build(repo, index.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(ix, repo), nil
+}
+
+// IndexFiles parses and indexes the XML files at the given paths.
+func IndexFiles(paths ...string) (*System, error) {
+	docs := make([]*Document, 0, len(paths))
+	for _, p := range paths {
+		d, err := xmltree.ParseFile(p, 0)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, d)
+	}
+	return IndexDocuments(docs...)
+}
+
+// IndexFilesStreaming indexes the XML files in a single streaming pass
+// each, without materializing the document trees — peak memory is
+// O(depth + index), which is how the paper-scale 1.45 GB DBLP dump fits on
+// a laptop. Tree-dependent features (Chunk, Snippet, XPath, AddDocuments)
+// are unavailable on the resulting system; everything else behaves
+// identically to IndexFiles (the two builds produce equal indexes).
+func IndexFilesStreaming(paths ...string) (*System, error) {
+	ix, err := index.BuildStreamFiles(paths, index.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(ix, nil), nil
+}
+
+// LoadIndex restores a system from an index previously written with
+// SaveIndex. Result chunks (Chunk) are unavailable without the documents.
+func LoadIndex(r io.Reader) (*System, error) {
+	ix, err := index.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(ix, nil), nil
+}
+
+// LoadIndexFile restores a system from an index file.
+func LoadIndexFile(path string) (*System, error) {
+	ix, err := index.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(ix, nil), nil
+}
+
+func newSystem(ix *index.Index, repo *xmltree.Repository) *System {
+	eng := core.NewEngine(ix)
+	return &System{ix: ix, engine: eng, an: di.New(eng), repo: repo}
+}
+
+// SaveIndex persists the index ("a onetime activity", §2.4).
+func (s *System) SaveIndex(w io.Writer) error { return s.ix.Save(w) }
+
+// SaveIndexFile persists the index to a file.
+func (s *System) SaveIndexFile(path string) error { return s.ix.SaveFile(path) }
+
+// Stats returns the index statistics (Tables 4–5 of the paper).
+func (s *System) Stats() IndexStats { return s.ix.Stats }
+
+// KeywordFreq pairs a normalized keyword with its posting-list length.
+type KeywordFreq = index.KeywordFreq
+
+// LabelCount pairs an element label with instance and category counts.
+type LabelCount = index.LabelCount
+
+// TopKeywords returns the k most frequent normalized keywords (k <= 0
+// returns all).
+func (s *System) TopKeywords(k int) []KeywordFreq { return s.ix.TopKeywords(k) }
+
+// LabelHistogram returns per-label instance counts with category splits.
+func (s *System) LabelHistogram() []LabelCount { return s.ix.LabelHistogram() }
+
+// DepthHistogram returns element counts per tree depth (0 = roots).
+func (s *System) DepthHistogram() []int { return s.ix.DepthHistogram() }
+
+// ParseQuery parses a query string with double-quoted phrases.
+func ParseQuery(input string) Query { return core.ParseQuery(input) }
+
+// NewQuery builds a query from pre-split terms; terms containing spaces
+// become phrase keywords.
+func NewQuery(terms ...string) Query { return core.NewQuery(terms...) }
+
+// Search parses the query string and runs GKS with the given threshold s
+// (clamped to [1, |Q|]).
+func (s *System) Search(query string, threshold int) (*Response, error) {
+	return s.engine.Search(ParseQuery(query), threshold)
+}
+
+// SearchQuery runs GKS for an already-built query.
+func (s *System) SearchQuery(q Query, threshold int) (*Response, error) {
+	return s.engine.Search(q, threshold)
+}
+
+// SearchBestEffort finds the largest threshold s with a non-empty response
+// and returns it — best-effort AND semantics: as much of the query as the
+// data supports. The effective s is reported in Response.S.
+func (s *System) SearchBestEffort(query string) (*Response, error) {
+	return s.engine.SearchBestEffort(ParseQuery(query))
+}
+
+// SearchTopK returns the k highest-ranked response nodes, pruning
+// candidates whose rank upper bound (their distinct-keyword count) cannot
+// reach the top k.
+func (s *System) SearchTopK(query string, threshold, k int) (*Response, error) {
+	return s.engine.SearchTopK(ParseQuery(query), threshold, k)
+}
+
+// Explanation traces a search through the GKS pipeline (posting sizes,
+// |S_L|, window blocks, candidates, witness survivors and stage timings).
+type Explanation = core.Explanation
+
+// Explain runs the query while recording pipeline diagnostics; the embedded
+// Response is identical to Search's.
+func (s *System) Explain(query string, threshold int) (*Explanation, error) {
+	return s.engine.Explain(ParseQuery(query), threshold)
+}
+
+// Insights discovers the top-m Deeper Analytical Insights of a response
+// (§2.3, §6.2). m <= 0 returns all insights.
+func (s *System) Insights(resp *Response, m int) []Insight {
+	return s.an.Discover(resp, m)
+}
+
+// InsightRound is one step of recursive DI discovery.
+type InsightRound = di.Round
+
+// InsightsRecursive applies DI discovery recursively (§2.3): each round
+// feeds the previous round's top-m insight values back as a query.
+func (s *System) InsightsRecursive(q Query, threshold, m, rounds int) ([]InsightRound, error) {
+	return s.an.DiscoverRecursive(q, threshold, m, rounds)
+}
+
+// Refinements proposes sub-queries matching the keyword subsets of the
+// top-ranked results (§6.1).
+func (s *System) Refinements(resp *Response, topK int) []Query {
+	return di.Refinements(resp, topK)
+}
+
+// Augmentations combines a query with top insight values — the "adding
+// keywords" refinement direction of §7.4.
+func (s *System) Augmentations(q Query, insights []Insight, topK int) []Query {
+	return di.Augmentations(q, insights, topK)
+}
+
+// SLCA runs the Smallest-LCA baseline and returns the Dewey IDs of the
+// answer nodes in document order.
+func (s *System) SLCA(q Query) []string {
+	return s.ordsToIDs(lca.SLCA(s.ix, s.engine.PostingLists(q)))
+}
+
+// ELCA runs the Exclusive-LCA baseline.
+func (s *System) ELCA(q Query) []string {
+	return s.ordsToIDs(lca.ELCA(s.ix, s.engine.PostingLists(q)))
+}
+
+func (s *System) ordsToIDs(ords []int32) []string {
+	out := make([]string, len(ords))
+	for i, o := range ords {
+		out[i] = s.ix.Nodes[o].ID.String()
+	}
+	return out
+}
+
+// XPath evaluates a structural query (a compact XPath subset — child and
+// descendant axes, wildcards, value/existence/positional predicates; see
+// internal/xpath) over the indexed documents. It is the structured-query
+// counterpoint the paper's introduction motivates GKS against, and it
+// requires the system to have been built from documents.
+func (s *System) XPath(expr string) ([]*Node, error) {
+	if s.repo == nil {
+		return nil, fmt.Errorf("gks: XPath unavailable on a system loaded from a saved index")
+	}
+	e, err := xpath.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	return e.EvaluateRepo(s.repo), nil
+}
+
+// SchemaEdge is one parent→child relationship of the inferred schema.
+type SchemaEdge = schema.Edge
+
+// Schema infers the structural schema summary (parent→child element edges
+// with repetition flags) from the indexed instances.
+func (s *System) Schema() []SchemaEdge {
+	return schema.Infer(s.ix).Edges()
+}
+
+// ApplySchemaCategorization re-categorizes every node against the inferred
+// schema instead of its own instance — the extension the paper proposes as
+// future work in §2.2. A node whose label repeats *somewhere* in the data
+// counts as repeating everywhere, so e.g. single-author articles classify
+// as entity nodes like their multi-author siblings. It returns the number
+// of nodes whose category changed; subsequent searches use the new entity
+// structure.
+func (s *System) ApplySchemaCategorization() int {
+	return schema.Apply(s.ix, schema.Infer(s.ix).Categorize(s.ix))
+}
+
+// CategoryOf reports the node categorization of the element with the given
+// Dewey ID string (e.g. "0.0.1"), and whether the node exists.
+func (s *System) CategoryOf(deweyID string) (Category, bool) {
+	id, err := parseDewey(deweyID)
+	if err != nil {
+		return 0, false
+	}
+	ord, ok := s.ix.OrdinalOf(id)
+	if !ok {
+		return 0, false
+	}
+	return s.ix.Nodes[ord].Cat, true
+}
+
+// AddDocuments indexes additional documents into the system. The
+// underlying index is rebuilt by merging (existing indexes are immutable),
+// so in-flight searches on other goroutines keep their consistent view;
+// the System itself must not be searched concurrently with AddDocuments.
+func (s *System) AddDocuments(docs ...*Document) error {
+	if s.repo == nil {
+		return fmt.Errorf("gks: cannot add documents to a system loaded from a saved index")
+	}
+	ix := s.ix
+	for _, d := range docs {
+		next, err := index.Append(ix, d, index.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		s.repo.Docs = append(s.repo.Docs, d)
+		ix = next
+	}
+	s.ix = ix
+	s.engine = core.NewEngine(ix)
+	s.an = di.New(s.engine)
+	s.vocabOnce = sync.Once{}
+	s.vocab = nil
+	return nil
+}
+
+// SnippetLine is one line of a highlighted result preview.
+type SnippetLine = snippet.Line
+
+// Snippet renders a compact, match-highlighted preview of a result's value
+// lines (maxLines <= 0 uses a default). It requires documents.
+func (s *System) Snippet(resp *Response, res Result, maxLines int) ([]SnippetLine, error) {
+	if s.repo == nil {
+		return nil, fmt.Errorf("gks: snippets unavailable on a system loaded from a saved index")
+	}
+	n := s.repo.FindByID(res.ID)
+	if n == nil {
+		return nil, fmt.Errorf("gks: node %s not found", res.ID)
+	}
+	return snippet.Build(resp, n, snippet.Options{MaxLines: maxLines, KeepUnmatched: true}), nil
+}
+
+// TypeScore is one inferred result type (XReal-style confidence).
+type TypeScore = di.TypeScore
+
+// InferResultTypes ranks entity labels by their confidence of being the
+// query's target node type — the related-work "result type deduction"
+// (XReal/XBridge) direction, driven by how many entities of each label
+// contain every query keyword.
+func (s *System) InferResultTypes(query string, topK int) []TypeScore {
+	return di.InferResultTypes(s.engine, ParseQuery(query), topK)
+}
+
+// Suggestion is a did-you-mean candidate for a misspelled keyword.
+type Suggestion = textproc.Suggestion
+
+// Suggest returns the indexed keywords within maxDist edits of the input —
+// did-you-mean for keywords with empty posting lists.
+func (s *System) Suggest(keyword string, maxDist, topK int) []Suggestion {
+	s.vocabOnce.Do(func() {
+		s.vocab = make(map[string]int, len(s.ix.Postings))
+		for kw, list := range s.ix.Postings {
+			s.vocab[kw] = len(list)
+		}
+	})
+	return textproc.Suggest(keyword, s.vocab, maxDist, topK)
+}
+
+// HasMatches reports whether the keyword (after normalization) has any
+// postings — the trigger for Suggest.
+func (s *System) HasMatches(keyword string) bool {
+	return len(s.ix.Lookup(keyword)) > 0
+}
+
+// PrunedChunk renders a MaxMatch-style pruned XML fragment of a result:
+// matching branches plus their attribute context, with irrelevant siblings
+// removed. It requires documents.
+func (s *System) PrunedChunk(resp *Response, res Result) (string, error) {
+	if s.repo == nil {
+		return "", fmt.Errorf("gks: chunks unavailable on a system loaded from a saved index")
+	}
+	n := s.repo.FindByID(res.ID)
+	if n == nil {
+		return "", fmt.Errorf("gks: node %s not found", res.ID)
+	}
+	pruned := snippet.PrunedClone(resp, n)
+	if pruned == nil {
+		return "", nil
+	}
+	return renderChunk(pruned), nil
+}
+
+// Chunk renders the XML subtree of a result — the "well-constructed XML
+// chunk" the paper's system returns. It requires the system to have been
+// built from documents (not loaded from a bare index).
+func (s *System) Chunk(res Result) (string, error) {
+	if s.repo == nil {
+		return "", fmt.Errorf("gks: chunks unavailable on a system loaded from a saved index")
+	}
+	n := s.repo.FindByID(res.ID)
+	if n == nil {
+		return "", fmt.Errorf("gks: node %s not found", res.ID)
+	}
+	return renderChunk(n), nil
+}

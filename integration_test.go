@@ -1,0 +1,147 @@
+package gks_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	gks "repro"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// TestFullPipeline exercises the whole system the way a deployment would:
+// generate a repository to XML files on disk, stream-index them without
+// materializing trees, persist the index in the binary format, reload it,
+// and verify the paper's planted Table 7 ground truth end to end.
+func TestFullPipeline(t *testing.T) {
+	dir := t.TempDir()
+
+	// 1. Materialize the DBLP and SIGMOD analogs as XML files.
+	paths := map[string]string{}
+	for name, doc := range map[string]*xmltree.Document{
+		"dblp":   datagen.PaperDBLP(1),
+		"sigmod": datagen.PaperSigmod(1),
+	} {
+		path := filepath.Join(dir, name+".xml")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := xmltree.WriteXML(f, doc); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths[name] = path
+	}
+
+	for name, path := range paths {
+		// 2. Stream-index from disk (single pass, no tree).
+		streamed, err := gks.IndexFilesStreaming(path)
+		if err != nil {
+			t.Fatalf("%s: stream index: %v", name, err)
+		}
+
+		// 3. Persist in the compact binary format and reload.
+		ixPath := filepath.Join(dir, name+".gksidx")
+		// SaveIndexFile uses gob; exercise the binary format explicitly
+		// through the index layer, then the auto-detecting loader.
+		var buf bytes.Buffer
+		if err := streamed.SaveIndex(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ixPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := gks.LoadIndexFile(ixPath)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+
+		// 4. Verify the planted ground truth through the loaded index.
+		for _, pq := range datagen.PaperQueries() {
+			if pq.Dataset != name || !pq.Exact {
+				continue
+			}
+			q := gks.NewQuery(pq.Terms...)
+			resp, err := loaded.SearchQuery(q, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Results) != pq.PaperGKS1 {
+				t.Errorf("%s %s: GKS s=1 = %d, want %d",
+					name, pq.ID, len(resp.Results), pq.PaperGKS1)
+			}
+		}
+	}
+}
+
+// TestBinaryIndexThroughFacade checks the binary format flows through the
+// public API: save via the index layer, load via the facade's
+// auto-detection.
+func TestBinaryIndexThroughFacade(t *testing.T) {
+	doc, err := gks.ParseDocumentString(`<lib>
+  <book><title>systems</title><author>Ann</author><author>Bob</author></book>
+  <book><title>queries</title><author>Ann</author><author>Cid</author></book>
+</lib>`, "lib.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repo xmltree.Repository
+	repo.Add(doc)
+	ix, err := index.Build(&repo, index.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.SaveBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := gks.LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sys.Search("ann bob", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Label != "book" {
+		t.Fatalf("binary-format search = %+v", resp.Results)
+	}
+}
+
+// TestConcurrentFacadeSearches validates the immutable-index concurrency
+// contract at the public surface (run with -race).
+func TestConcurrentFacadeSearches(t *testing.T) {
+	sys, err := gks.IndexDocuments(datagen.PaperSigmod(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`"Anthony I. Wasserman" "Lawrence A. Rowe"`,
+		`"Randy H. Katz"`,
+		`"David A. Patterson" "Garth A. Gibson" "Randy H. Katz"`,
+	}
+	done := make(chan error, 24)
+	for i := 0; i < 24; i++ {
+		go func(i int) {
+			resp, err := sys.Search(queries[i%len(queries)], 1)
+			if err == nil && len(resp.Results) == 0 {
+				err = os.ErrNotExist
+			}
+			if err == nil {
+				sys.Insights(resp, 3)
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 24; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package cache provides a small, mutex-guarded LRU used to memoize query
+// responses in front of the (deterministic, immutable-index) search engine
+// — the standard serving-layer optimization for read-heavy keyword-search
+// deployments such as cmd/gksd.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a fixed-capacity least-recently-used cache. The zero value is
+// unusable; create instances with New. All methods are safe for concurrent
+// use.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[K]*list.Element
+
+	hits, misses int64
+}
+
+type entry[K comparable, V any] struct {
+	key   K
+	value V
+}
+
+// New returns an LRU holding at most capacity entries (minimum 1).
+func New[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value and whether it was present, refreshing the
+// entry's recency.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[K, V]).value, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// when over capacity.
+func (c *LRU[K, V]) Put(key K, value V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).value = value
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry[K, V]{key: key, value: value})
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Purge drops every entry (e.g. after AddDocuments invalidates responses).
+func (c *LRU[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[K]*list.Element, c.capacity)
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *LRU[K, V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/merge"
+	"repro/internal/rank"
+)
+
+// Engine runs GKS searches against a built index.
+type Engine struct {
+	ix     *index.Index
+	scorer rank.Scorer
+}
+
+// NewEngine wraps ix in a search engine.
+func NewEngine(ix *index.Index) *Engine {
+	return &Engine{ix: ix, scorer: rank.Scorer{IX: ix}}
+}
+
+// Index exposes the underlying index (used by the analysis engine).
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Result is one node of the GKS response R_Q(s), ranked.
+type Result struct {
+	// Ord is the node's ordinal in the index's pre-order table.
+	Ord int32
+	// ID is the node's Dewey identifier.
+	ID dewey.ID
+	// Label is the node's element tag.
+	Label string
+	// IsEntity reports whether the node is an LCE node (§2.2); false for
+	// plain LCP nodes that have no entity ancestor.
+	IsEntity bool
+	// Mask is the set of distinct query keywords in the node's subtree.
+	Mask uint64
+	// KeywordCount is the number of distinct query keywords in the subtree
+	// (popcount of Mask) — the initial potential P|e of the ranking model.
+	KeywordCount int
+	// LCPCount is the number of sliding-window blocks that mapped onto
+	// this node (the paper's LCP-list counter).
+	LCPCount int
+	// Rank is the potential-flow score (§5); results are ordered by it.
+	Rank float64
+}
+
+// Response is the outcome of a GKS search.
+type Response struct {
+	// Query is the executed query.
+	Query Query
+	// S is the effective threshold min(s, |Q|) after clamping.
+	S int
+	// Results holds the response nodes, highest rank first.
+	Results []Result
+	// SLSize is |S_L|, the merged posting list length (Figures 8–10 of the
+	// paper plot response time against it).
+	SLSize int
+
+	// sl and masks are retained for the analysis engine (ranking already
+	// consumed them; DI re-uses the ranked results only).
+	sl []merge.Entry
+}
+
+// KeywordsOf lists the raw query keywords present in the result's subtree.
+func (r Response) KeywordsOf(res Result) []string {
+	var out []string
+	for m := res.Mask; m != 0; m &= m - 1 {
+		kw := bits.TrailingZeros64(m)
+		if kw < len(r.Query.Keywords) {
+			out = append(out, r.Query.Keywords[kw].Raw)
+		}
+	}
+	return out
+}
+
+// candidate is a survivor of the GKS pipeline before ranking.
+type candidate struct {
+	ord      int32
+	isEntity bool
+	mask     uint64
+	lcp      int
+	covered  uint64
+	survives bool
+}
+
+// Search executes query q with threshold s. s is clamped to [1, |Q|]
+// (the paper's response contains nodes with at least min(s,|Q|) query
+// keywords). The returned response is ranked.
+func (e *Engine) Search(q Query, s int) (*Response, error) {
+	resp, cands, sl, err := e.collectCandidates(q, s)
+	if err != nil || len(cands) == 0 {
+		return resp, err
+	}
+	// Rank every survivor with the potential-flow model and order the
+	// response (§5).
+	for _, c := range cands {
+		resp.Results = append(resp.Results, e.rankCandidate(c, sl))
+	}
+	sortResults(resp.Results)
+	return resp, nil
+}
+
+// collectCandidates runs stages 1–4 of the pipeline (merge, windows,
+// lifting, witness filter) and returns the surviving candidates in
+// pre-order, unranked.
+func (e *Engine) collectCandidates(q Query, s int) (*Response, []*candidate, []merge.Entry, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > q.Len() {
+		s = q.Len()
+	}
+	resp := &Response{Query: q, S: s}
+
+	// 1. Fetch the inverted-index list S_i of every keyword and merge them
+	// into the Dewey-ordered list S_L (§4.1).
+	lists := make([][]int32, q.Len())
+	for i, kw := range q.Keywords {
+		lists[i] = e.postings(kw)
+	}
+	sl := merge.Merge(lists)
+	resp.SLSize = len(sl)
+	resp.sl = sl
+	if len(sl) == 0 {
+		return resp, nil, nil, nil
+	}
+
+	// 2. Slide the s-unique-keyword block over S_L and collect the longest
+	// common prefix of each block into the LCP candidate list (Lemma 6:
+	// for a Dewey-sorted block the common prefix of the first and last
+	// entries is the common prefix of the whole block).
+	lcpCounts := make(map[int32]int)
+	merge.Windows(sl, s, func(l, r int) {
+		if ord, ok := e.lcpNode(sl[l].Ord, sl[r].Ord); ok {
+			lcpCounts[ord]++
+		}
+	})
+
+	// 3. Lift candidates: attribute nodes resolve to their parent
+	// (Def 2.1.1: "the parent node of an attribute node is considered the
+	// lowest ancestor for keywords in its value"), then every candidate
+	// resolves to its lowest entity ancestor-or-self when one exists
+	// (§4.1); otherwise it stays a plain LCP node.
+	byOrd := make(map[int32]*candidate)
+	for ord, count := range lcpCounts {
+		lifted := ord
+		for e.ix.Nodes[lifted].Cat&index.Attribute != 0 && e.ix.Nodes[lifted].Parent >= 0 {
+			lifted = e.ix.Nodes[lifted].Parent
+		}
+		final, isEntity := lifted, false
+		if ent, ok := e.ix.LowestEntityAncestorOrSelf(lifted); ok {
+			final, isEntity = ent, true
+		}
+		if len(e.ix.Nodes[final].ID.Path) == 1 && final != lifted {
+			// The entity lift landed on a document root. Roots are never
+			// meaningful responses (§1, Example 1), so keep the original
+			// LCP node as a plain candidate instead of discarding the
+			// match altogether.
+			final, isEntity = lifted, false
+		}
+		if len(e.ix.Nodes[final].ID.Path) == 1 {
+			// Document roots are never meaningful responses (§1,
+			// Example 1: "'r' is not a meaningful response as it is
+			// available to the user even in the absence of any query").
+			continue
+		}
+		c := byOrd[final]
+		if c == nil {
+			c = &candidate{ord: final, isEntity: isEntity}
+			byOrd[final] = c
+		}
+		c.lcp += count
+	}
+
+	cands := make([]*candidate, 0, len(byOrd))
+	for _, c := range byOrd {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ord < cands[j].ord })
+	computeMasks(e.ix, cands, sl)
+
+	// 4. Independent-witness filter (Def 2.2.1, Lemmas 4–5): a candidate
+	// survives only if some query keyword in its subtree is not contained
+	// in any surviving candidate below it. Candidates are nested by
+	// pre-order, so a stack sweep resolves coverage bottom-up.
+	var stack []*candidate
+	finalize := func(c *candidate) {
+		c.survives = c.mask&^c.covered != 0
+		if len(stack) > 0 {
+			parent := stack[len(stack)-1]
+			if c.survives {
+				parent.covered |= c.mask
+			} else {
+				parent.covered |= c.covered
+			}
+		}
+	}
+	for _, c := range cands {
+		for len(stack) > 0 && !e.ix.ContainsOrd(stack[len(stack)-1].ord, c.ord) {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			finalize(top)
+		}
+		stack = append(stack, c)
+	}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		finalize(top)
+	}
+
+	survivors := cands[:0]
+	for _, c := range cands {
+		if c.survives {
+			survivors = append(survivors, c)
+		}
+	}
+	return resp, survivors, sl, nil
+}
+
+// computeMasks fills every candidate's distinct-keyword mask with one
+// sweep over S_L: candidates are pre-order sorted and their subtree ranges
+// nest, so a stack of "open" candidates (those whose range contains the
+// current entry) absorbs each entry's keyword bit in O(|S_L|·d + |C|)
+// total — cheaper and allocation-free compared to building a sparse
+// range-OR table per query.
+func computeMasks(ix *index.Index, cands []*candidate, sl []merge.Entry) {
+	type open struct {
+		c   *candidate
+		end int32
+	}
+	var stack []open
+	next := 0
+	for _, entry := range sl {
+		// Close candidates whose range ended before this entry.
+		for len(stack) > 0 && entry.Ord >= stack[len(stack)-1].end {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			// Fold the child's mask into its enclosing candidate, if any
+			// (ranges nest, so the parent is the new stack top).
+			if len(stack) > 0 {
+				stack[len(stack)-1].c.mask |= top.c.mask
+			}
+		}
+		// Open candidates whose range starts at or before this entry.
+		// Sorted starts plus nest-or-disjoint ranges guarantee each newly
+		// opened candidate nests inside the current stack top.
+		for next < len(cands) && cands[next].ord <= entry.Ord {
+			c := cands[next]
+			next++
+			_, end := ix.SubtreeRange(c.ord)
+			if end <= entry.Ord {
+				continue // defensive: no S_L entries left in this range
+			}
+			stack = append(stack, open{c: c, end: end})
+		}
+		// The entry's keyword belongs to every open candidate; marking the
+		// innermost suffices because masks fold upward on close.
+		if len(stack) > 0 {
+			stack[len(stack)-1].c.mask |= entry.Mask()
+		}
+	}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			stack[len(stack)-1].c.mask |= top.c.mask
+		}
+	}
+}
+
+// rankCandidate scores one surviving candidate (§5) and builds its Result.
+func (e *Engine) rankCandidate(c *candidate, sl []merge.Entry) Result {
+	start, end := e.ix.SubtreeRange(c.ord)
+	lo, hi := merge.OrdRange(sl, start, end)
+	info := &e.ix.Nodes[c.ord]
+	return Result{
+		Ord:          c.ord,
+		ID:           info.ID,
+		Label:        e.ix.LabelOf(c.ord),
+		IsEntity:     c.isEntity,
+		Mask:         c.mask,
+		KeywordCount: bits.OnesCount64(c.mask),
+		LCPCount:     c.lcp,
+		Rank:         e.scorer.Score(c.ord, c.mask, sl[lo:hi]),
+	}
+}
+
+// sortResults orders results by rank, keyword count, then document order.
+func sortResults(results []Result) {
+	sort.SliceStable(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		if a.Rank != b.Rank {
+			return a.Rank > b.Rank
+		}
+		if a.KeywordCount != b.KeywordCount {
+			return a.KeywordCount > b.KeywordCount
+		}
+		return a.Ord < b.Ord
+	})
+}
+
+// PostingLists resolves every query keyword to its posting list (phrase
+// keywords intersect their token lists node-wise). The LCA baselines use
+// it so that baseline comparisons search exactly the same keyword
+// instances as the GKS engine.
+func (e *Engine) PostingLists(q Query) [][]int32 {
+	lists := make([][]int32, q.Len())
+	for i, kw := range q.Keywords {
+		lists[i] = e.postings(kw)
+	}
+	return lists
+}
+
+// postings returns the posting list of one keyword: a single token's list,
+// or the node-wise intersection of all token lists for a phrase keyword.
+func (e *Engine) postings(kw Keyword) []int32 {
+	if len(kw.Tokens) == 0 {
+		return nil
+	}
+	list := e.ix.Postings[kw.Tokens[0]]
+	for _, tok := range kw.Tokens[1:] {
+		list = intersectSorted(list, e.ix.Postings[tok])
+		if len(list) == 0 {
+			return nil
+		}
+	}
+	return list
+}
+
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// lcpNode maps the block's end ordinals to the node whose Dewey ID is their
+// longest common prefix. Blocks spanning two documents have no common
+// ancestor and produce no candidate.
+func (e *Engine) lcpNode(a, b int32) (int32, bool) {
+	if a == b {
+		return a, true
+	}
+	lca, ok := dewey.LCA(e.ix.Nodes[a].ID, e.ix.Nodes[b].ID)
+	if !ok {
+		return 0, false
+	}
+	return e.ix.OrdinalOf(lca)
+}

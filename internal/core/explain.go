@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/merge"
+)
+
+// Explanation traces one search through the GKS pipeline — the efficiency
+// story of §4 made inspectable: posting sizes, the merged list, window
+// blocks, LCP/LCE candidates, witness filtering and ranking.
+type Explanation struct {
+	Query Query
+	S     int
+	// PostingSizes is |S_i| per keyword.
+	PostingSizes []int
+	// SLSize is |S_L| (the sum of posting sizes).
+	SLSize int
+	// Blocks is the number of sliding-window blocks with s unique keywords.
+	Blocks int
+	// LCPNodes is the number of distinct longest-common-prefix nodes.
+	LCPNodes int
+	// Candidates is the number of distinct candidates after lifting.
+	Candidates int
+	// EntityCandidates counts candidates that are LCE nodes.
+	EntityCandidates int
+	// Survivors is the response size after the independent-witness filter.
+	Survivors int
+	// MergeTime, ScanTime and RankTime split the wall-clock cost.
+	MergeTime, ScanTime, RankTime time.Duration
+	// Response is the final ranked response.
+	Response *Response
+}
+
+// String renders the trace as a compact report.
+func (ex *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %s (|Q|=%d, s=%d)\n", ex.Query, ex.Query.Len(), ex.S)
+	fmt.Fprintf(&b, "  postings: %v -> |S_L| = %d (merge %v)\n",
+		ex.PostingSizes, ex.SLSize, ex.MergeTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  windows:  %d blocks -> %d LCP nodes -> %d candidates (%d LCE) (scan %v)\n",
+		ex.Blocks, ex.LCPNodes, ex.Candidates, ex.EntityCandidates, ex.ScanTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  witness:  %d survivors (rank %v)\n",
+		ex.Survivors, ex.RankTime.Round(time.Microsecond))
+	return b.String()
+}
+
+// Explain runs the search while recording pipeline statistics. The
+// response in the result is identical to Search(q, s).
+func (e *Engine) Explain(q Query, s int) (*Explanation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	ex := &Explanation{Query: q}
+
+	start := time.Now()
+	lists := make([][]int32, q.Len())
+	for i, kw := range q.Keywords {
+		lists[i] = e.postings(kw)
+		ex.PostingSizes = append(ex.PostingSizes, len(lists[i]))
+	}
+	sl := merge.Merge(lists)
+	ex.MergeTime = time.Since(start)
+	ex.SLSize = len(sl)
+
+	if s < 1 {
+		s = 1
+	}
+	if s > q.Len() {
+		s = q.Len()
+	}
+	ex.S = s
+
+	start = time.Now()
+	lcp := map[int32]bool{}
+	merge.Windows(sl, s, func(l, r int) {
+		ex.Blocks++
+		if ord, ok := e.lcpNode(sl[l].Ord, sl[r].Ord); ok {
+			lcp[ord] = true
+		}
+	})
+	ex.LCPNodes = len(lcp)
+
+	resp, cands, slAgain, err := e.collectCandidates(q, s)
+	if err != nil {
+		return nil, err
+	}
+	ex.ScanTime = time.Since(start)
+	ex.Survivors = len(cands)
+	// Candidate statistics require the pre-filter view; recompute cheaply
+	// from the LCP set.
+	seen := map[int32]bool{}
+	for ord := range lcp {
+		lifted := ord
+		for e.ix.Nodes[lifted].Cat&index.Attribute != 0 && e.ix.Nodes[lifted].Parent >= 0 {
+			lifted = e.ix.Nodes[lifted].Parent
+		}
+		final := lifted
+		isEntity := false
+		if ent, ok := e.ix.LowestEntityAncestorOrSelf(lifted); ok {
+			if len(e.ix.Nodes[ent].ID.Path) > 1 {
+				final, isEntity = ent, true
+			}
+		}
+		if len(e.ix.Nodes[final].ID.Path) == 1 {
+			continue
+		}
+		if !seen[final] {
+			seen[final] = true
+			ex.Candidates++
+			if isEntity {
+				ex.EntityCandidates++
+			}
+		}
+	}
+
+	start = time.Now()
+	for _, c := range cands {
+		resp.Results = append(resp.Results, e.rankCandidate(c, slAgain))
+	}
+	sortResults(resp.Results)
+	ex.RankTime = time.Since(start)
+	ex.Response = resp
+	return ex, nil
+}

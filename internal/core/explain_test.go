@@ -1,0 +1,63 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainMatchesSearch(t *testing.T) {
+	e := figure2aEngine(t)
+	q := NewQuery("student", "karen", "mike", "john", "harry")
+	for s := 1; s <= 5; s++ {
+		ex, err := e.Explain(q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := e.Search(q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ex.Response.Results) != len(resp.Results) {
+			t.Fatalf("s=%d: explain %d results, search %d",
+				s, len(ex.Response.Results), len(resp.Results))
+		}
+		for i := range resp.Results {
+			if ex.Response.Results[i].Ord != resp.Results[i].Ord {
+				t.Fatalf("s=%d pos=%d: explain/search disagree", s, i)
+			}
+		}
+		if ex.Survivors != len(resp.Results) {
+			t.Errorf("s=%d: survivors = %d, results = %d", s, ex.Survivors, len(resp.Results))
+		}
+		if ex.Candidates < ex.Survivors {
+			t.Errorf("s=%d: candidates (%d) < survivors (%d)", s, ex.Candidates, ex.Survivors)
+		}
+		if ex.SLSize == 0 {
+			t.Errorf("s=%d: empty S_L", s)
+		}
+		if len(resp.Results) > 0 && ex.Blocks == 0 {
+			t.Errorf("s=%d: results without window blocks", s)
+		}
+	}
+}
+
+func TestExplainString(t *testing.T) {
+	e := figure2aEngine(t)
+	ex, err := e.Explain(NewQuery("karen", "mike"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ex.String()
+	for _, want := range []string{"|S_L|", "blocks", "survivors", "postings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	e := figure2aEngine(t)
+	if _, err := e.Explain(Query{}, 1); err == nil {
+		t.Error("empty query must error")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import "sort"
+
+// Extensions beyond the paper's §4 pipeline: best-effort thresholding and
+// top-k retrieval with rank-bound pruning. Both build on the same
+// candidate stages as Search and return paper-identical results.
+
+// SearchBestEffort finds the largest threshold s for which R_Q(s) is
+// non-empty and returns that response. By Lemma 2, non-emptiness is
+// monotone in s (|R_Q(s1)| ≤ |R_Q(s2)| for s1 > s2), so a binary search
+// over s ∈ [1, |Q|] locates the boundary in O(log |Q|) searches. This is
+// "best-effort AND semantics": the engine honors as much of the query as
+// the data supports, which is exactly how the paper motivates relaxing
+// AND-semantics for imperfect queries (§1.1).
+func (e *Engine) SearchBestEffort(q Query) (*Response, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := 1, q.Len() // invariant: R(lo) known non-empty or lo==1 untested
+	best, err := e.Search(q, lo)
+	if err != nil {
+		return nil, err
+	}
+	if len(best.Results) == 0 {
+		return best, nil // nothing matches at all
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		resp, err := e.Search(q, mid)
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Results) > 0 {
+			lo, best = mid, resp
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best, nil
+}
+
+// SearchTopK returns the k highest-ranked response nodes for the query at
+// threshold s. It prunes with the rank upper bound rank(e) ≤ P|e (the
+// potential-flow rank can never exceed the initial potential, i.e. the
+// candidate's distinct-keyword count): candidates are visited in
+// decreasing keyword count, and scoring stops once k results are in hand
+// and the next candidate's upper bound cannot beat the current k-th rank.
+// For selective queries this skips the expensive per-candidate terminal
+// scan for the long tail of 1-keyword candidates.
+func (e *Engine) SearchTopK(q Query, s, k int) (*Response, error) {
+	resp, cands, sl, err := e.collectCandidates(q, s)
+	if err != nil || len(cands) == 0 {
+		return resp, err
+	}
+	if k <= 0 || k >= len(cands) {
+		// No pruning opportunity: rank everything.
+		for _, c := range cands {
+			resp.Results = append(resp.Results, e.rankCandidate(c, sl))
+		}
+		sortResults(resp.Results)
+		if k > 0 && len(resp.Results) > k {
+			resp.Results = resp.Results[:k]
+		}
+		return resp, nil
+	}
+
+	// Visit candidates by decreasing upper bound (distinct keyword count).
+	order := make([]*candidate, len(cands))
+	copy(order, cands)
+	sort.SliceStable(order, func(i, j int) bool {
+		return popcount64(order[i].mask) > popcount64(order[j].mask)
+	})
+	var kthRank float64
+	for _, c := range order {
+		upper := float64(popcount64(c.mask))
+		if len(resp.Results) >= k && upper < kthRank {
+			break // no remaining candidate can enter the top k
+		}
+		resp.Results = append(resp.Results, e.rankCandidate(c, sl))
+		sortResults(resp.Results)
+		if len(resp.Results) > k {
+			resp.Results = resp.Results[:k]
+		}
+		if len(resp.Results) == k {
+			kthRank = resp.Results[k-1].Rank
+		}
+	}
+	return resp, nil
+}
+
+func popcount64(x uint64) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}

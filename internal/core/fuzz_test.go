@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// Fuzz targets exercise the parsing and search entry points with arbitrary
+// input. `go test` runs the seed corpus; `go test -fuzz=FuzzX` explores.
+
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		``,
+		`hello world`,
+		`"Peter Buneman" "Wenfei Fan" 2001`,
+		`"unterminated phrase`,
+		`""`,
+		`   spaced   out   `,
+		`"a" "b" "c" "d" "e" "f" "g"`,
+		"tabs\tand\nnewlines",
+		`quotes "in" the "middle" here`,
+		`émile zola ünïcode`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q := ParseQuery(input)
+		// Parsed queries must be internally consistent.
+		for _, kw := range q.Keywords {
+			if len(kw.Tokens) == 0 {
+				t.Fatalf("keyword %q has no tokens", kw.Raw)
+			}
+			for _, tok := range kw.Tokens {
+				if tok == "" {
+					t.Fatalf("empty token in %q", kw.Raw)
+				}
+			}
+		}
+		// Re-parsing the rendered query must not grow it.
+		if q.Len() > 0 {
+			q2 := ParseQuery(q.String())
+			if q2.Len() > q.Len() {
+				t.Fatalf("re-parse grew: %d -> %d (%q)", q.Len(), q2.Len(), q.String())
+			}
+		}
+	})
+}
+
+func FuzzSearch(f *testing.F) {
+	doc := xmltree.BuildFigure2a()
+	ix, err := index.BuildDocument(doc, index.DefaultOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	eng := NewEngine(ix)
+	f.Add("karen mike", 2)
+	f.Add("student", 1)
+	f.Add(`"Data Mining" karen`, 9)
+	f.Add("", 0)
+	f.Add("the and of", -5)
+	f.Fuzz(func(t *testing.T, input string, s int) {
+		q := ParseQuery(input)
+		if q.Len() == 0 || q.Len() > 64 {
+			return
+		}
+		resp, err := eng.Search(q, s)
+		if err != nil {
+			t.Fatalf("Search(%q, %d): %v", input, s, err)
+		}
+		for _, r := range resp.Results {
+			if r.KeywordCount < resp.S {
+				t.Fatalf("result below threshold: %+v", r)
+			}
+			if r.Rank < 0 {
+				t.Fatalf("negative rank: %+v", r)
+			}
+			if len(r.ID.Path) <= 1 {
+				t.Fatalf("document root returned: %+v", r)
+			}
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// Plant describes a deliberately placed group of bibliography entries whose
+// author set is exactly Authors. The Table 7/8 experiments use plants to
+// recreate the ground truth behind the paper's named queries (e.g. QD2:
+// five joint articles by three of the four query authors and none with the
+// fourth).
+type Plant struct {
+	// Authors is the exact author set of each planted entry.
+	Authors []string
+	// Count is how many such entries to plant.
+	Count int
+	// Venue, if set, forces the venue value (booktitle/journal).
+	Venue string
+	// Year, if set, forces the year value.
+	Year string
+	// ExtraAuthors adds this many synthetic co-authors to each planted
+	// entry (the paper's fifth joint QD2 article ranks lower "due to many
+	// co-authors").
+	ExtraAuthors int
+}
+
+// BibConfig configures the flat DBLP-like bibliography generator.
+type BibConfig struct {
+	Config
+	// Entries is the number of background entries per scale unit
+	// (default 1200).
+	Entries int
+	// Plants lists the planted entry groups.
+	Plants []Plant
+}
+
+var venues = []string{
+	"VLDB", "SIGMOD Conference", "ICDE", "EDBT", "PODS", "CIKM", "WWW",
+	"KDD", "ICDM", "SIGIR", "TKDE", "TODS", "VLDB Journal", "ICPP",
+	"SIGMOD Record", "JACM", "TCS", "IBM Research Report", "ICCD",
+}
+
+// DBLP generates a flat DBLP-shaped bibliography:
+//
+//	<dblp>
+//	  <inproceedings>
+//	    <author>..</author>+ <title>..</title> <year>..</year>
+//	    <booktitle>..</booktitle> <pages>..</pages>
+//	  </inproceedings>*
+//	</dblp>
+//
+// Multi-author entries are entity nodes (repeating <author> + attribute
+// <title>); single-author entries classify as connecting nodes, matching
+// the paper's §7.2 observation about DBLP.
+func DBLP(cfg BibConfig) *xmltree.Document {
+	rng := cfg.rng()
+	entries := cfg.Entries
+	if entries <= 0 {
+		entries = 1200
+	}
+	entries *= cfg.scale()
+
+	root := xmltree.E("dblp")
+	appendEntry := func(authors []string, venue, year string) {
+		e := xmltree.E("inproceedings")
+		for _, a := range authors {
+			e.Append(xmltree.ET("author", a))
+		}
+		e.Append(xmltree.ET("title", title(rng, 4+rng.Intn(4))))
+		e.Append(xmltree.ET("year", year))
+		e.Append(xmltree.ET("booktitle", venue))
+		e.Append(xmltree.ET("pages", fmt.Sprintf("%d-%d", 100+rng.Intn(400), 500+rng.Intn(400))))
+		root.Append(e)
+	}
+
+	// Background entries.
+	for i := 0; i < entries; i++ {
+		n := 1 + rng.Intn(4)
+		authors := make([]string, n)
+		for j := range authors {
+			authors[j] = personName(rng)
+		}
+		appendEntry(authors, venues[rng.Intn(len(venues))], fmt.Sprintf("%d", 1985+rng.Intn(30)))
+	}
+
+	// Planted entries.
+	for _, p := range cfg.Plants {
+		for i := 0; i < p.Count; i++ {
+			authors := append([]string(nil), p.Authors...)
+			for j := 0; j < p.ExtraAuthors; j++ {
+				authors = append(authors, personName(rng))
+			}
+			venue := p.Venue
+			if venue == "" {
+				venue = venues[rng.Intn(len(venues))]
+			}
+			year := p.Year
+			if year == "" {
+				year = fmt.Sprintf("%d", 1985+rng.Intn(30))
+			}
+			appendEntry(authors, venue, year)
+		}
+	}
+
+	shuffleChildren(rng, root)
+	return xmltree.NewDocument("dblp.xml", 0, root)
+}
+
+// SigmodRecord generates the nested SIGMOD Record shape:
+//
+//	<SigmodRecord>
+//	  <issue>
+//	    <volume>..</volume> <number>..</number>
+//	    <articles>
+//	      <article>
+//	        <title>..</title> <initPage>..</initPage> <endPage>..</endPage>
+//	        <authors> <author>..</author>+ </authors>
+//	      </article>+
+//	    </articles>
+//	  </issue>*
+//	</SigmodRecord>
+func SigmodRecord(cfg BibConfig) *xmltree.Document {
+	rng := cfg.rng()
+	entries := cfg.Entries
+	if entries <= 0 {
+		entries = 600
+	}
+	entries *= cfg.scale()
+
+	root := xmltree.E("SigmodRecord")
+	var curIssue, curArticles *xmltree.Node
+	perIssue := 0
+	newIssue := func() {
+		curIssue = xmltree.E("issue",
+			xmltree.ET("volume", fmt.Sprintf("%d", 10+rng.Intn(30))),
+			xmltree.ET("number", fmt.Sprintf("%d", 1+rng.Intn(4))),
+		)
+		curArticles = xmltree.E("articles")
+		curIssue.Append(curArticles)
+		root.Append(curIssue)
+		perIssue = 0
+	}
+	newIssue()
+
+	appendArticle := func(authors []string) {
+		if perIssue >= 8 {
+			newIssue()
+		}
+		perIssue++
+		a := xmltree.E("article",
+			xmltree.ET("title", title(rng, 5+rng.Intn(4))),
+			xmltree.ET("initPage", fmt.Sprintf("%d", 1+rng.Intn(4000))),
+			xmltree.ET("endPage", fmt.Sprintf("%d", 4001+rng.Intn(4000))),
+		)
+		aa := xmltree.E("authors")
+		for _, au := range authors {
+			aa.Append(xmltree.ET("author", au))
+		}
+		a.Append(aa)
+		curArticles.Append(a)
+	}
+
+	for i := 0; i < entries; i++ {
+		n := 1 + rng.Intn(3)
+		authors := make([]string, n)
+		for j := range authors {
+			authors[j] = personName(rng)
+		}
+		appendArticle(authors)
+	}
+	// Every planted article is hosted in its own fresh issue, flanked by
+	// two background articles: distinct plants never share an issue (the
+	// paper's authors appear in separate issues of the real SIGMOD
+	// Record), and the sibling articles keep <article> repeating so the
+	// issue classifies as an entity node.
+	for _, p := range cfg.Plants {
+		for i := 0; i < p.Count; i++ {
+			newIssue()
+			appendArticle([]string{personName(rng)})
+			authors := append([]string(nil), p.Authors...)
+			for j := 0; j < p.ExtraAuthors; j++ {
+				authors = append(authors, personName(rng))
+			}
+			appendArticle(authors)
+			appendArticle([]string{personName(rng), personName(rng)})
+		}
+	}
+	return xmltree.NewDocument("sigmod_record.xml", 0, root)
+}
+
+// shuffleChildren randomizes the order of root's children so planted
+// entries are interleaved with background entries in document order.
+func shuffleChildren(rng *rand.Rand, root *xmltree.Node) {
+	rng.Shuffle(len(root.Children), func(i, j int) {
+		root.Children[i], root.Children[j] = root.Children[j], root.Children[i]
+	})
+}

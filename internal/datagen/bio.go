@@ -1,0 +1,186 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Biological dataset analogs: InterPro, SwissProt and Protein Sequence.
+
+var proteinFamilies = []string{
+	"Kinase", "Phosphatase", "Helicase", "Transferase", "Hydrolase",
+	"Isomerase", "Ligase", "Oxidoreductase", "Protease", "Synthase",
+}
+
+var entryTypes = []string{"Domain", "Family", "Repeat", "Site", "Motif"}
+
+var taxa = []string{
+	"Eukaryota", "Bacteria", "Archaea", "Metazoa", "Viridiplantae",
+	"Fungi", "Chordata", "Arthropoda",
+}
+
+var journals = []string{
+	"Science", "Nature", "Cell", "EMBO Journal", "J Mol Biol",
+	"Biochemistry", "FEBS Letters", "Proteins",
+}
+
+// InterPro generates an InterPro-shaped protein signature database:
+//
+//	<interprodb>
+//	  <interpro>
+//	    <name>..</name> <type>Domain|Family|..</type> <abstract>..</abstract>
+//	    <publication> <author_list/> <title/> <year/> <journal/> </publication>*
+//	    <taxonomy_distribution> <taxon_data><name/><proteins_count/></taxon_data>+ </taxonomy_distribution>
+//	  </interpro>*
+//	</interprodb>
+//
+// Eight entries mention "Kringle" in their name — the paper's QI1 ground
+// truth (SLCA returned 8 nodes for {Kringle, Domain}).
+func InterPro(cfg Config) *xmltree.Document {
+	rng := cfg.rng()
+	entries := 500 * cfg.scale()
+
+	root := xmltree.E("interprodb")
+	for i := 0; i < entries; i++ {
+		name := fmt.Sprintf("%s domain-containing protein %d",
+			proteinFamilies[rng.Intn(len(proteinFamilies))], i)
+		if i%((entries+7)/8) == 0 {
+			// Exactly up to 8 entries carry the Kringle name.
+			name = fmt.Sprintf("Kringle domain protein %d", i)
+		}
+		e := xmltree.E("interpro",
+			xmltree.ET("name", name),
+			xmltree.ET("type", entryTypes[rng.Intn(len(entryTypes))]),
+			xmltree.ET("abstract", title(rng, 8+rng.Intn(8))),
+		)
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			e.Append(xmltree.E("publication",
+				xmltree.ET("author_list", personName(rng)+", "+personName(rng)),
+				xmltree.ET("title", title(rng, 6)),
+				xmltree.ET("year", fmt.Sprintf("%d", 1995+rng.Intn(15))),
+				xmltree.ET("journal", journals[rng.Intn(len(journals))]),
+			))
+		}
+		tax := xmltree.E("taxonomy_distribution")
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			tax.Append(xmltree.E("taxon_data",
+				xmltree.ET("name", taxa[rng.Intn(len(taxa))]),
+				xmltree.ET("proteins_count", fmt.Sprintf("%d", 1+rng.Intn(500))),
+			))
+		}
+		e.Append(tax)
+		root.Append(e)
+	}
+	return xmltree.NewDocument("interpro.xml", 0, root)
+}
+
+// SwissProt generates a SwissProt-shaped protein entry database (depth 8 in
+// the paper's Table 4):
+//
+//	<swissprot>
+//	  <Entry>
+//	    <AC/> <Mod/> <Descr/> <Species/> <Org/>
+//	    <Ref> <Author/>+ <Cite/> </Ref>+
+//	    <Keyword/>*
+//	    <Features> <DOMAIN><Descr/><From/><To/></DOMAIN>* </Features>
+//	  </Entry>*
+//	</swissprot>
+func SwissProt(cfg Config) *xmltree.Document {
+	rng := cfg.rng()
+	entries := 700 * cfg.scale()
+
+	kw := []string{
+		"Hydrolase", "Kinase", "Transmembrane", "Zinc", "Repeat",
+		"Signal", "Glycoprotein", "Membrane", "Nuclear", "Mitochondrion",
+	}
+	root := xmltree.E("swissprot")
+	for i := 0; i < entries; i++ {
+		e := xmltree.E("Entry",
+			xmltree.ET("AC", fmt.Sprintf("P%05d", i)),
+			xmltree.ET("Mod", fmt.Sprintf("%02d-%s-%d", 1+rng.Intn(28), "JAN", 1990+rng.Intn(20))),
+			xmltree.ET("Descr", fmt.Sprintf("%s %s", proteinFamilies[rng.Intn(len(proteinFamilies))], title(rng, 3))),
+			xmltree.ET("Species", taxa[rng.Intn(len(taxa))]),
+			xmltree.ET("Org", taxa[rng.Intn(len(taxa))]),
+		)
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			ref := xmltree.E("Ref")
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				ref.Append(xmltree.ET("Author", personName(rng)))
+			}
+			ref.Append(xmltree.ET("Cite", fmt.Sprintf("%s %d:%d-%d",
+				journals[rng.Intn(len(journals))], 1+rng.Intn(400), 1+rng.Intn(100), 101+rng.Intn(300))))
+			e.Append(ref)
+		}
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			e.Append(xmltree.ET("Keyword", kw[rng.Intn(len(kw))]))
+		}
+		feats := xmltree.E("Features")
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			feats.Append(xmltree.E("DOMAIN",
+				xmltree.ET("Descr", proteinFamilies[rng.Intn(len(proteinFamilies))]+" domain"),
+				xmltree.ET("From", fmt.Sprintf("%d", 1+rng.Intn(200))),
+				xmltree.ET("To", fmt.Sprintf("%d", 201+rng.Intn(300))),
+			))
+		}
+		e.Append(feats)
+		root.Append(e)
+	}
+	return xmltree.NewDocument("swissprot.xml", 0, root)
+}
+
+// ProteinSequence generates the Protein Sequence Database shape (the
+// largest dataset after DBLP in the paper's Table 4):
+//
+//	<ProteinDatabase>
+//	  <ProteinEntry>
+//	    <header><uid/><accession/></header>
+//	    <protein><name/></protein>
+//	    <organism><source/><common/></organism>
+//	    <reference><refinfo><authors><author/>+</authors><citation/><year/></refinfo></reference>*
+//	    <summary/> <sequence/>
+//	  </ProteinEntry>*
+//	</ProteinDatabase>
+func ProteinSequence(cfg Config) *xmltree.Document {
+	rng := cfg.rng()
+	entries := 900 * cfg.scale()
+
+	root := xmltree.E("ProteinDatabase")
+	bases := []byte("ACDEFGHIKLMNPQRSTVWY")
+	for i := 0; i < entries; i++ {
+		seq := make([]byte, 30+rng.Intn(40))
+		for j := range seq {
+			seq[j] = bases[rng.Intn(len(bases))]
+		}
+		e := xmltree.E("ProteinEntry",
+			xmltree.E("header",
+				xmltree.ET("uid", fmt.Sprintf("PS%06d", i)),
+				xmltree.ET("accession", fmt.Sprintf("A%05d", rng.Intn(100000))),
+			),
+			xmltree.E("protein",
+				xmltree.ET("name", proteinFamilies[rng.Intn(len(proteinFamilies))]+" "+title(rng, 2)),
+			),
+			xmltree.E("organism",
+				xmltree.ET("source", taxa[rng.Intn(len(taxa))]),
+				xmltree.ET("common", taxa[rng.Intn(len(taxa))]),
+			),
+		)
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			authors := xmltree.E("authors")
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				authors.Append(xmltree.ET("author", personName(rng)))
+			}
+			e.Append(xmltree.E("reference",
+				xmltree.E("refinfo",
+					authors,
+					xmltree.ET("citation", journals[rng.Intn(len(journals))]),
+					xmltree.ET("year", fmt.Sprintf("%d", 1980+rng.Intn(30))),
+				),
+			))
+		}
+		e.Append(xmltree.ET("summary", title(rng, 10)))
+		e.Append(xmltree.ET("sequence", string(seq)))
+		root.Append(e)
+	}
+	return xmltree.NewDocument("protein_sequence.xml", 0, root)
+}

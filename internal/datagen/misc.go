@@ -1,0 +1,155 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// NASA generates the NASA astronomical dataset shape (the paper's §7.1.2
+// response-time experiments; average keyword depth ≈ 6.7):
+//
+//	<datasets>
+//	  <dataset>
+//	    <title/> <altname/>
+//	    <reference><source><other>
+//	      <author><initial/><lastname/></author>+
+//	      <name/> <publisher/> <city/> <date><year/></date>
+//	    </other></source></reference>+
+//	    <tableHead><tableLinks><tableLink><title/></tableLink>+</tableLinks></tableHead>
+//	  </dataset>*
+//	</datasets>
+func NASA(cfg Config) *xmltree.Document {
+	rng := cfg.rng()
+	n := 400 * cfg.scale()
+
+	objects := []string{
+		"quasar", "pulsar", "nebula", "supernova", "asteroid", "comet",
+		"galaxy", "cluster", "magnetar", "exoplanet",
+	}
+	surveys := []string{"survey", "catalog", "atlas", "photometry", "spectra"}
+	root := xmltree.E("datasets")
+	for i := 0; i < n; i++ {
+		obj := objects[rng.Intn(len(objects))]
+		ds := xmltree.E("dataset",
+			xmltree.ET("title", fmt.Sprintf("%s %s %d", obj, surveys[rng.Intn(len(surveys))], i)),
+			xmltree.ET("altname", fmt.Sprintf("NASA-%04d", i)),
+		)
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			other := xmltree.E("other")
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				other.Append(xmltree.E("author",
+					xmltree.ET("initial", string(rune('A'+rng.Intn(26)))),
+					xmltree.ET("lastname", lastNames[rng.Intn(len(lastNames))]),
+				))
+			}
+			other.Append(xmltree.ET("name", title(rng, 4)))
+			other.Append(xmltree.ET("publisher", "Astronomical Data Center"))
+			other.Append(xmltree.ET("city", cityNames[rng.Intn(len(cityNames))]))
+			other.Append(xmltree.E("date", xmltree.ET("year", fmt.Sprintf("%d", 1970+rng.Intn(40)))))
+			ds.Append(xmltree.E("reference", xmltree.E("source", other)))
+		}
+		links := xmltree.E("tableLinks")
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			links.Append(xmltree.E("tableLink", xmltree.ET("title", obj+" table "+fmt.Sprint(j))))
+		}
+		ds.Append(xmltree.E("tableHead", links))
+		root.Append(ds)
+	}
+	return xmltree.NewDocument("nasa.xml", 0, root)
+}
+
+// TreeBank generates deep, irregular parse trees like the Penn TreeBank
+// dataset (depth 36 in the paper's Table 4 — the deepest dataset).
+func TreeBank(cfg Config) *xmltree.Document {
+	rng := cfg.rng()
+	sentences := 300 * cfg.scale()
+
+	nonterminals := []string{"S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP", "WHNP"}
+	words := []string{
+		"market", "stocks", "company", "shares", "trading", "investors",
+		"prices", "billion", "quarter", "report", "analysts", "growth",
+		"government", "policy", "index", "futures", "earnings", "revenue",
+	}
+	var grow func(depth, budget int) *xmltree.Node
+	grow = func(depth, budget int) *xmltree.Node {
+		if budget <= 1 || depth > 30 || rng.Intn(4) == 0 {
+			return xmltree.ET("NN", words[rng.Intn(len(words))])
+		}
+		n := xmltree.E(nonterminals[rng.Intn(len(nonterminals))])
+		kids := 1 + rng.Intn(2)
+		for i := 0; i < kids; i++ {
+			n.Append(grow(depth+1, budget/kids))
+		}
+		return n
+	}
+	root := xmltree.E("treebank")
+	for i := 0; i < sentences; i++ {
+		s := xmltree.E("S")
+		s.Append(grow(1, 12))
+		s.Append(grow(1, 12))
+		root.Append(s)
+	}
+	return xmltree.NewDocument("treebank.xml", 0, root)
+}
+
+// Plays generates a repository of Shakespeare-like plays — the paper notes
+// "Shakespeare's plays are distributed over multiple files", exercising the
+// multi-document Dewey prefixing:
+//
+//	<PLAY><TITLE/><PERSONAE><PERSONA/>+</PERSONAE>
+//	  <ACT><TITLE/><SCENE><TITLE/><SPEECH><SPEAKER/><LINE/>+</SPEECH>+</SCENE>+</ACT>+
+//	</PLAY>
+func Plays(cfg Config) *xmltree.Repository {
+	rng := cfg.rng()
+	nPlays := 3 * cfg.scale()
+
+	speakers := []string{
+		"HAMLET", "OPHELIA", "MACBETH", "BANQUO", "ROSALIND", "ORLANDO",
+		"PROSPERO", "MIRANDA", "VIOLA", "ORSINO", "LEAR", "CORDELIA",
+	}
+	lineWords := []string{
+		"thou", "art", "night", "light", "sweet", "sorrow", "crown",
+		"blood", "ghost", "storm", "love", "fool", "king", "throne",
+		"dagger", "sleep", "dream", "morrow",
+	}
+	repo := &xmltree.Repository{}
+	for p := 0; p < nPlays; p++ {
+		play := xmltree.E("PLAY", xmltree.ET("TITLE", fmt.Sprintf("The Tragedy of Play %d", p+1)))
+		pers := xmltree.E("PERSONAE")
+		for i := 0; i < 4; i++ {
+			pers.Append(xmltree.ET("PERSONA", speakers[rng.Intn(len(speakers))]))
+		}
+		play.Append(pers)
+		for a := 0; a < 3; a++ {
+			act := xmltree.E("ACT", xmltree.ET("TITLE", fmt.Sprintf("ACT %d", a+1)))
+			for sc := 0; sc < 2+rng.Intn(2); sc++ {
+				scene := xmltree.E("SCENE", xmltree.ET("TITLE", fmt.Sprintf("SCENE %d", sc+1)))
+				for sp := 0; sp < 4+rng.Intn(5); sp++ {
+					speech := xmltree.E("SPEECH", xmltree.ET("SPEAKER", speakers[rng.Intn(len(speakers))]))
+					for l := 0; l < 1+rng.Intn(4); l++ {
+						speech.Append(xmltree.ET("LINE", title2(rng.Intn(1<<30), lineWords)))
+					}
+					scene.Append(speech)
+				}
+				act.Append(scene)
+			}
+			play.Append(act)
+		}
+		repo.Add(xmltree.NewDocument(fmt.Sprintf("play%02d.xml", p+1), 0, play))
+	}
+	return repo
+}
+
+// title2 builds a short line from the given pool, deterministically from n.
+func title2(n int, pool []string) string {
+	s := ""
+	for i := 0; i < 5; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += pool[(n+i*7)%len(pool)]
+		n /= 3
+	}
+	return s
+}

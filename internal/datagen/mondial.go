@@ -1,0 +1,153 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Geography pools for the Mondial analog. Real names are kept for the
+// values the paper's QM1–QM4 queries mention (Laos, Luxembourg, Bruges,
+// religions and languages), so those queries run verbatim.
+var (
+	countryNames = []string{
+		"Laos", "Luxembourg", "Belgium", "Zimbabwe", "Brunei", "Austria",
+		"Chile", "Kenya", "Norway", "Peru", "Jordan", "Nepal", "Fiji",
+		"Malta", "Ghana", "Cuba", "Iceland", "Qatar", "Benin", "Tonga",
+		"Andorra", "Bhutan", "Gabon", "Latvia", "Monaco", "Oman", "Palau",
+		"Samoa", "Togo", "Tuvalu",
+	}
+	religions = []string{
+		"Muslim", "Buddhism", "Christianity", "Hinduism", "Orthodox",
+		"Catholic", "Protestant", "Jewish", "Sikh", "Taoist",
+	}
+	languageNames = []string{
+		"Polish", "Spanish", "German", "French", "English", "Thai",
+		"Chinese", "Arabic", "Hindi", "Swahili", "Dutch", "Portuguese",
+	}
+	cityNames = []string{
+		"Bruges", "Vientiane", "Harare", "Oslo", "Lima", "Amman", "Suva",
+		"Valletta", "Accra", "Havana", "Reykjavik", "Doha", "Nadi",
+		"Gent", "Antwerp", "Graz", "Linz", "Cusco", "Nakuru", "Thimphu",
+	}
+)
+
+// Mondial generates a Mondial-3.0-shaped geographic database:
+//
+//	<mondial>
+//	  <country>
+//	    <name>..</name> <population>..</population>
+//	    <religions> <religion><name/><percentage/></religion>* </religions>
+//	    <languages> <language><name/><percentage/></language>* </languages>
+//	    <province> <name/> <city><name/><population/></city>+ </province>*
+//	  </country>*
+//	</mondial>
+//
+// Every country name, religion, language and city the paper's QM1–QM4
+// queries reference is guaranteed to occur.
+func Mondial(cfg Config) *xmltree.Document {
+	rng := cfg.rng()
+	// The real Mondial 3.0 describes 231 countries; the paper's QM1 SLCA
+	// answer (98 countries with Muslim populations) fixes the Muslim share
+	// at roughly 42%.
+	countries := 231 * cfg.scale()
+
+	root := xmltree.E("mondial")
+	for i := 0; i < countries; i++ {
+		name := fmt.Sprintf("Terra%d", i)
+		if i < len(countryNames) {
+			name = countryNames[i]
+		}
+		c := xmltree.E("country",
+			xmltree.ET("name", name),
+			xmltree.ET("population", fmt.Sprintf("%d", 100000+rng.Intn(90000000))),
+			xmltree.ET("population_growth", fmt.Sprintf("%d.%02d", rng.Intn(4), rng.Intn(100))),
+		)
+		rel := xmltree.E("religions")
+		nrel := 1 + rng.Intn(3)
+		pct := 100
+		for j := 0; j < nrel; j++ {
+			p := pct
+			if j < nrel-1 {
+				p = 10 + rng.Intn(pct-10*(nrel-j-1))
+			}
+			pct -= p
+			religion := religions[rng.Intn(len(religions))]
+			if j == 0 && i%7 < 3 {
+				religion = "Muslim" // ~43% of countries, matching QM1
+			}
+			rel.Append(xmltree.E("religion",
+				xmltree.ET("name", religion),
+				xmltree.ET("percentage", fmt.Sprintf("%d", p)),
+			))
+		}
+		c.Append(rel)
+		lang := xmltree.E("languages")
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			lang.Append(xmltree.E("language",
+				xmltree.ET("name", languageNames[rng.Intn(len(languageNames))]),
+				xmltree.ET("percentage", fmt.Sprintf("%d", 10+rng.Intn(90))),
+			))
+		}
+		c.Append(lang)
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			prov := xmltree.E("province",
+				xmltree.ET("name", fmt.Sprintf("%s Province %d", name, j+1)),
+			)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				prov.Append(xmltree.E("city",
+					xmltree.ET("name", cityNames[rng.Intn(len(cityNames))]),
+					xmltree.ET("population", fmt.Sprintf("%d", 10000+rng.Intn(5000000))),
+				))
+			}
+			c.Append(prov)
+		}
+		root.Append(c)
+	}
+
+	// QM3 ground truth: Belgium holds Bruges, speaks several languages and
+	// is largely Catholic; Luxembourg is adjacent in the query. Force one
+	// country carrying the co-occurring values.
+	belgium := xmltree.E("country",
+		xmltree.ET("name", "Belgium Special"),
+		xmltree.ET("population", "10200000"),
+		xmltree.E("religions",
+			xmltree.E("religion", xmltree.ET("name", "Catholic"), xmltree.ET("percentage", "75")),
+		),
+		xmltree.E("languages",
+			xmltree.E("language", xmltree.ET("name", "German"), xmltree.ET("percentage", "1")),
+			xmltree.E("language", xmltree.ET("name", "Polish"), xmltree.ET("percentage", "1")),
+			xmltree.E("language", xmltree.ET("name", "Spanish"), xmltree.ET("percentage", "1")),
+		),
+		xmltree.E("province",
+			xmltree.ET("name", "West Flanders"),
+			xmltree.E("city", xmltree.ET("name", "Bruges"), xmltree.ET("population", "118000")),
+		),
+	)
+	root.Append(belgium)
+
+	// QM4 ground truth: one country carrying six of the eight query
+	// keywords (two languages + four religions), matching the paper's
+	// "Max keywords in a GKS node = 6" for QM4 and the <name: Brunei
+	// Anchor> DI.
+	brunei := xmltree.E("country",
+		xmltree.ET("name", "Brunei Anchor"),
+		xmltree.ET("population", "450000"),
+		xmltree.E("religions",
+			xmltree.E("religion", xmltree.ET("name", "Muslim"), xmltree.ET("percentage", "67")),
+			xmltree.E("religion", xmltree.ET("name", "Buddhism"), xmltree.ET("percentage", "13")),
+			xmltree.E("religion", xmltree.ET("name", "Christianity"), xmltree.ET("percentage", "10")),
+			xmltree.E("religion", xmltree.ET("name", "Hinduism"), xmltree.ET("percentage", "10")),
+		),
+		xmltree.E("languages",
+			xmltree.E("language", xmltree.ET("name", "Chinese"), xmltree.ET("percentage", "10")),
+			xmltree.E("language", xmltree.ET("name", "Thai"), xmltree.ET("percentage", "5")),
+		),
+		xmltree.E("province",
+			xmltree.ET("name", "Brunei-Muara"),
+			xmltree.E("city", xmltree.ET("name", "Bandar"), xmltree.ET("population", "100000")),
+		),
+	)
+	root.Append(brunei)
+	return xmltree.NewDocument("mondial.xml", 0, root)
+}

@@ -1,0 +1,239 @@
+package datagen
+
+import "repro/internal/xmltree"
+
+// This file recreates the ground truth behind the paper's Table 6 query
+// workload (§7.3–§7.4). The real datasets carried specific co-authorship
+// and keyword co-occurrence structure that the paper's Tables 7 and 8
+// report on; the plants below embed the same structure in the synthetic
+// analogs, so the experiment harness can compare measured counts against
+// the paper's numbers. See DESIGN.md §3.
+
+// Paper query author names (Table 6).
+const (
+	// QD1 / §7.4 refinement example.
+	authGeorgakopoulos = "Dimitrios Georgakopoulos"
+	authMorrison       = "Joe D. Morrison"
+	authRusinkiewicz   = "Marek Rusinkiewicz"
+	// QD2 / Example 2.
+	authBuneman   = "Peter Buneman"
+	authFan       = "Wenfei Fan"
+	authWeinstein = "Scott Weinstein"
+	authBanerjee  = "Prithviraj Banerjee"
+	// QD3.
+	authCodd     = "E. F. Codd"
+	authHornick  = "Mark F. Hornick"
+	authManola   = "Frank Manola"
+	authBuchmann = "Alejandro P. Buchmann"
+	// QD4.
+	authDeckert      = "Kenneth L. Deckert"
+	authTraiger      = "Irving L. Traiger"
+	authWatson       = "Vera Watson"
+	authGray         = "Jim Gray"
+	authChang        = "Chin-Liang Chang"
+	authRoussopoulos = "Nick Roussopoulos"
+	authCadiou       = "Jean-Marc Cadiou"
+	// §7.6 hybrid query.
+	authMeynadier   = "Jean-Marc Meynadier"
+	authBehm        = "Patrick Behm"
+	authRowe        = "Lawrence A. Rowe"
+	authStonebraker = "Michael Stonebraker"
+	// QS1–QS4.
+	authWasserman    = "Anthony I. Wasserman"
+	authKaplan       = "S. Jerrold Kaplan"
+	authTrueblood    = "Robert P. Trueblood"
+	authDeWitt       = "David J. DeWitt"
+	authKatz         = "Randy H. Katz"
+	authGhosh        = "Sakti P. Ghosh"
+	authLin          = "C. C. Lin"
+	authSellis       = "Timos K. Sellis"
+	authPatterson    = "David A. Patterson"
+	authGibson       = "Garth A. Gibson"
+	authBlaustein    = "Barbara T. Blaustein"
+	authDayal        = "Umeshwar Dayal"
+	authChakravarthy = "Upen S. Chakravarthy"
+	authHsu          = "M. Hsu"
+	authLedin        = "R. Ledin"
+	authMcCarthy     = "Dennis R. McCarthy"
+	authRosenthal    = "Arnon Rosenthal"
+)
+
+// dblpPlants reproduces the DBLP ground truth:
+//
+//   - QD1 {Georgakopoulos, Morrison}: 30 articles at s=1, exactly 1 joint
+//     (the SLCA); 10 joint Georgakopoulos–Rusinkiewicz articles back the
+//     §7.4 refinement walk-through.
+//   - QD2 {Buneman, Fan, Weinstein, Banerjee}: 234 articles at s=1, 10 at
+//     s=2, no article with all four (SLCA = 0); of the five
+//     Buneman–Fan–Weinstein joint articles, four have no other co-author
+//     and one has five extra co-authors (ranked lower, Example 2); the
+//     four clean joint articles appeared in SIGMOD Record in 2001 (the
+//     Table 8 DI); Banerjee publishes heavily in ICPP (§6.2's "popular
+//     but irrelevant" insight).
+//   - QD3 (6 authors): 190 at s=1, 7 at s=3, and one article carrying 5 of
+//     the 6 query authors (Table 7 max-keywords column).
+//   - QD4 (8 authors): 267 at s=1, 4 at s=4 (four six-author articles),
+//     SLCA = 0.
+//   - §7.6: 3 inproceedings by Meynadier & Behm (plus extra co-authors).
+func dblpPlants() []Plant {
+	return []Plant{
+		// --- QD1 / refinement ---
+		{Authors: []string{authGeorgakopoulos, authRusinkiewicz}, Count: 10, Venue: "TCS", Year: "2000"},
+		{Authors: []string{authGeorgakopoulos, authMorrison}, Count: 1},
+		{Authors: []string{authGeorgakopoulos}, Count: 8},
+		{Authors: []string{authMorrison}, Count: 10},
+		// --- QD2 / Example 2 ---
+		{Authors: []string{authBuneman, authFan, authWeinstein}, Count: 4, Venue: "SIGMOD Record", Year: "2001"},
+		{Authors: []string{authBuneman, authFan, authWeinstein}, Count: 1, Venue: "SIGMOD Record", Year: "2001", ExtraAuthors: 8},
+		{Authors: []string{authBuneman, authFan}, Count: 3},
+		{Authors: []string{authFan, authWeinstein}, Count: 2},
+		{Authors: []string{authBuneman}, Count: 50},
+		{Authors: []string{authFan}, Count: 30},
+		{Authors: []string{authWeinstein}, Count: 24},
+		{Authors: []string{authBanerjee}, Count: 25, Venue: "ICPP"},
+		{Authors: []string{authBanerjee}, Count: 95},
+		// --- QD3 ---
+		{Authors: []string{authHornick, authManola, authBuchmann}, Count: 6, Venue: "ICCD", Year: "1999"},
+		{Authors: []string{authCodd, authHornick, authManola, authBuchmann, authGeorgakopoulos}, Count: 1, Venue: "ICCD", Year: "1999"},
+		{Authors: []string{authCodd}, Count: 57},
+		{Authors: []string{authHornick}, Count: 35},
+		{Authors: []string{authManola}, Count: 30},
+		{Authors: []string{authBuchmann}, Count: 28},
+		// --- QD4 ---
+		{Authors: []string{authCodd, authDeckert, authTraiger, authWatson, authGray, authChang}, Count: 4, Venue: "JACM", Year: "2001"},
+		{Authors: []string{authGray}, Count: 63},
+		{Authors: []string{authRoussopoulos}, Count: 45},
+		{Authors: []string{authTraiger}, Count: 30},
+		{Authors: []string{authChang}, Count: 25},
+		{Authors: []string{authWatson}, Count: 18},
+		{Authors: []string{authDeckert}, Count: 14},
+		{Authors: []string{authCadiou}, Count: 10},
+		// --- §7.6 hybrid ---
+		{Authors: []string{authMeynadier, authBehm}, Count: 3, ExtraAuthors: 3},
+	}
+}
+
+// sigmodPlants reproduces the SIGMOD Record ground truth:
+//
+//   - QS1 {Wasserman, Rowe}: 8 articles at s=1, no co-authorship (max
+//     keywords 1); Rowe's articles are the five Rowe–Stonebraker joint
+//     articles also used by the §7.6 hybrid experiment.
+//   - QS2 (4 authors): 43 at s=1, 13 at s=2, no triple.
+//   - QS3 (6 authors): 28 at s=1, 4 at s=3 (Patterson–Gibson–Katz).
+//   - QS4 (8 authors): 36 at s=1, 2 at s=4, exactly one 8-author article
+//     (SLCA = 1, max keywords 8).
+func sigmodPlants() []Plant {
+	return []Plant{
+		// --- QS1 / §7.6 ---
+		{Authors: []string{authRowe, authStonebraker}, Count: 5},
+		{Authors: []string{authWasserman}, Count: 3},
+		// --- QS2 ---
+		{Authors: []string{authKaplan, authTrueblood}, Count: 7},
+		{Authors: []string{authDeWitt, authKatz}, Count: 6},
+		{Authors: []string{authKaplan}, Count: 5},
+		{Authors: []string{authTrueblood}, Count: 5},
+		{Authors: []string{authDeWitt}, Count: 12},
+		{Authors: []string{authKatz}, Count: 4},
+		// --- QS3 ---
+		{Authors: []string{authPatterson, authGibson, authKatz}, Count: 4},
+		{Authors: []string{authGhosh}, Count: 2},
+		{Authors: []string{authLin}, Count: 5},
+		{Authors: []string{authSellis}, Count: 5},
+		{Authors: []string{authPatterson}, Count: 1},
+		{Authors: []string{authGibson}, Count: 1},
+		// --- QS4 ---
+		{Authors: []string{authBlaustein, authDayal, authBuchmann, authChakravarthy, authHsu, authLedin, authMcCarthy, authRosenthal}, Count: 1},
+		{Authors: []string{authBlaustein, authDayal, authBuchmann, authChakravarthy}, Count: 1},
+		{Authors: []string{authDayal}, Count: 8},
+		{Authors: []string{authBlaustein}, Count: 4},
+		{Authors: []string{authBuchmann}, Count: 5},
+		{Authors: []string{authChakravarthy}, Count: 4},
+		{Authors: []string{authHsu}, Count: 3},
+		{Authors: []string{authLedin}, Count: 2},
+		{Authors: []string{authMcCarthy}, Count: 4},
+		{Authors: []string{authRosenthal}, Count: 4},
+	}
+}
+
+// PaperDBLP generates the DBLP analog carrying the QD1–QD4 ground truth.
+func PaperDBLP(scale int) *xmltree.Document {
+	return DBLP(BibConfig{Config: Config{Seed: 42, Scale: scale}, Plants: dblpPlants()})
+}
+
+// PaperSigmod generates the SIGMOD Record analog carrying the QS1–QS4
+// ground truth.
+func PaperSigmod(scale int) *xmltree.Document {
+	return SigmodRecord(BibConfig{Config: Config{Seed: 43, Scale: scale}, Plants: sigmodPlants()})
+}
+
+// PaperQuery describes one Table 6 query together with the paper's
+// reported Table 7 numbers for comparison.
+type PaperQuery struct {
+	// ID is the paper's query name (QS1..QS4, QD1..QD4, QM1..QM4, QI1, QI2).
+	ID string
+	// Dataset names the workload: "sigmod", "dblp", "mondial" or "interpro".
+	Dataset string
+	// Terms are the query keywords (phrases stay single keywords).
+	Terms []string
+	// PaperGKS1 and PaperGKSHalf are the paper's #GKS at s=1 and s=|Q|/2
+	// (−1 when the paper reports NA).
+	PaperGKS1, PaperGKSHalf int
+	// PaperSLCA is the paper's SLCA result count.
+	PaperSLCA int
+	// PaperMaxKw is the paper's "Max keywords in a GKS node".
+	PaperMaxKw int
+	// PaperRankScore is the paper's rank score.
+	PaperRankScore float64
+	// Exact reports whether the plants reproduce the paper's counts
+	// exactly (true for the bibliographic datasets, false for the
+	// generator-driven Mondial/InterPro analogs, where only the shape is
+	// expected to match).
+	Exact bool
+}
+
+// PaperQueries returns the paper's Table 6 workload.
+func PaperQueries() []PaperQuery {
+	return []PaperQuery{
+		{ID: "QS1", Dataset: "sigmod", Terms: []string{authWasserman, authRowe},
+			PaperGKS1: 8, PaperGKSHalf: -1, PaperSLCA: 0, PaperMaxKw: 1, PaperRankScore: 1, Exact: true},
+		{ID: "QS2", Dataset: "sigmod", Terms: []string{authKaplan, authTrueblood, authDeWitt, authKatz},
+			PaperGKS1: 43, PaperGKSHalf: 13, PaperSLCA: 0, PaperMaxKw: 2, PaperRankScore: 1, Exact: true},
+		{ID: "QS3", Dataset: "sigmod", Terms: []string{authGhosh, authLin, authSellis, authPatterson, authGibson, authKatz},
+			PaperGKS1: 28, PaperGKSHalf: 4, PaperSLCA: 0, PaperMaxKw: 3, PaperRankScore: 1, Exact: true},
+		{ID: "QS4", Dataset: "sigmod", Terms: []string{authBlaustein, authDayal, authBuchmann, authChakravarthy, authHsu, authLedin, authMcCarthy, authRosenthal},
+			PaperGKS1: 36, PaperGKSHalf: 2, PaperSLCA: 1, PaperMaxKw: 8, PaperRankScore: 1, Exact: true},
+		{ID: "QD1", Dataset: "dblp", Terms: []string{authGeorgakopoulos, authMorrison},
+			PaperGKS1: 30, PaperGKSHalf: -1, PaperSLCA: 1, PaperMaxKw: 2, PaperRankScore: 1, Exact: true},
+		{ID: "QD2", Dataset: "dblp", Terms: []string{authBuneman, authFan, authWeinstein, authBanerjee},
+			PaperGKS1: 234, PaperGKSHalf: 10, PaperSLCA: 0, PaperMaxKw: 3, PaperRankScore: 0.72, Exact: true},
+		{ID: "QD3", Dataset: "dblp", Terms: []string{authCodd, authHornick, authManola, authBuchmann, authGeorgakopoulos, authMorrison},
+			PaperGKS1: 190, PaperGKSHalf: 7, PaperSLCA: 0, PaperMaxKw: 5, PaperRankScore: 1, Exact: true},
+		{ID: "QD4", Dataset: "dblp", Terms: []string{authCodd, authDeckert, authTraiger, authWatson, authGray, authChang, authRoussopoulos, authCadiou},
+			PaperGKS1: 267, PaperGKSHalf: 4, PaperSLCA: 0, PaperMaxKw: 6, PaperRankScore: 1, Exact: true},
+		{ID: "QM1", Dataset: "mondial", Terms: []string{"country", "Muslim"},
+			PaperGKS1: 230, PaperGKSHalf: -1, PaperSLCA: 98, PaperMaxKw: 2, PaperRankScore: 1},
+		{ID: "QM2", Dataset: "mondial", Terms: []string{"Laos", "country", "name"},
+			PaperGKS1: 234, PaperGKSHalf: -1, PaperSLCA: 1, PaperMaxKw: 2, PaperRankScore: 1},
+		{ID: "QM3", Dataset: "mondial", Terms: []string{"Polish", "Spanish", "German", "Luxembourg", "Bruges", "Catholic"},
+			PaperGKS1: 37, PaperGKSHalf: 4, PaperSLCA: 0, PaperMaxKw: 3, PaperRankScore: 0.17},
+		{ID: "QM4", Dataset: "mondial", Terms: []string{"Chinese", "Thai", "Muslim", "Buddhism", "Christianity", "Hinduism", "Orthodox", "Catholic"},
+			PaperGKS1: 116, PaperGKSHalf: 3, PaperSLCA: 0, PaperMaxKw: 6, PaperRankScore: 1},
+		{ID: "QI1", Dataset: "interpro", Terms: []string{"Kringle", "Domain"},
+			PaperGKS1: 8170, PaperGKSHalf: -1, PaperSLCA: 8, PaperMaxKw: 2, PaperRankScore: 0.893},
+		{ID: "QI2", Dataset: "interpro", Terms: []string{"Publication", "2002", "Science"},
+			PaperGKS1: 2517, PaperGKSHalf: 2517, PaperSLCA: 281, PaperMaxKw: 3, PaperRankScore: 1},
+	}
+}
+
+// HybridAuthors returns the §7.6 hybrid query terms: the first two authors
+// co-occur only in DBLP <inproceedings>, the last two only in SIGMOD
+// Record <article> nodes.
+func HybridAuthors() []string {
+	return []string{authMeynadier, authBehm, authRowe, authStonebraker}
+}
+
+// RefinementAuthors returns the §7.4 walk-through names: the original QD1
+// pair plus the DI-suggested co-author.
+func RefinementAuthors() (georgakopoulos, morrison, rusinkiewicz string) {
+	return authGeorgakopoulos, authMorrison, authRusinkiewicz
+}

@@ -1,0 +1,116 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// XMark generates a simplified XMark auction site (Schmidt et al., VLDB
+// 2002) — the standard XML benchmark schema. It is not part of the paper's
+// evaluation; it serves as an additional realistic workload for the tools
+// and as a cross-check that the categorization model generalizes beyond
+// the paper's datasets:
+//
+//	<site>
+//	  <regions> <africa|asia|europe|namerica> <item>…</item>+ </…> </regions>
+//	  <categories> <category><name/><description/></category>+ </categories>
+//	  <people> <person><name/><emailaddress/><address>…</address></person>+ </people>
+//	  <open_auctions> <open_auction><initial/><bidder>…</bidder>*<seller/></open_auction>+ </open_auctions>
+//	  <closed_auctions> <closed_auction><seller/><buyer/><price/><date/></closed_auction>+ </closed_auctions>
+//	</site>
+func XMark(cfg Config) *xmltree.Document {
+	rng := cfg.rng()
+	people := 150 * cfg.scale()
+	items := 120 * cfg.scale()
+	auctions := 100 * cfg.scale()
+
+	regions := []string{"africa", "asia", "europe", "namerica"}
+	categories := []string{
+		"antiques", "books", "coins", "computers", "jewelry", "music",
+		"photography", "pottery", "stamps", "toys",
+	}
+
+	root := xmltree.E("site")
+
+	regionsNode := xmltree.E("regions")
+	regionNodes := make(map[string]*xmltree.Node, len(regions))
+	for _, r := range regions {
+		n := xmltree.E(r)
+		regionNodes[r] = n
+		regionsNode.Append(n)
+	}
+	for i := 0; i < items; i++ {
+		item := xmltree.E("item",
+			xmltree.ET("location", cityNames[rng.Intn(len(cityNames))]),
+			xmltree.ET("name", fmt.Sprintf("%s lot %d", categories[rng.Intn(len(categories))], i)),
+			xmltree.ET("payment", "Creditcard"),
+			xmltree.ET("description", title(rng, 6+rng.Intn(6))),
+		)
+		mailbox := xmltree.E("mailbox")
+		for j := 0; j < rng.Intn(3); j++ {
+			mailbox.Append(xmltree.E("mail",
+				xmltree.ET("from", personName(rng)),
+				xmltree.ET("to", personName(rng)),
+				xmltree.ET("date", fmt.Sprintf("%02d/%02d/%d", 1+rng.Intn(12), 1+rng.Intn(28), 1998+rng.Intn(3))),
+			))
+		}
+		if len(mailbox.Children) > 0 {
+			item.Append(mailbox)
+		}
+		regionNodes[regions[rng.Intn(len(regions))]].Append(item)
+	}
+	root.Append(regionsNode)
+
+	cats := xmltree.E("categories")
+	for _, c := range categories {
+		cats.Append(xmltree.E("category",
+			xmltree.ET("name", c),
+			xmltree.ET("description", title(rng, 5)),
+		))
+	}
+	root.Append(cats)
+
+	ppl := xmltree.E("people")
+	for i := 0; i < people; i++ {
+		name := personName(rng)
+		ppl.Append(xmltree.E("person",
+			xmltree.ET("name", name),
+			xmltree.ET("emailaddress", fmt.Sprintf("mailto:person%d@example.com", i)),
+			xmltree.E("address",
+				xmltree.ET("city", cityNames[rng.Intn(len(cityNames))]),
+				xmltree.ET("country", countryNames[rng.Intn(len(countryNames))]),
+			),
+		))
+	}
+	root.Append(ppl)
+
+	open := xmltree.E("open_auctions")
+	for i := 0; i < auctions; i++ {
+		a := xmltree.E("open_auction",
+			xmltree.ET("initial", fmt.Sprintf("%d.%02d", 1+rng.Intn(300), rng.Intn(100))),
+		)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			a.Append(xmltree.E("bidder",
+				xmltree.ET("date", fmt.Sprintf("%02d/%02d/%d", 1+rng.Intn(12), 1+rng.Intn(28), 1998+rng.Intn(3))),
+				xmltree.ET("increase", fmt.Sprintf("%d.%02d", 1+rng.Intn(50), rng.Intn(100))),
+			))
+		}
+		a.Append(xmltree.ET("seller", personName(rng)))
+		open.Append(a)
+	}
+	root.Append(open)
+
+	closed := xmltree.E("closed_auctions")
+	for i := 0; i < auctions/2; i++ {
+		closed.Append(xmltree.E("closed_auction",
+			xmltree.ET("seller", personName(rng)),
+			xmltree.ET("buyer", personName(rng)),
+			xmltree.ET("price", fmt.Sprintf("%d.%02d", 10+rng.Intn(900), rng.Intn(100))),
+			xmltree.ET("date", fmt.Sprintf("%02d/%02d/%d", 1+rng.Intn(12), 1+rng.Intn(28), 1998+rng.Intn(3))),
+		))
+	}
+	root.Append(closed)
+
+	return xmltree.NewDocument("xmark.xml", 0, root)
+}

@@ -1,0 +1,51 @@
+package dewey
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary codec for IDs, used by the index persistence layer. The format is
+//
+//	uvarint(doc) uvarint(len(path)) uvarint(path[0]) ... uvarint(path[n-1])
+//
+// It is self-delimiting so IDs can be concatenated in a stream.
+
+// AppendBinary appends the binary encoding of id to buf and returns the
+// extended slice.
+func (id ID) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(uint32(id.Doc)))
+	buf = binary.AppendUvarint(buf, uint64(len(id.Path)))
+	for _, c := range id.Path {
+		buf = binary.AppendUvarint(buf, uint64(uint32(c)))
+	}
+	return buf
+}
+
+// DecodeBinary decodes one ID from the front of buf, returning the ID and
+// the number of bytes consumed.
+func DecodeBinary(buf []byte) (ID, int, error) {
+	doc, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return ID{}, 0, fmt.Errorf("dewey: truncated document number")
+	}
+	off := n
+	length, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return ID{}, 0, fmt.Errorf("dewey: truncated path length")
+	}
+	off += n
+	if length > uint64(len(buf)) { // cheap sanity bound: ≥1 byte per component
+		return ID{}, 0, fmt.Errorf("dewey: implausible path length %d", length)
+	}
+	path := make([]int32, length)
+	for i := range path {
+		c, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return ID{}, 0, fmt.Errorf("dewey: truncated path component %d", i)
+		}
+		path[i] = int32(uint32(c))
+		off += n
+	}
+	return ID{Doc: int32(uint32(doc)), Path: path}, off, nil
+}

@@ -1,0 +1,48 @@
+package dewey
+
+import "testing"
+
+// FuzzParse checks the Dewey string parser: accepted inputs must round-trip
+// through String, rejected inputs must not panic.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{"0.0", "1.0.2.3", "", "x", "0", "-1.0", "0.999999999999"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !id.IsValid() {
+			t.Fatalf("Parse(%q) accepted invalid ID", s)
+		}
+		back, err := Parse(id.String())
+		if err != nil || !Equal(back, id) {
+			t.Fatalf("round trip failed for %q", s)
+		}
+	})
+}
+
+// FuzzDecodeBinary checks the binary codec rejects arbitrary bytes cleanly.
+func FuzzDecodeBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MustParse("0.0.1.2").AppendBinary(nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, n, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Re-encoding and re-decoding must reproduce the same ID (the
+		// input may use non-canonical varints, so byte equality is not
+		// guaranteed).
+		re := id.AppendBinary(nil)
+		back, m, err := DecodeBinary(re)
+		if err != nil || m != len(re) || !Equal(back, id) {
+			t.Fatalf("re-encode round trip failed: %v", err)
+		}
+	})
+}

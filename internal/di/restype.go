@@ -1,0 +1,108 @@
+package di
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/index"
+)
+
+// Result-type inference in the style of XReal (Bao et al., TKDE 2010) and
+// XBridge (Li et al., EDBT 2010) — the paper's related-work §3 "deducing
+// result types". For every entity label T the confidence that T is the
+// query's target type is driven by how many T-entities contain each
+// keyword:
+//
+//	score(T) = Σ_k ln(1 + f_{k,T})   if f_{k,T} > 0 for every keyword k
+//	         = 0                     otherwise (product semantics)
+//
+// where f_{k,T} counts the distinct T-labeled entity nodes whose subtree
+// holds keyword k. GKS uses the inference to tell users what kind of node
+// their query most plausibly targets (e.g. <inproceedings> for author
+// queries), complementing DI.
+
+// TypeScore is one inferred result type.
+type TypeScore struct {
+	// Label is the entity element label.
+	Label string
+	// Score is the XReal-style confidence (0 when some keyword never
+	// occurs under this type).
+	Score float64
+	// PerKeyword holds f_{k,T} per query keyword.
+	PerKeyword []int
+}
+
+// InferResultTypes ranks entity labels by their confidence of being the
+// query's target type. topK <= 0 returns all labels with non-zero score,
+// plus — when no label covers every keyword — the best partial covers.
+func InferResultTypes(eng *core.Engine, q core.Query, topK int) []TypeScore {
+	ix := eng.Index()
+	lists := eng.PostingLists(q)
+	n := len(lists)
+	if n == 0 {
+		return nil
+	}
+
+	// freq[label][k] = count of distinct entity nodes labeled `label`
+	// containing keyword k.
+	freq := make(map[int32][]int)
+	type nodeKw struct {
+		ord int32
+		kw  int
+	}
+	counted := make(map[nodeKw]bool)
+	for k, list := range lists {
+		for _, ord := range list {
+			for cur := ord; cur >= 0; cur = ix.Nodes[cur].Parent {
+				if ix.Nodes[cur].Cat&index.Entity == 0 {
+					continue
+				}
+				key := nodeKw{cur, k}
+				if counted[key] {
+					continue
+				}
+				counted[key] = true
+				label := ix.Nodes[cur].Label
+				f := freq[label]
+				if f == nil {
+					f = make([]int, n)
+					freq[label] = f
+				}
+				f[k]++
+			}
+		}
+	}
+
+	out := make([]TypeScore, 0, len(freq))
+	for label, f := range freq {
+		ts := TypeScore{Label: ix.Labels[label], PerKeyword: f}
+		full := true
+		score := 0.0
+		for _, c := range f {
+			if c == 0 {
+				full = false
+				continue
+			}
+			score += math.Log(1 + float64(c))
+		}
+		if full {
+			ts.Score = score
+		} else {
+			// Partial cover: heavy penalty but still comparable, so the
+			// best partial type surfaces when nothing covers everything.
+			ts.Score = score / float64(10*n)
+		}
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Label < out[j].Label
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}

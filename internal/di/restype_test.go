@@ -1,0 +1,57 @@
+package di
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/index"
+)
+
+func TestInferResultTypesDBLP(t *testing.T) {
+	ix, err := index.BuildDocument(datagen.PaperDBLP(1), index.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(ix)
+	q := core.NewQuery("Peter Buneman", "Wenfei Fan", "Scott Weinstein")
+	types := InferResultTypes(eng, q, 3)
+	if len(types) == 0 {
+		t.Fatal("no types inferred")
+	}
+	if types[0].Label != "inproceedings" {
+		t.Errorf("top type = %s, want inproceedings (%+v)", types[0].Label, types)
+	}
+	if types[0].Score <= 0 {
+		t.Errorf("score = %v", types[0].Score)
+	}
+	for _, c := range types[0].PerKeyword {
+		if c == 0 {
+			t.Errorf("full-cover type has zero keyword count: %+v", types[0])
+		}
+	}
+}
+
+func TestInferResultTypesUniversity(t *testing.T) {
+	eng, _ := fig2aAnalyzer(t)
+	types := InferResultTypes(eng, core.NewQuery("karen", "mike"), 2)
+	if len(types) == 0 || types[0].Label != "Course" {
+		t.Fatalf("types = %+v, want Course first", types)
+	}
+	// A keyword pair that no single entity type fully covers still yields
+	// a best partial type rather than nothing.
+	types = InferResultTypes(eng, core.NewQuery("alice", "serena"), 2)
+	if len(types) == 0 {
+		t.Fatal("no partial types inferred")
+	}
+}
+
+func TestInferResultTypesEmpty(t *testing.T) {
+	eng, _ := fig2aAnalyzer(t)
+	if got := InferResultTypes(eng, core.Query{}, 3); got != nil {
+		t.Errorf("empty query: %+v", got)
+	}
+	if got := InferResultTypes(eng, core.NewQuery("nosuchword"), 3); len(got) != 0 {
+		t.Errorf("unknown keyword: %+v", got)
+	}
+}

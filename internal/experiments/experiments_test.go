@@ -1,0 +1,607 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func suite(t *testing.T) *Suite {
+	t.Helper()
+	return NewSuite(1)
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Q1: GKS {x2}, ELCA {x1,x2}, SLCA {x2}.
+	if got := rows[0].GKS; len(got) != 1 || got[0] != "x2" {
+		t.Errorf("Q1 GKS = %v", got)
+	}
+	if got := rows[0].ELCA; len(got) != 2 {
+		t.Errorf("Q1 ELCA = %v", got)
+	}
+	// Q2: GKS {x2,x3}, LCA baselines NULL.
+	if got := rows[1].GKS; len(got) != 2 {
+		t.Errorf("Q2 GKS = %v", got)
+	}
+	if len(rows[1].SLCA) != 0 || len(rows[1].ELCA) != 0 {
+		t.Errorf("Q2 baselines = %v / %v, want NULL", rows[1].SLCA, rows[1].ELCA)
+	}
+	// Q3: GKS {x2,x3,x4}; baselines {r}.
+	if got := rows[2].GKS; len(got) != 3 {
+		t.Errorf("Q3 GKS = %v", got)
+	}
+	if len(rows[2].SLCA) != 1 || rows[2].SLCA[0] != "r" {
+		t.Errorf("Q3 SLCA = %v, want [r]", rows[2].SLCA)
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "NULL") {
+		t.Error("printed table must show NULL for empty baselines")
+	}
+}
+
+func TestTable4ShapeClaims(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 datasets", len(rows))
+	}
+	for _, r := range rows {
+		if r.DataBytes == 0 || r.IndexBytes == 0 {
+			t.Errorf("%s: zero sizes", r.Dataset)
+		}
+		if r.BuildTime <= 0 {
+			t.Errorf("%s: no build time", r.Dataset)
+		}
+	}
+	// TreeBank must be the deepest dataset, as in the paper (depth 36
+	// versus 5–8 for the others).
+	depths := map[string]int{}
+	for _, r := range rows {
+		depths[r.Dataset] = r.Depth
+	}
+	for name, d := range depths {
+		if name != "treebank" && d >= depths["treebank"] {
+			t.Errorf("treebank (%d) must be deeper than %s (%d)", depths["treebank"], name, d)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable4(&buf, rows)
+	if !strings.Contains(buf.String(), "treebank") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestTable5Counts(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total == 0 || r.EN == 0 || r.AN == 0 || r.RN == 0 {
+			t.Errorf("%s: degenerate distribution %+v", r.Dataset, r)
+		}
+		// Real-world repositories are dominated by AN+RN, with CN a small
+		// fraction (the paper: <3% for DBLP up to ~15% for InterPro).
+		if r.CN*3 > r.Total {
+			t.Errorf("%s: connecting nodes = %d of %d, too many", r.Dataset, r.CN, r.Total)
+		}
+	}
+}
+
+func TestTable7AgainstPaper(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d, want 14 queries", len(rows))
+	}
+	for _, r := range rows {
+		if r.Exact {
+			if r.GKS1 != r.PaperGKS1 {
+				t.Errorf("%s: GKS1 = %d, paper %d", r.ID, r.GKS1, r.PaperGKS1)
+			}
+			if r.PaperGKSHalf >= 0 && r.GKSHalf != r.PaperGKSHalf {
+				t.Errorf("%s: GKSHalf = %d, paper %d", r.ID, r.GKSHalf, r.PaperGKSHalf)
+			}
+			if r.SLCA != r.PaperSLCA {
+				t.Errorf("%s: SLCA = %d, paper %d", r.ID, r.SLCA, r.PaperSLCA)
+			}
+			if r.MaxKw != r.PaperMaxKw {
+				t.Errorf("%s: MaxKw = %d, paper %d", r.ID, r.MaxKw, r.PaperMaxKw)
+			}
+		}
+		// Shape claims for every query: GKS(s=1) dominates SLCA, and the
+		// s=|Q|/2 response is non-empty (Table 7's "non-zero for all").
+		if r.GKS1 < r.SLCA {
+			t.Errorf("%s: GKS1 (%d) < SLCA (%d)", r.ID, r.GKS1, r.SLCA)
+		}
+		if r.GKSHalf == 0 {
+			t.Errorf("%s: GKS at s=|Q|/2 must be non-zero", r.ID)
+		}
+		if r.RankScore < 0 || r.RankScore > 1 {
+			t.Errorf("%s: rank score %v out of range", r.ID, r.RankScore)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable7(&buf, rows)
+	if !strings.Contains(buf.String(), "QD2") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestTable7RankScores(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.ID {
+		case "QS1", "QS2", "QS3", "QS4", "QD1", "QD3", "QD4":
+			if r.RankScore != 1 {
+				t.Errorf("%s: rank score = %v, paper reports 1", r.ID, r.RankScore)
+			}
+		case "QD2":
+			// The crowded fifth joint article must push the score below 1
+			// (paper: 0.72; the exact value depends on co-author counts).
+			if r.RankScore >= 1 || r.RankScore < 0.4 {
+				t.Errorf("QD2: rank score = %v, want in (0.4, 1)", r.RankScore)
+			}
+		}
+	}
+}
+
+func TestTable8DIHighlights(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]Table8Row{}
+	for _, r := range rows {
+		byID[r.ID] = r
+	}
+	// QD2 at s=1: the paper reports <year: 2001> and <journal: SIGMOD
+	// Record> (our analog plants booktitle: SIGMOD Record).
+	qd2 := strings.Join(byID["QD2"].DI1, " ")
+	if !strings.Contains(qd2, "2001") && !strings.Contains(qd2, "SIGMOD Record") {
+		t.Errorf("QD2 DI = %v, want 2001 / SIGMOD Record", byID["QD2"].DI1)
+	}
+	// QD3 at s=1: <year: 1999>, <booktitle: ICCD>.
+	qd3 := strings.Join(byID["QD3"].DI1, " ")
+	if !strings.Contains(qd3, "1999") && !strings.Contains(qd3, "ICCD") {
+		t.Errorf("QD3 DI = %v, want 1999 / ICCD", byID["QD3"].DI1)
+	}
+	var buf bytes.Buffer
+	PrintTable8(&buf, rows)
+	if !strings.Contains(buf.String(), "QD3") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestRefinementWalkthrough(t *testing.T) {
+	s := suite(t)
+	r, err := s.Refinement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OriginalJoint != 1 {
+		t.Errorf("original joint articles = %d, paper reports 1", r.OriginalJoint)
+	}
+	if !r.SuggestionListed {
+		t.Fatal("DI must suggest Marek Rusinkiewicz (§7.4)")
+	}
+	if r.RefinedJoint != 10 {
+		t.Errorf("refined joint articles = %d, paper reports 10", r.RefinedJoint)
+	}
+	var buf bytes.Buffer
+	PrintRefinement(&buf, r)
+	if !strings.Contains(buf.String(), "Rusinkiewicz") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestFeedbackSimulation(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Feedback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want the 12 rated queries", len(rows))
+	}
+	better, total := 0, 0
+	for _, r := range rows {
+		if r.Ratings.Total() != 40 {
+			t.Errorf("%s: panel = %d", r.ID, r.Ratings.Total())
+		}
+		better += r.Ratings.GKSBetter()
+		total += r.Ratings.Total()
+	}
+	pct := 100 * float64(better) / float64(total)
+	// The paper reports 89.6% GKS-better; the simulation must land in the
+	// same regime (GKS clearly preferred but not unanimous).
+	if pct < 75 || pct > 99 {
+		t.Errorf("GKS-better = %.1f%%, want within [75, 99] (paper: 89.6)", pct)
+	}
+	var buf bytes.Buffer
+	PrintFeedback(&buf, rows)
+	if !strings.Contains(buf.String(), "89.6") {
+		t.Error("print output must cite the paper number")
+	}
+}
+
+func TestHybridQueries(t *testing.T) {
+	s := suite(t)
+	r, err := s.Hybrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Results != 8 {
+		t.Errorf("hybrid results = %d, paper reports 8", r.Results)
+	}
+	if r.DBLPNodes != 3 || r.SigmodNodes != 5 {
+		t.Errorf("hybrid split = %d inproceedings + %d articles, want 3 + 5",
+			r.DBLPNodes, r.SigmodNodes)
+	}
+	if !r.OnlyTargetHits {
+		t.Error("hybrid response contains non-target node types")
+	}
+	if !r.ArticlesOnTop {
+		t.Errorf("2-author articles must outrank crowded inproceedings despite depth; top = %v", r.TopLabels)
+	}
+	var buf bytes.Buffer
+	PrintHybrid(&buf, r)
+	if !strings.Contains(buf.String(), "8") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestNaiveAblation(t *testing.T) {
+	s := suite(t)
+	rows, err := s.NaiveAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.Subsets < 160 {
+		t.Errorf("n=8, s=4 subsets = %d, want 163 (Lemma 3 exponential)", last.Subsets)
+	}
+	// The naive union must get strictly slower than GKS at large n.
+	if last.NaiveTime <= last.GKSTime {
+		t.Errorf("naive (%v) should be slower than GKS (%v) at n=8", last.NaiveTime, last.GKSTime)
+	}
+	var buf bytes.Buffer
+	PrintNaiveAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "naive") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestFigure8LinearInSL(t *testing.T) {
+	s := suite(t)
+	points, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("points = %d, want 2 datasets x 5 queries", len(points))
+	}
+	for _, p := range points {
+		if p.SLSize == 0 {
+			t.Errorf("%s %s: empty S_L", p.Dataset, p.Query)
+		}
+	}
+	var buf bytes.Buffer
+	PrintRTPoints(&buf, "Figure 8", points)
+	if !strings.Contains(buf.String(), "S_L") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestFigure9VariesN(t *testing.T) {
+	s := suite(t)
+	points, err := s.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 16 {
+		t.Fatalf("points = %d, want 2 datasets x 8 sizes", len(points))
+	}
+	for _, p := range points {
+		if p.N < 2 || p.N > 16 {
+			t.Errorf("n = %d out of range", p.N)
+		}
+	}
+}
+
+func TestFigure10Scalability(t *testing.T) {
+	s := suite(t)
+	points, err := s.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// |S_L| and results must scale linearly with replicas.
+	for i := 1; i < len(points); i++ {
+		if points[i].SLSize <= points[i-1].SLSize {
+			t.Errorf("S_L must grow with replicas: %v", points)
+		}
+		if points[i].Results <= points[i-1].Results {
+			t.Errorf("results must grow with replicas: %v", points)
+		}
+	}
+	ratio := float64(points[2].SLSize) / float64(points[0].SLSize)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("3x replicas produced %.2fx S_L, want ~3x", ratio)
+	}
+	var buf bytes.Buffer
+	PrintFigure10(&buf, points)
+	if !strings.Contains(buf.String(), "Replicas") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestDatasetErrors(t *testing.T) {
+	s := suite(t)
+	if _, err := s.Dataset("nope"); err == nil {
+		t.Error("unknown dataset must error")
+	}
+	d1, err := s.Dataset("mondial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Dataset("mondial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("datasets must be cached")
+	}
+}
+
+func TestSchemaAblation(t *testing.T) {
+	s := suite(t)
+	rows, err := s.SchemaAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SchemaEN <= r.InstanceEN {
+			t.Errorf("%s: schema EN (%d) must exceed instance EN (%d)",
+				r.Dataset, r.SchemaEN, r.InstanceEN)
+		}
+		if r.ChangedNodes == 0 {
+			t.Errorf("%s: no nodes changed", r.Dataset)
+		}
+	}
+	var buf bytes.Buffer
+	PrintSchemaAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "schema") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestIndexFormats(t *testing.T) {
+	s := suite(t)
+	rows, err := s.IndexFormats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Equivalent {
+			t.Errorf("%s: formats decode to different indexes", r.Dataset)
+		}
+		if r.BinBytes >= r.GobBytes {
+			t.Errorf("%s: binary (%d) should beat gob (%d)", r.Dataset, r.BinBytes, r.GobBytes)
+		}
+	}
+	var buf bytes.Buffer
+	PrintIndexFormats(&buf, rows)
+	if !strings.Contains(buf.String(), "binary") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestMeaningfulness(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Meaningfulness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want the 8 exact bibliographic queries", len(rows))
+	}
+	for _, r := range rows {
+		// §1.2: GKS recall is high — the planted intent is always covered.
+		if r.GKSRecall != 1 {
+			t.Errorf("%s: GKS recall = %v, want 1", r.ID, r.GKSRecall)
+		}
+		// Ranked precision@R: the top slots are the relevant nodes for all
+		// queries except QD2 (the crowded joint article, rank score < 1).
+		if r.ID != "QD2" && r.GKSPrecisionAt != 1 {
+			t.Errorf("%s: GKS precision@R = %v, want 1", r.ID, r.GKSPrecisionAt)
+		}
+		// SLCA misses the intent whenever no single node holds all the
+		// keywords. Even for QS4 (one article with all 8 authors) the SLCA
+		// answer is the nested <authors> wrapper, not the article — the
+		// paper's "context-free response" critique. Only flat DBLP's QD1
+		// SLCA coincides with the intent node.
+		if r.ID == "QD1" {
+			if r.SLCARecall == 0 {
+				t.Errorf("QD1: SLCA should find the joint article")
+			}
+		} else if r.SLCARecall != 0 {
+			t.Errorf("%s: SLCA recall = %v, want 0", r.ID, r.SLCARecall)
+		}
+	}
+	var buf bytes.Buffer
+	PrintMeaningfulness(&buf, rows)
+	if !strings.Contains(buf.String(), "recall") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	s := suite(t)
+	d, err := s.Dataset("nasa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := SampleQueries(d.Index, 8, 5, 7)
+	if len(qs) != 5 {
+		t.Fatalf("sampled %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Len() != 8 {
+			t.Errorf("query size %d", q.Len())
+		}
+	}
+	// Deterministic in seed.
+	again := SampleQueries(d.Index, 8, 5, 7)
+	for i := range qs {
+		if qs[i].String() != again[i].String() {
+			t.Error("sampling not deterministic")
+		}
+	}
+	if got := SampleQueries(d.Index, 0, 5, 7); got != nil {
+		t.Error("n=0 must yield nil")
+	}
+}
+
+func TestFigure8SampledLinearity(t *testing.T) {
+	s := suite(t)
+	points, err := s.Figure8Sampled(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 12 {
+		t.Fatalf("points = %d", len(points))
+	}
+	byDataset := map[string][]RTPoint{}
+	for _, p := range points {
+		byDataset[p.Dataset] = append(byDataset[p.Dataset], p)
+	}
+	for name, ps := range byDataset {
+		slope, r := LinearFit(ps)
+		if slope <= 0 {
+			t.Errorf("%s: non-positive slope %v", name, slope)
+		}
+		// Wall-clock noise allows slack, but the correlation must be
+		// clearly positive for the paper's linearity claim.
+		if r < 0.5 {
+			t.Errorf("%s: correlation %v too weak for linearity", name, r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure8Sampled(&buf, points)
+	if !strings.Contains(buf.String(), "correlation") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestLinearFitEdgeCases(t *testing.T) {
+	if s, r := LinearFit(nil); s != 0 || r != 0 {
+		t.Error("empty fit must be zero")
+	}
+	same := []RTPoint{{SLSize: 5, Time: 10}, {SLSize: 5, Time: 20}}
+	if s, _ := LinearFit(same); s != 0 {
+		t.Errorf("degenerate x variance: slope %v", s)
+	}
+}
+
+func TestFSLCAComparison(t *testing.T) {
+	s := suite(t)
+	rows, err := s.FSLCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want QM1-4 + QI1-2", len(rows))
+	}
+	byID := map[string]FSLCARow{}
+	for _, r := range rows {
+		byID[r.ID] = r
+	}
+	// §7.3: "the top XML node for both QI1 and QI2 for GKS was present in
+	// FSLCA result set". In our analog QI1 reproduces this exactly; QI2's
+	// top slot goes to a tighter partial match, but FSLCA nodes still
+	// appear in the GKS top 10 for both.
+	if !byID["QI1"].TopInFSLCA {
+		t.Errorf("QI1: top GKS node not in FSLCA set (%+v)", byID["QI1"])
+	}
+	for _, id := range []string{"QI1", "QI2"} {
+		if byID[id].FSLCAInTop10 == 0 {
+			t.Errorf("%s: no FSLCA overlap with GKS top 10 (%+v)", id, byID[id])
+		}
+	}
+	// "For QM1, many XML nodes of FSLCA were among the top 10 nodes of GKS".
+	if byID["QM1"].FSLCAInTop10 == 0 {
+		t.Errorf("QM1: no FSLCA nodes in GKS top 10 (%+v)", byID["QM1"])
+	}
+	// GKS answers every query even when FSLCA is thin.
+	for _, r := range rows {
+		if !r.GKSNonEmpty {
+			t.Errorf("%s: empty GKS response", r.ID)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFSLCA(&buf, rows)
+	if !strings.Contains(buf.String(), "FSLCA") {
+		t.Error("print output incomplete")
+	}
+}
+
+func TestRecursiveDI(t *testing.T) {
+	s := suite(t)
+	rows, err := s.RecursiveDI(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("rounds = %d, want at least 2", len(rows))
+	}
+	if rows[0].Results != 30 {
+		t.Errorf("round 0 results = %d, want 30 (QD1)", rows[0].Results)
+	}
+	if len(rows[0].Insights) == 0 {
+		t.Fatal("round 0 has no insights")
+	}
+	// Round 1's query derives from round 0's insight values.
+	if rows[1].Query == rows[0].Query {
+		t.Error("recursion did not advance the query")
+	}
+	var buf bytes.Buffer
+	PrintRecursiveDI(&buf, rows)
+	if !strings.Contains(buf.String(), "round") {
+		t.Error("print output incomplete")
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/index"
+)
+
+// FormatRow compares the gob (v1) and compact binary (v2) index formats on
+// one dataset: serialized size and encode/decode wall time.
+type FormatRow struct {
+	Dataset    string
+	GobBytes   int64
+	BinBytes   int64
+	GobEncode  time.Duration
+	BinEncode  time.Duration
+	GobDecode  time.Duration
+	BinDecode  time.Duration
+	Equivalent bool
+}
+
+// IndexFormats measures both persistence formats over representative
+// datasets. The claim: the delta-varint binary format is substantially
+// smaller and faster to decode, while decoding to an identical index.
+func (s *Suite) IndexFormats() ([]FormatRow, error) {
+	var rows []FormatRow
+	for _, name := range []string{"sigmod", "swissprot", "dblp"} {
+		d, err := s.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		row := FormatRow{Dataset: name}
+
+		var gobBuf, binBuf writeCounter
+		start := time.Now()
+		if err := d.Index.Save(&gobBuf); err != nil {
+			return nil, err
+		}
+		row.GobEncode = time.Since(start)
+		row.GobBytes = gobBuf.n
+
+		start = time.Now()
+		if err := d.Index.SaveBinary(&binBuf); err != nil {
+			return nil, err
+		}
+		row.BinEncode = time.Since(start)
+		row.BinBytes = binBuf.n
+
+		start = time.Now()
+		fromGob, err := index.Load(gobBuf.reader())
+		if err != nil {
+			return nil, err
+		}
+		row.GobDecode = time.Since(start)
+
+		start = time.Now()
+		fromBin, err := index.Load(binBuf.reader())
+		if err != nil {
+			return nil, err
+		}
+		row.BinDecode = time.Since(start)
+
+		row.Equivalent = fromGob.Stats == fromBin.Stats &&
+			len(fromGob.Nodes) == len(fromBin.Nodes) &&
+			len(fromGob.Postings) == len(fromBin.Postings)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// writeCounter buffers written bytes and counts them.
+type writeCounter struct {
+	n   int64
+	buf []byte
+}
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *writeCounter) reader() io.Reader { return &sliceReader{data: w.buf} }
+
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// PrintIndexFormats renders the format comparison.
+func PrintIndexFormats(w io.Writer, rows []FormatRow) {
+	fmt.Fprintln(w, "Index persistence formats: gob (v1) vs delta-varint binary (v2)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tgob size\tbinary size\tratio\tgob enc\tbin enc\tgob dec\tbin dec\tequal")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%v\t%v\t%v\t%v\t%v\n",
+			r.Dataset, bytesHuman(r.GobBytes), bytesHuman(r.BinBytes),
+			float64(r.BinBytes)/float64(r.GobBytes),
+			r.GobEncode.Round(time.Microsecond), r.BinEncode.Round(time.Microsecond),
+			r.GobDecode.Round(time.Microsecond), r.BinDecode.Round(time.Microsecond),
+			r.Equivalent)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/di"
+	"repro/internal/lca"
+)
+
+// FSLCARow reproduces the §7.3 comparison against MESSIAH's FSLCA [19]:
+// the paper reports that GKS's top node was present in the FSLCA result
+// set for QI1 and QI2, that many FSLCA nodes were among GKS's top 10 for
+// QM1, and that QM2 had no FSLCA node while GKS still answered.
+type FSLCARow struct {
+	ID            string
+	TargetType    string
+	FSLCANodes    int
+	Forgiven      int // query keywords forgiven as missing elements
+	GKSTop        int // GKS response size (s=1)
+	TopInFSLCA    bool
+	FSLCAInTop10  int
+	GKSNonEmpty   bool
+	FSLCANonEmpty bool
+}
+
+// FSLCA runs the comparison for the paper's QI and QM queries: the target
+// type is deduced with the XReal-style inference, FSLCA answers against
+// that type, and the overlap with the ranked GKS response is measured.
+func (s *Suite) FSLCA() ([]FSLCARow, error) {
+	var rows []FSLCARow
+	for _, pq := range paperQueries() {
+		if pq.Dataset != "mondial" && pq.Dataset != "interpro" {
+			continue
+		}
+		d, err := s.Dataset(pq.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		q := core.NewQuery(pq.Terms...)
+		row := FSLCARow{ID: pq.ID}
+
+		types := di.InferResultTypes(d.Engine, q, 1)
+		if len(types) > 0 {
+			row.TargetType = types[0].Label
+		}
+		lists := d.Engine.PostingLists(q)
+		fslca, forgiven := lca.FSLCAForType(d.Index, lists, row.TargetType)
+		row.FSLCANodes = len(fslca)
+		row.Forgiven = len(forgiven)
+		row.FSLCANonEmpty = len(fslca) > 0
+
+		resp, err := d.Engine.Search(q, 1)
+		if err != nil {
+			return nil, err
+		}
+		row.GKSTop = len(resp.Results)
+		row.GKSNonEmpty = len(resp.Results) > 0
+
+		inFSLCA := make(map[int32]bool, len(fslca))
+		for _, o := range fslca {
+			inFSLCA[o] = true
+		}
+		if len(resp.Results) > 0 {
+			row.TopInFSLCA = inFSLCA[resp.Results[0].Ord]
+		}
+		for i, r := range resp.Results {
+			if i >= 10 {
+				break
+			}
+			if inFSLCA[r.Ord] {
+				row.FSLCAInTop10++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFSLCA renders the comparison.
+func PrintFSLCA(w io.Writer, rows []FSLCARow) {
+	fmt.Fprintln(w, "FSLCA (simplified MESSIAH [19]) vs GKS (§7.3)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Query\ttarget type\t#FSLCA\tforgiven kw\t#GKS s=1\ttop GKS in FSLCA\tFSLCA in GKS top-10")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%v\t%d\n",
+			r.ID, r.TargetType, r.FSLCANodes, r.Forgiven, r.GKSTop, r.TopInFSLCA, r.FSLCAInTop10)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/lca"
+	"repro/internal/metrics"
+)
+
+// MeaningfulnessRow quantifies §1.2's claim — "the meaningfulness of the
+// results of a search query is defined by their recall and precision...
+// recall of GKS is likely to be high... the precision of the GKS system
+// will be high if the most relevant XML nodes are ranked higher" — for one
+// bibliographic paper query. The relevant set is the ground truth the
+// generators plant: the nodes carrying the largest number of query
+// keywords (the user's joint-article intent).
+type MeaningfulnessRow struct {
+	ID             string
+	Relevant       int
+	GKSRecall      float64
+	GKSPrecisionAt float64 // precision@|relevant| of the ranked response
+	SLCARecall     float64
+	SLCAPrecision  float64
+}
+
+// Meaningfulness measures recall and rank-sensitive precision for GKS and
+// the SLCA baseline over the exact bibliographic workload.
+func (s *Suite) Meaningfulness() ([]MeaningfulnessRow, error) {
+	var rows []MeaningfulnessRow
+	for _, pq := range paperQueries() {
+		if !pq.Exact {
+			continue
+		}
+		d, err := s.Dataset(pq.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		q := core.NewQuery(pq.Terms...)
+		resp, err := d.Engine.Search(q, 1)
+		if err != nil {
+			return nil, err
+		}
+		maxKw := 0
+		for _, r := range resp.Results {
+			if r.KeywordCount > maxKw {
+				maxKw = r.KeywordCount
+			}
+		}
+		relevant := make(map[int32]bool)
+		for _, r := range resp.Results {
+			if r.KeywordCount == maxKw {
+				relevant[r.Ord] = true
+			}
+		}
+		row := MeaningfulnessRow{ID: pq.ID, Relevant: len(relevant)}
+
+		// GKS: recall over the full response; precision over the top
+		// |relevant| ranked slots (precision@R).
+		retrieved := make(map[int32]bool)
+		topR := make(map[int32]bool)
+		for i, r := range resp.Results {
+			retrieved[r.Ord] = true
+			if i < len(relevant) {
+				topR[r.Ord] = true
+			}
+		}
+		_, row.GKSRecall = metrics.PrecisionRecall(retrieved, relevant)
+		row.GKSPrecisionAt, _ = metrics.PrecisionRecall(topR, relevant)
+
+		// SLCA: the baseline's whole answer (roots excluded, §7.3).
+		slcaSet := make(map[int32]bool)
+		for _, ord := range lca.SLCA(d.Index, d.Engine.PostingLists(q)) {
+			if len(d.Index.Nodes[ord].ID.Path) > 1 {
+				slcaSet[ord] = true
+			}
+		}
+		row.SLCAPrecision, row.SLCARecall = metrics.PrecisionRecall(slcaSet, relevant)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintMeaningfulness renders the §1.2 precision/recall comparison.
+func PrintMeaningfulness(w io.Writer, rows []MeaningfulnessRow) {
+	fmt.Fprintln(w, "Meaningfulness (§1.2): recall and precision@R against planted joint-article intent")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Query\trelevant\tGKS recall\tGKS prec@R\tSLCA recall\tSLCA precision")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.ID, r.Relevant, r.GKSRecall, r.GKSPrecisionAt, r.SLCARecall, r.SLCAPrecision)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,33 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Append indexes doc as the next document of the repository behind ix and
+// returns a new merged index; ix itself is not modified (indexes are
+// immutable once built, which is what makes concurrent searches safe).
+// The document is renumbered to the next free document id.
+//
+// Because documents are independent subtrees under distinct Dewey document
+// numbers, appending reduces to the same partial-index merge used by the
+// parallel builder: the new document's ordinals all sort after the
+// existing ones, so posting lists stay sorted and subtree ranges stay
+// contiguous.
+func Append(ix *Index, doc *xmltree.Document, opts Options) (*Index, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("index: append to nil index")
+	}
+	if doc == nil || doc.Root == nil {
+		return nil, fmt.Errorf("index: append of empty document")
+	}
+	doc.DocID = int32(len(ix.DocNames))
+	doc.AssignIDs()
+	partial, err := Build(&xmltree.Repository{Docs: []*xmltree.Document{doc}}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return mergePartials([]*Index{ix, partial})
+}

@@ -1,0 +1,297 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/postings"
+)
+
+// Binary index format ("GKSI", version 2): a compact, self-describing
+// serialization that stores posting lists delta-varint compressed
+// (internal/postings) and Dewey IDs with the varint codec
+// (internal/dewey). It is substantially smaller and faster to decode than
+// the gob format (format v1), which is retained for compatibility; Load
+// and LoadFile auto-detect the format from the leading magic bytes.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic "GKSI" | version
+//	labels:   count, then len+bytes each
+//	docs:     count, then len+bytes each
+//	nodes:    count, then per node:
+//	            dewey(binary codec) label cat(byte) childCount subtree
+//	            parent+1 hasValue(byte) [valueLen valueBytes]
+//	postings: count, then per keyword:
+//	            keyLen keyBytes n deltaVarints...
+//	stats:    fixed sequence of varints
+const binaryMagic = "GKSI"
+
+const binaryVersion = 2
+
+// SaveBinary writes the index in the compact binary format.
+func (ix *Index) SaveBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var scratch []byte
+	writeUvarint := func(v uint64) {
+		scratch = binary.AppendUvarint(scratch[:0], v)
+		bw.Write(scratch)
+	}
+	writeString := func(s string) {
+		writeUvarint(uint64(len(s)))
+		bw.WriteString(s)
+	}
+
+	bw.WriteString(binaryMagic)
+	writeUvarint(binaryVersion)
+
+	writeUvarint(uint64(len(ix.Labels)))
+	for _, l := range ix.Labels {
+		writeString(l)
+	}
+	writeUvarint(uint64(len(ix.DocNames)))
+	for _, d := range ix.DocNames {
+		writeString(d)
+	}
+
+	writeUvarint(uint64(len(ix.Nodes)))
+	for i := range ix.Nodes {
+		n := &ix.Nodes[i]
+		scratch = n.ID.AppendBinary(scratch[:0])
+		bw.Write(scratch)
+		writeUvarint(uint64(n.Label))
+		bw.WriteByte(byte(n.Cat))
+		writeUvarint(uint64(n.ChildCount))
+		writeUvarint(uint64(n.Subtree))
+		writeUvarint(uint64(n.Parent + 1))
+		if n.HasValue {
+			bw.WriteByte(1)
+			writeString(n.Value)
+		} else {
+			bw.WriteByte(0)
+		}
+	}
+
+	// Keywords are written sorted so the format is deterministic.
+	keys := make([]string, 0, len(ix.Postings))
+	for k := range ix.Postings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	writeUvarint(uint64(len(keys)))
+	for _, k := range keys {
+		writeString(k)
+		list := ix.Postings[k]
+		writeUvarint(uint64(len(list)))
+		scratch = postings.Encode(scratch[:0], list)
+		bw.Write(scratch)
+	}
+
+	for _, v := range ix.Stats.fields() {
+		writeUvarint(uint64(v))
+	}
+	return bw.Flush()
+}
+
+// fields flattens Stats for serialization; order is part of the format.
+func (s *Stats) fields() []int {
+	return []int{
+		s.Documents, s.ElementNodes, s.TextNodes, s.AttributeNodes,
+		s.RepeatingNodes, s.EntityNodes, s.ConnectingNodes,
+		s.DistinctKeywords, s.PostingEntries, s.MaxDepth,
+	}
+}
+
+func (s *Stats) setFields(v []int) {
+	s.Documents, s.ElementNodes, s.TextNodes, s.AttributeNodes,
+		s.RepeatingNodes, s.EntityNodes, s.ConnectingNodes,
+		s.DistinctKeywords, s.PostingEntries, s.MaxDepth =
+		v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7], v[8], v[9]
+}
+
+const statsFieldCount = 10
+
+// LoadBinary reads an index written by SaveBinary. The magic bytes must
+// already be verified by the caller (Load does this) or present in r.
+func LoadBinary(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("index: binary load: %w", err)
+	}
+	if string(magic[:]) != binaryMagic {
+		return nil, fmt.Errorf("index: binary load: bad magic %q", magic)
+	}
+	return loadBinaryAfterMagic(br)
+}
+
+func loadBinaryAfterMagic(br *bufio.Reader) (*Index, error) {
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readString := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<28 {
+			return "", fmt.Errorf("implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	fail := func(what string, err error) (*Index, error) {
+		return nil, fmt.Errorf("index: binary load: %s: %w", what, err)
+	}
+
+	version, err := readUvarint()
+	if err != nil {
+		return fail("version", err)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("index: binary load: unsupported version %d", version)
+	}
+
+	ix := &Index{Postings: make(map[string][]int32), labelIDs: make(map[string]int32)}
+	nLabels, err := readUvarint()
+	if err != nil {
+		return fail("label count", err)
+	}
+	for i := uint64(0); i < nLabels; i++ {
+		l, err := readString()
+		if err != nil {
+			return fail("label", err)
+		}
+		ix.labelIDs[l] = int32(len(ix.Labels))
+		ix.Labels = append(ix.Labels, l)
+	}
+	nDocs, err := readUvarint()
+	if err != nil {
+		return fail("doc count", err)
+	}
+	for i := uint64(0); i < nDocs; i++ {
+		d, err := readString()
+		if err != nil {
+			return fail("doc name", err)
+		}
+		ix.DocNames = append(ix.DocNames, d)
+	}
+
+	nNodes, err := readUvarint()
+	if err != nil {
+		return fail("node count", err)
+	}
+	if nNodes > 1<<31 {
+		return nil, fmt.Errorf("index: binary load: implausible node count %d", nNodes)
+	}
+	ix.Nodes = make([]NodeInfo, nNodes)
+	for i := range ix.Nodes {
+		n := &ix.Nodes[i]
+		id, err := readDewey(br)
+		if err != nil {
+			return fail("dewey", err)
+		}
+		n.ID = id
+		label, err := readUvarint()
+		if err != nil {
+			return fail("node label", err)
+		}
+		n.Label = int32(label)
+		cat, err := br.ReadByte()
+		if err != nil {
+			return fail("node category", err)
+		}
+		n.Cat = Category(cat)
+		cc, err := readUvarint()
+		if err != nil {
+			return fail("child count", err)
+		}
+		n.ChildCount = int32(cc)
+		st, err := readUvarint()
+		if err != nil {
+			return fail("subtree", err)
+		}
+		n.Subtree = int32(st)
+		parent, err := readUvarint()
+		if err != nil {
+			return fail("parent", err)
+		}
+		n.Parent = int32(parent) - 1
+		hv, err := br.ReadByte()
+		if err != nil {
+			return fail("has-value flag", err)
+		}
+		if hv == 1 {
+			n.HasValue = true
+			if n.Value, err = readString(); err != nil {
+				return fail("value", err)
+			}
+		}
+	}
+
+	nKeys, err := readUvarint()
+	if err != nil {
+		return fail("keyword count", err)
+	}
+	for i := uint64(0); i < nKeys; i++ {
+		key, err := readString()
+		if err != nil {
+			return fail("keyword", err)
+		}
+		n, err := readUvarint()
+		if err != nil {
+			return fail("posting count", err)
+		}
+		list := make([]int32, 0, n)
+		prev := int32(-1)
+		for j := uint64(0); j < n; j++ {
+			d, err := readUvarint()
+			if err != nil {
+				return fail("posting delta", err)
+			}
+			prev += int32(d)
+			list = append(list, prev)
+		}
+		ix.Postings[key] = list
+	}
+
+	vals := make([]int, statsFieldCount)
+	for i := range vals {
+		v, err := readUvarint()
+		if err != nil {
+			return fail("stats", err)
+		}
+		vals[i] = int(v)
+	}
+	ix.Stats.setFields(vals)
+	return ix, nil
+}
+
+// readDewey decodes one varint-framed Dewey ID from the reader.
+func readDewey(br *bufio.Reader) (dewey.ID, error) {
+	doc, err := binary.ReadUvarint(br)
+	if err != nil {
+		return dewey.ID{}, err
+	}
+	length, err := binary.ReadUvarint(br)
+	if err != nil {
+		return dewey.ID{}, err
+	}
+	if length > 1<<20 {
+		return dewey.ID{}, fmt.Errorf("implausible path length %d", length)
+	}
+	path := make([]int32, length)
+	for i := range path {
+		c, err := binary.ReadUvarint(br)
+		if err != nil {
+			return dewey.ID{}, err
+		}
+		path[i] = int32(uint32(c))
+	}
+	return dewey.ID{Doc: int32(uint32(doc)), Path: path}, nil
+}

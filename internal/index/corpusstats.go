@@ -1,0 +1,115 @@
+package index
+
+import "sort"
+
+// Corpus statistics beyond the build-time counters: term and label
+// distributions used by cmd/gks stats, the dataset generators' validation
+// and capacity planning for real deployments.
+
+// KeywordFreq pairs a normalized keyword with its posting-list length.
+type KeywordFreq struct {
+	Keyword string
+	Count   int
+}
+
+// TopKeywords returns the k keywords with the longest posting lists,
+// descending; ties break alphabetically. k <= 0 returns all keywords.
+func (ix *Index) TopKeywords(k int) []KeywordFreq {
+	out := make([]KeywordFreq, 0, len(ix.Postings))
+	for kw, list := range ix.Postings {
+		out = append(out, KeywordFreq{Keyword: kw, Count: len(list)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Keyword < out[j].Keyword
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// LabelCount pairs an element label with its instance count and dominant
+// category distribution.
+type LabelCount struct {
+	Label string
+	Count int
+	// PerCategory counts instances carrying each category bit, indexed by
+	// Attribute, Repeating, Entity, Connecting in that order.
+	PerCategory [4]int
+}
+
+// LabelHistogram returns per-label instance counts with category splits,
+// ordered by count descending (ties alphabetically).
+func (ix *Index) LabelHistogram() []LabelCount {
+	counts := make([]LabelCount, len(ix.Labels))
+	for i, l := range ix.Labels {
+		counts[i].Label = l
+	}
+	for i := range ix.Nodes {
+		n := &ix.Nodes[i]
+		lc := &counts[n.Label]
+		lc.Count++
+		if n.Cat&Attribute != 0 {
+			lc.PerCategory[0]++
+		}
+		if n.Cat&Repeating != 0 {
+			lc.PerCategory[1]++
+		}
+		if n.Cat&Entity != 0 {
+			lc.PerCategory[2]++
+		}
+		if n.Cat&Connecting != 0 {
+			lc.PerCategory[3]++
+		}
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].Count != counts[j].Count {
+			return counts[i].Count > counts[j].Count
+		}
+		return counts[i].Label < counts[j].Label
+	})
+	return counts
+}
+
+// DepthHistogram returns the number of element nodes at each depth
+// (index 0 = document roots).
+func (ix *Index) DepthHistogram() []int {
+	var hist []int
+	for i := range ix.Nodes {
+		d := len(ix.Nodes[i].ID.Path) - 1
+		for len(hist) <= d {
+			hist = append(hist, 0)
+		}
+		hist[d]++
+	}
+	return hist
+}
+
+// PostingPercentiles returns the posting-list length at the given
+// percentiles (0–100), useful for sizing decisions. Percentile 100 is the
+// longest list.
+func (ix *Index) PostingPercentiles(percentiles ...int) []int {
+	lengths := make([]int, 0, len(ix.Postings))
+	for _, list := range ix.Postings {
+		lengths = append(lengths, len(list))
+	}
+	sort.Ints(lengths)
+	out := make([]int, len(percentiles))
+	if len(lengths) == 0 {
+		return out
+	}
+	for i, p := range percentiles {
+		if p < 0 {
+			p = 0
+		}
+		if p > 100 {
+			p = 100
+		}
+		idx := p * (len(lengths) - 1) / 100
+		out[i] = lengths[idx]
+	}
+	return out
+}

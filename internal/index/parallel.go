@@ -1,0 +1,107 @@
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/xmltree"
+)
+
+// BuildParallel indexes the repository with up to workers concurrent
+// per-document builders and merges the partial indexes. The result is
+// byte-for-byte identical to Build: documents are merged in repository
+// order, so node ordinals, posting order and Dewey order all match the
+// single-pass build. workers <= 1 falls back to the serial Build.
+//
+// The paper's index construction is a single sequential pass (§2.4);
+// parallelism across documents is a production extension for multi-file
+// repositories such as the Shakespeare plays or sharded DBLP dumps.
+func BuildParallel(repo *xmltree.Repository, opts Options, workers int) (*Index, error) {
+	if repo == nil || len(repo.Docs) == 0 {
+		return nil, fmt.Errorf("index: empty repository")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(repo.Docs) == 1 {
+		return Build(repo, opts)
+	}
+
+	partials := make([]*Index, len(repo.Docs))
+	errs := make([]error, len(repo.Docs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, doc := range repo.Docs {
+		wg.Add(1)
+		go func(i int, doc *xmltree.Document) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			single := &xmltree.Repository{Docs: []*xmltree.Document{doc}}
+			ix, err := buildNoRenumber(single, opts)
+			partials[i], errs[i] = ix, err
+		}(i, doc)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("index: document %d (%s): %w", i, repo.Docs[i].Name, err)
+		}
+	}
+	return mergePartials(partials)
+}
+
+// buildNoRenumber builds an index for a repository without touching the
+// documents' existing Dewey document numbers (Build on a sub-repository
+// would otherwise see them as-is anyway; this helper exists for clarity).
+func buildNoRenumber(repo *xmltree.Repository, opts Options) (*Index, error) {
+	return Build(repo, opts)
+}
+
+// mergePartials concatenates per-document indexes in order.
+func mergePartials(parts []*Index) (*Index, error) {
+	out := &Index{
+		Postings: make(map[string][]int32),
+		labelIDs: make(map[string]int32),
+	}
+	for _, p := range parts {
+		base := int32(len(out.Nodes))
+
+		// Remap the partial's label table into the global one.
+		labelMap := make([]int32, len(p.Labels))
+		for i, l := range p.Labels {
+			if id, ok := out.labelIDs[l]; ok {
+				labelMap[i] = id
+				continue
+			}
+			id := int32(len(out.Labels))
+			out.Labels = append(out.Labels, l)
+			out.labelIDs[l] = id
+			labelMap[i] = id
+		}
+
+		for i := range p.Nodes {
+			n := p.Nodes[i] // copy
+			n.Label = labelMap[n.Label]
+			if n.Parent >= 0 {
+				n.Parent += base
+			}
+			out.Nodes = append(out.Nodes, n)
+		}
+		for key, list := range p.Postings {
+			dst := out.Postings[key]
+			for _, ord := range list {
+				dst = append(dst, ord+base)
+			}
+			out.Postings[key] = dst
+		}
+		out.DocNames = append(out.DocNames, p.DocNames...)
+		if p.Stats.MaxDepth > out.Stats.MaxDepth {
+			out.Stats.MaxDepth = p.Stats.MaxDepth
+		}
+		out.Stats.TextNodes += p.Stats.TextNodes
+	}
+	out.finalizeStats()
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package index
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// persisted is the gob wire format of an Index. Preparing the index "is a
+// onetime activity" (§2.4); Save/Load let tools and benchmarks reuse a
+// built index across runs, and SizeBytes reports the serialized size for
+// the Table 4 experiment.
+type persisted struct {
+	Version  int
+	Labels   []string
+	Nodes    []NodeInfo
+	Postings map[string][]int32
+	DocNames []string
+	Stats    Stats
+}
+
+const formatVersion = 1
+
+// Save writes the index to w in gob format.
+func (ix *Index) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	p := persisted{
+		Version:  formatVersion,
+		Labels:   ix.Labels,
+		Nodes:    ix.Nodes,
+		Postings: ix.Postings,
+		DocNames: ix.DocNames,
+		Stats:    ix.Stats,
+	}
+	if err := enc.Encode(&p); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index previously written by Save (gob, format v1) or
+// SaveBinary (compact binary, format v2); the format is auto-detected from
+// the leading bytes.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(binaryMagic)); err == nil && string(magic) == binaryMagic {
+		if _, err := br.Discard(len(binaryMagic)); err != nil {
+			return nil, fmt.Errorf("index: load: %w", err)
+		}
+		return loadBinaryAfterMagic(br)
+	}
+	return loadGob(br)
+}
+
+func loadGob(r io.Reader) (*Index, error) {
+	dec := gob.NewDecoder(r)
+	var p persisted
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if p.Version != formatVersion {
+		return nil, fmt.Errorf("index: load: unsupported format version %d", p.Version)
+	}
+	ix := &Index{
+		Labels:   p.Labels,
+		Nodes:    p.Nodes,
+		Postings: p.Postings,
+		DocNames: p.DocNames,
+		Stats:    p.Stats,
+		labelIDs: make(map[string]int32, len(p.Labels)),
+	}
+	if ix.Postings == nil {
+		ix.Postings = make(map[string][]int32)
+	}
+	for i, l := range ix.Labels {
+		ix.labelIDs[l] = int32(i)
+	}
+	return ix, nil
+}
+
+// SaveFile writes the index to path.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an index from path.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SizeBytes returns the size of the serialized index — the "Index Size"
+// column of Table 4.
+func (ix *Index) SizeBytes() (int64, error) {
+	var cw countWriter
+	if err := ix.Save(&cw); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

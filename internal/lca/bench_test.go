@@ -1,0 +1,42 @@
+package lca
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/index"
+)
+
+// BenchmarkSLCAAlgorithms compares the window-based SLCA derivation with
+// the classic Indexed Lookup Eager algorithm on a paper-scale query.
+func BenchmarkSLCAAlgorithms(b *testing.B) {
+	ix, err := index.BuildDocument(datagen.PaperDBLP(1), index.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewEngine(ix)
+	q := core.NewQuery("Peter Buneman", "Wenfei Fan", "Scott Weinstein")
+	lists := eng.PostingLists(q)
+	b.Run("window", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := SLCA(ix, lists); len(got) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := SLCAIndexedLookupEager(ix, lists); len(got) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("elca", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := ELCA(ix, lists); len(got) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}

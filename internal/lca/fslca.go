@@ -1,0 +1,79 @@
+package lca
+
+import (
+	"sort"
+
+	"repro/internal/index"
+)
+
+// FSLCAForType implements a simplified form of MESSIAH's FSLCA (Truong et
+// al., SIGMOD 2013 — the paper's [19]): SLCA-style answers that are
+// conscious of missing elements. The caller supplies the target node type
+// (in the paper's framing "specific XML node types are targeted"; use
+// di.InferResultTypes to deduce it). A keyword that occurs under *no*
+// instance of the target type is treated as a missing-element keyword and
+// forgiven; the answer is the set of target-type nodes whose subtree
+// contains every remaining keyword.
+//
+// The returned ordinals are in document order; forgiven lists the indexes
+// of the forgiven keywords. If every keyword is forgiven the answer is
+// empty (nothing anchors the query to the type).
+func FSLCAForType(ix *index.Index, lists [][]int32, label string) (nodes []int32, forgiven []int) {
+	labelID := int32(-1)
+	for i, l := range ix.Labels {
+		if l == label {
+			labelID = int32(i)
+			break
+		}
+	}
+	if labelID < 0 || len(lists) == 0 {
+		return nil, nil
+	}
+	var instances []int32
+	for i := range ix.Nodes {
+		if ix.Nodes[i].Label == labelID {
+			instances = append(instances, int32(i))
+		}
+	}
+	if len(instances) == 0 {
+		return nil, nil
+	}
+
+	// Partition keywords into anchored (occur under some instance) and
+	// forgiven (missing under the type everywhere).
+	var anchored []int
+	for k, list := range lists {
+		occurs := false
+		for _, inst := range instances {
+			start, end := ix.SubtreeRange(inst)
+			if countInRange(list, start, end) > 0 {
+				occurs = true
+				break
+			}
+		}
+		if occurs {
+			anchored = append(anchored, k)
+		} else {
+			forgiven = append(forgiven, k)
+		}
+	}
+	if len(anchored) == 0 {
+		return nil, forgiven
+	}
+
+	for _, inst := range instances {
+		start, end := ix.SubtreeRange(inst)
+		all := true
+		for _, k := range anchored {
+			if countInRange(lists[k], start, end) == 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			nodes = append(nodes, inst)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes, forgiven
+}

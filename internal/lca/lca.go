@@ -1,0 +1,212 @@
+// Package lca implements the LCA-based XML keyword search baselines that
+// GKS is compared against (Agarwal et al., EDBT 2016, §1, §3, §7.3):
+//
+//   - SLCA — Smallest Lowest Common Ancestor (Xu & Papakonstantinou,
+//     SIGMOD 2005): nodes containing every query keyword in their subtree
+//     with no descendant that also does;
+//   - ELCA — Exclusive LCA (Guo et al., XRank, SIGMOD 2003): nodes that
+//     still contain every keyword after excluding the subtrees of
+//     descendants that themselves contain every keyword;
+//   - NaiveGKS — the strawman of Lemma 3: enumerate every keyword subset of
+//     size ≥ s and union the subsets' SLCA answers. Exponential in |Q|;
+//     kept as the ablation baseline and correctness oracle for the
+//     single-pass GKS search.
+//
+// All functions operate on per-keyword posting lists of node ordinals from
+// the shared index, exactly like the GKS engine, so baseline comparisons
+// measure algorithmic differences only.
+package lca
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/merge"
+)
+
+// SLCA returns the ordinals of the Smallest LCA nodes for the keyword
+// posting lists, in document order. If any list is empty the result is
+// empty (AND semantics).
+func SLCA(ix *index.Index, lists [][]int32) []int32 {
+	n := len(lists)
+	if n == 0 || n > merge.MaxKeywords {
+		return nil
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil
+		}
+	}
+	sl := merge.Merge(lists)
+	// Candidate generation: every block of n unique keywords contributes
+	// the LCP of its ends; minimal qualifying nodes are exactly the
+	// candidates with no candidate descendant.
+	seen := make(map[int32]bool)
+	var cands []int32
+	merge.Windows(sl, n, func(l, r int) {
+		if ord, ok := lcpOrd(ix, sl[l].Ord, sl[r].Ord); ok && !seen[ord] {
+			seen[ord] = true
+			cands = append(cands, ord)
+		}
+	})
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	return dropAncestorsOfCandidates(ix, cands)
+}
+
+// dropAncestorsOfCandidates keeps only candidates with no candidate in
+// their proper subtree. cands must be sorted ascending (pre-order).
+func dropAncestorsOfCandidates(ix *index.Index, cands []int32) []int32 {
+	var out []int32
+	for i, c := range cands {
+		// The next candidate in pre-order is a descendant iff it falls in
+		// c's subtree range; because candidates are sorted, checking the
+		// immediate successor suffices.
+		if i+1 < len(cands) && ix.ContainsOrd(c, cands[i+1]) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ELCA returns the ordinals of the Exclusive LCA nodes in document order.
+func ELCA(ix *index.Index, lists [][]int32) []int32 {
+	slcas := SLCA(ix, lists)
+	if len(slcas) == 0 {
+		return nil
+	}
+	// The nodes containing all keywords are exactly the ancestors-or-self
+	// of SLCA nodes.
+	qualSet := make(map[int32]bool)
+	for _, s := range slcas {
+		for cur := s; cur >= 0; cur = ix.Nodes[cur].Parent {
+			if qualSet[cur] {
+				break
+			}
+			qualSet[cur] = true
+		}
+	}
+	qual := make([]int32, 0, len(qualSet))
+	for q := range qualSet {
+		qual = append(qual, q)
+	}
+	sort.Slice(qual, func(i, j int) bool { return qual[i] < qual[j] })
+
+	// For each qualifying node, find its maximal qualifying proper
+	// descendants with a pre-order stack sweep.
+	maximalChildren := make(map[int32][]int32, len(qual))
+	var stack []int32
+	for _, q := range qual {
+		for len(stack) > 0 && !ix.ContainsOrd(stack[len(stack)-1], q) {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			maximalChildren[top] = append(maximalChildren[top], q)
+		}
+		stack = append(stack, q)
+	}
+
+	var out []int32
+	for _, q := range qual {
+		if isELCA(ix, lists, q, maximalChildren[q]) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// isELCA checks that every keyword has a witness under q outside the
+// subtrees of q's maximal qualifying descendants.
+func isELCA(ix *index.Index, lists [][]int32, q int32, exclude []int32) bool {
+	qs, qe := ix.SubtreeRange(q)
+	for _, list := range lists {
+		total := countInRange(list, qs, qe)
+		for _, x := range exclude {
+			xs, xe := ix.SubtreeRange(x)
+			total -= countInRange(list, xs, xe)
+		}
+		if total <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// countInRange counts posting entries within the ordinal range [start, end).
+func countInRange(list []int32, start, end int32) int {
+	lo := sort.Search(len(list), func(i int) bool { return list[i] >= start })
+	hi := sort.Search(len(list), func(i int) bool { return list[i] >= end })
+	return hi - lo
+}
+
+// NaiveGKS unions the SLCA answers of every keyword subset of size >= s —
+// the exponential strawman of Lemma 3. The result is the deduplicated,
+// document-ordered union. It is exponential in len(lists); callers should
+// keep len(lists) small (tests and the Lemma 3 ablation use n <= 8).
+func NaiveGKS(ix *index.Index, lists [][]int32, s int) []int32 {
+	n := len(lists)
+	if n == 0 || n > 20 {
+		return nil
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	seen := make(map[int32]bool)
+	var out []int32
+	for subset := 1; subset < 1<<n; subset++ {
+		if popcount(subset) < s {
+			continue
+		}
+		var sub [][]int32
+		for i := 0; i < n; i++ {
+			if subset&(1<<i) != 0 {
+				sub = append(sub, lists[i])
+			}
+		}
+		for _, ord := range SLCA(ix, sub) {
+			if !seen[ord] {
+				seen[ord] = true
+				out = append(out, ord)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func lcpOrd(ix *index.Index, a, b int32) (int32, bool) {
+	if a == b {
+		return a, true
+	}
+	ida, idb := ix.Nodes[a].ID, ix.Nodes[b].ID
+	if ida.Doc != idb.Doc {
+		return 0, false
+	}
+	// Longest common Dewey prefix (Lemma 6).
+	n := len(ida.Path)
+	if len(idb.Path) < n {
+		n = len(idb.Path)
+	}
+	i := 0
+	for i < n && ida.Path[i] == idb.Path[i] {
+		i++
+	}
+	if i == 0 {
+		return 0, false
+	}
+	prefix := ida
+	prefix.Path = ida.Path[:i]
+	return ix.OrdinalOf(prefix)
+}

@@ -1,0 +1,55 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func synthLists(k, perList int) [][]int32 {
+	rng := rand.New(rand.NewSource(1))
+	lists := make([][]int32, k)
+	for i := range lists {
+		cur := int32(0)
+		l := make([]int32, perList)
+		for j := range l {
+			cur += int32(1 + rng.Intn(20))
+			l[j] = cur
+		}
+		lists[i] = l
+	}
+	return lists
+}
+
+func BenchmarkMerge(b *testing.B) {
+	lists := synthLists(8, 5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := Merge(lists); len(got) != 40000 {
+			b.Fatal("bad merge")
+		}
+	}
+}
+
+func BenchmarkWindows(b *testing.B) {
+	sl := Merge(synthLists(8, 5000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		Windows(sl, 4, func(l, r int) { count++ })
+		if count == 0 {
+			b.Fatal("no blocks")
+		}
+	}
+}
+
+func BenchmarkMaskTableBuildAndQuery(b *testing.B) {
+	sl := Merge(synthLists(8, 5000))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mt := NewMaskTable(sl)
+		if mt.RangeMask(0, len(sl)) == 0 {
+			b.Fatal("empty mask")
+		}
+	}
+}

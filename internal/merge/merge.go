@@ -1,0 +1,179 @@
+// Package merge implements the merged keyword-instance list S_L of the GKS
+// search algorithm (Agarwal et al., EDBT 2016, §4.1) together with the
+// sliding-window block scan and range keyword-mask queries that both the
+// GKS engine and the LCA baselines are built on.
+//
+// Posting lists store node *ordinals* (indices into the index's pre-order
+// node table). Because pre-order equals Dewey order, merging by ordinal
+// yields the paper's Dewey-sorted list S_L, and the subtree of any node is a
+// contiguous ordinal interval.
+package merge
+
+import (
+	"container/heap"
+	"math/bits"
+	"sort"
+)
+
+// MaxKeywords bounds the number of query keywords; keyword sets are tracked
+// as 64-bit masks.
+const MaxKeywords = 64
+
+// Entry is one element of the merged list S_L: a keyword instance located at
+// a node.
+type Entry struct {
+	// Ord is the pre-order ordinal of the node carrying the instance.
+	Ord int32
+	// Kw is the query-keyword number (index into the query's keyword list).
+	Kw uint8
+}
+
+// Mask returns the keyword bit mask of the entry.
+func (e Entry) Mask() uint64 { return 1 << e.Kw }
+
+// Merge performs a k-way merge of the per-keyword posting lists into S_L.
+// Each input list must be sorted ascending; the output is sorted by ordinal
+// with ties broken by keyword number. The merge runs in O(|S_L|·log k),
+// matching the paper's complexity analysis (§4.1).
+func Merge(lists [][]int32) []Entry {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]Entry, 0, total)
+	h := make(mergeHeap, 0, len(lists))
+	for kw, l := range lists {
+		if len(l) > 0 {
+			h = append(h, cursor{list: l, kw: uint8(kw)})
+		}
+	}
+	heap.Init(&h)
+	for len(h) > 0 {
+		c := &h[0]
+		out = append(out, Entry{Ord: c.list[c.pos], Kw: c.kw})
+		c.pos++
+		if c.pos == len(c.list) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+type cursor struct {
+	list []int32
+	pos  int
+	kw   uint8
+}
+
+type mergeHeap []cursor
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i].list[h[i].pos], h[j].list[h[j].pos]
+	if a != b {
+		return a < b
+	}
+	return h[i].kw < h[j].kw
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(cursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Windows slides the paper's block over sl (Figure 5): for every left end l
+// it finds the smallest right end r such that sl[l..r] holds s unique
+// keywords (the sU(l,r,s) predicate) and calls emit(l, r). Blocks are
+// emitted in increasing l; the scan is O(|S_L|) amortized.
+func Windows(sl []Entry, s int, emit func(l, r int)) {
+	if s <= 0 || len(sl) == 0 {
+		return
+	}
+	var counts [MaxKeywords]int
+	distinct := 0
+	r := -1
+	for l := 0; l < len(sl); l++ {
+		for distinct < s && r+1 < len(sl) {
+			r++
+			counts[sl[r].Kw]++
+			if counts[sl[r].Kw] == 1 {
+				distinct++
+			}
+		}
+		if distinct < s {
+			return // no block with s unique keywords starts at or after l
+		}
+		emit(l, r)
+		counts[sl[l].Kw]--
+		if counts[sl[l].Kw] == 0 {
+			distinct--
+		}
+	}
+}
+
+// MaskTable answers OR-of-keyword-masks queries over ranges of S_L in O(1)
+// after O(|S_L|·log|S_L|) preprocessing (a sparse table; OR is idempotent).
+// The search engine computes candidate masks with a cheaper single stack
+// sweep (candidates' subtree ranges nest); the table remains the
+// general-purpose primitive for ad-hoc range queries and serves as the
+// differential-testing oracle for the sweep.
+type MaskTable struct {
+	sl     []Entry
+	levels [][]uint64
+}
+
+// NewMaskTable builds the table for sl.
+func NewMaskTable(sl []Entry) *MaskTable {
+	n := len(sl)
+	t := &MaskTable{sl: sl}
+	if n == 0 {
+		return t
+	}
+	base := make([]uint64, n)
+	for i, e := range sl {
+		base[i] = e.Mask()
+	}
+	t.levels = append(t.levels, base)
+	for width := 2; width <= n; width *= 2 {
+		prev := t.levels[len(t.levels)-1]
+		cur := make([]uint64, n-width+1)
+		for i := range cur {
+			cur[i] = prev[i] | prev[i+width/2]
+		}
+		t.levels = append(t.levels, cur)
+	}
+	return t
+}
+
+// RangeMask returns the OR of the keyword masks of sl[i:j].
+func (t *MaskTable) RangeMask(i, j int) uint64 {
+	if i >= j {
+		return 0
+	}
+	k := bits.Len(uint(j-i)) - 1
+	return t.levels[k][i] | t.levels[k][j-(1<<k)]
+}
+
+// OrdRange locates the index interval of S_L whose entries lie in the node
+// ordinal interval [start, end) — the subtree range of a candidate node.
+func OrdRange(sl []Entry, start, end int32) (lo, hi int) {
+	lo = sort.Search(len(sl), func(i int) bool { return sl[i].Ord >= start })
+	hi = sort.Search(len(sl), func(i int) bool { return sl[i].Ord >= end })
+	return lo, hi
+}
+
+// SubtreeMask returns the distinct-keyword mask of the node interval
+// [start, end).
+func (t *MaskTable) SubtreeMask(start, end int32) uint64 {
+	lo, hi := OrdRange(t.sl, start, end)
+	return t.RangeMask(lo, hi)
+}
+
+// CountDistinct returns the number of set bits in mask.
+func CountDistinct(mask uint64) int { return bits.OnesCount64(mask) }

@@ -1,0 +1,228 @@
+package merge
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMergeBasic(t *testing.T) {
+	lists := [][]int32{
+		{1, 5, 9},
+		{2, 5, 7},
+		{},
+		{3},
+	}
+	sl := Merge(lists)
+	want := []Entry{{1, 0}, {2, 1}, {3, 3}, {5, 0}, {5, 1}, {7, 1}, {9, 0}}
+	if len(sl) != len(want) {
+		t.Fatalf("len = %d, want %d", len(sl), len(want))
+	}
+	for i := range want {
+		if sl[i] != want[i] {
+			t.Errorf("sl[%d] = %v, want %v", i, sl[i], want[i])
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if got := Merge(nil); len(got) != 0 {
+		t.Errorf("Merge(nil) = %v", got)
+	}
+	if got := Merge([][]int32{{}, {}}); len(got) != 0 {
+		t.Errorf("Merge(empties) = %v", got)
+	}
+}
+
+func TestMergeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(8)
+		lists := make([][]int32, k)
+		total := 0
+		for i := range lists {
+			n := rng.Intn(30)
+			l := make([]int32, n)
+			for j := range l {
+				l[j] = int32(rng.Intn(100))
+			}
+			sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+			// Posting lists are deduped per node.
+			l = dedup(l)
+			lists[i] = l
+			total += len(l)
+		}
+		sl := Merge(lists)
+		if len(sl) != total {
+			return false
+		}
+		for i := 1; i < len(sl); i++ {
+			if sl[i-1].Ord > sl[i].Ord {
+				return false
+			}
+			if sl[i-1].Ord == sl[i].Ord && sl[i-1].Kw >= sl[i].Kw {
+				return false
+			}
+		}
+		// Every input element must appear with its keyword.
+		for kw, l := range lists {
+			for _, ord := range l {
+				found := false
+				for _, e := range sl {
+					if e.Ord == ord && int(e.Kw) == kw {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedup(l []int32) []int32 {
+	out := l[:0]
+	for i, v := range l {
+		if i == 0 || v != l[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestWindows(t *testing.T) {
+	sl := []Entry{{1, 0}, {2, 0}, {3, 1}, {4, 0}, {5, 2}, {6, 1}}
+	type block struct{ l, r int }
+	var got []block
+	Windows(sl, 2, func(l, r int) { got = append(got, block{l, r}) })
+	want := []block{{0, 2}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("blocks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("block[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWindowsUniqueSemantics(t *testing.T) {
+	// Repeated keyword 0 must not satisfy s=2 until keyword 1 arrives.
+	sl := []Entry{{1, 0}, {2, 0}, {3, 0}, {9, 1}}
+	var rs []int
+	Windows(sl, 2, func(l, r int) { rs = append(rs, r) })
+	for _, r := range rs {
+		if r != 3 {
+			t.Errorf("window closed at %d, want 3 (first unique pair)", r)
+		}
+	}
+	if len(rs) != 3 {
+		t.Errorf("got %d blocks, want 3", len(rs))
+	}
+}
+
+func TestWindowsS1(t *testing.T) {
+	sl := []Entry{{1, 0}, {5, 1}}
+	count := 0
+	Windows(sl, 1, func(l, r int) {
+		if l != r {
+			t.Errorf("s=1 block [%d,%d] should be singleton", l, r)
+		}
+		count++
+	})
+	if count != 2 {
+		t.Errorf("blocks = %d, want 2", count)
+	}
+}
+
+func TestWindowsInfeasible(t *testing.T) {
+	sl := []Entry{{1, 0}, {2, 0}}
+	called := false
+	Windows(sl, 2, func(l, r int) { called = true })
+	if called {
+		t.Error("no block should be emitted when fewer than s distinct keywords exist")
+	}
+	Windows(nil, 1, func(l, r int) { t.Error("no blocks on empty list") })
+	Windows(sl, 0, func(l, r int) { t.Error("no blocks for s=0") })
+}
+
+func TestMaskTable(t *testing.T) {
+	sl := []Entry{{1, 0}, {2, 1}, {3, 0}, {7, 2}, {9, 1}}
+	mt := NewMaskTable(sl)
+	cases := []struct {
+		i, j int
+		want uint64
+	}{
+		{0, 5, 0b111},
+		{0, 1, 0b001},
+		{1, 3, 0b011},
+		{3, 4, 0b100},
+		{2, 2, 0},
+		{4, 5, 0b010},
+	}
+	for _, c := range cases {
+		if got := mt.RangeMask(c.i, c.j); got != c.want {
+			t.Errorf("RangeMask(%d,%d) = %b, want %b", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestMaskTableProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		sl := make([]Entry, n)
+		prev := int32(0)
+		for i := range sl {
+			prev += int32(rng.Intn(3))
+			sl[i] = Entry{Ord: prev, Kw: uint8(rng.Intn(10))}
+		}
+		mt := NewMaskTable(sl)
+		for q := 0; q < 50; q++ {
+			i := rng.Intn(n + 1)
+			j := i + rng.Intn(n+1-i)
+			var want uint64
+			for _, e := range sl[i:j] {
+				want |= e.Mask()
+			}
+			if got := mt.RangeMask(i, j); got != want {
+				t.Fatalf("trial %d: RangeMask(%d,%d) = %b, want %b", trial, i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestOrdRangeAndSubtreeMask(t *testing.T) {
+	sl := []Entry{{1, 0}, {2, 1}, {5, 0}, {5, 2}, {9, 1}}
+	lo, hi := OrdRange(sl, 2, 6)
+	if lo != 1 || hi != 4 {
+		t.Errorf("OrdRange = [%d,%d), want [1,4)", lo, hi)
+	}
+	mt := NewMaskTable(sl)
+	if got := mt.SubtreeMask(2, 6); got != 0b111 {
+		t.Errorf("SubtreeMask = %b, want 111", got)
+	}
+	if got := mt.SubtreeMask(100, 200); got != 0 {
+		t.Errorf("empty SubtreeMask = %b, want 0", got)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	if CountDistinct(0) != 0 || CountDistinct(0b1011) != 3 {
+		t.Error("CountDistinct wrong")
+	}
+}
+
+func TestEmptyMaskTable(t *testing.T) {
+	mt := NewMaskTable(nil)
+	if got := mt.RangeMask(0, 0); got != 0 {
+		t.Errorf("empty table mask = %b", got)
+	}
+}

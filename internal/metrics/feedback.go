@@ -1,0 +1,54 @@
+package metrics
+
+import "math/rand"
+
+// Feedback simulates the paper's §7.5 crowd study: raters compare the GKS
+// response with the SLCA response for a query on a 1–4 scale (1 = "GKS
+// very useful" ... 4 = "SLCA very useful"). The paper does not ship its
+// raters; the simulation substitutes a deterministic utility-gap model
+// with per-rater jitter (DESIGN.md §3): each rater perceives the utility
+// difference with independent noise and maps it onto the scale.
+type Feedback struct {
+	// Raters is the panel size (the paper used 40).
+	Raters int
+	// Seed makes the panel deterministic.
+	Seed int64
+}
+
+// Ratings holds the per-query rating histogram: Counts[0] raters chose 1
+// ("GKS very useful"), ..., Counts[3] chose 4 ("SLCA very useful").
+type Ratings struct {
+	Counts [4]int
+}
+
+// GKSBetter returns how many raters preferred GKS (rating 1 or 2).
+func (r Ratings) GKSBetter() int { return r.Counts[0] + r.Counts[1] }
+
+// Total returns the panel size.
+func (r Ratings) Total() int {
+	return r.Counts[0] + r.Counts[1] + r.Counts[2] + r.Counts[3]
+}
+
+// Rate maps a (GKS utility, SLCA utility) pair onto the rating histogram.
+func (f Feedback) Rate(gksUtility, slcaUtility float64) Ratings {
+	n := f.Raters
+	if n <= 0 {
+		n = 40
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	var out Ratings
+	for i := 0; i < n; i++ {
+		perceived := gksUtility - slcaUtility + (rng.Float64()-0.5)*0.4
+		switch {
+		case perceived > 0.45:
+			out.Counts[0]++ // GKS very useful
+		case perceived > 0:
+			out.Counts[1]++ // GKS better
+		case perceived > -0.45:
+			out.Counts[2]++ // SLCA better
+		default:
+			out.Counts[3]++ // SLCA very useful
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package postings
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := [][]int32{
+		nil,
+		{0},
+		{0, 1, 2, 3},
+		{5, 100, 101, 1 << 20},
+		{2147480000, 2147480001},
+	}
+	for _, list := range cases {
+		buf := Encode(nil, list)
+		got, n, err := Decode(buf, len(list))
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", list, err)
+		}
+		if n != len(buf) {
+			t.Errorf("consumed %d of %d bytes", n, len(buf))
+		}
+		if len(list) == 0 {
+			if len(got) != 0 {
+				t.Errorf("Decode = %v, want empty", got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, list) {
+			t.Errorf("round trip %v -> %v", list, got)
+		}
+	}
+}
+
+func TestEncodedSizeMatches(t *testing.T) {
+	f := func(raw []uint16) bool {
+		list := sortedUnique(raw)
+		buf := Encode(nil, list)
+		return EncodedSize(list) == len(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode must panic on non-increasing input")
+		}
+	}()
+	Encode(nil, []int32{3, 3})
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil, 1); err == nil {
+		t.Error("truncated input must fail")
+	}
+	buf := Encode(nil, []int32{1, 2})
+	if _, _, err := Decode(buf[:1], 2); err == nil {
+		t.Error("short buffer must fail")
+	}
+}
+
+func TestIterator(t *testing.T) {
+	list := []int32{3, 7, 8, 1000, 100000}
+	buf := Encode(nil, list)
+	it := NewIterator(buf, len(list))
+	var got []int32
+	for v, ok := it.Next(); ok; v, ok = it.Next() {
+		got = append(got, v)
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if !reflect.DeepEqual(got, list) {
+		t.Errorf("iterator %v, want %v", got, list)
+	}
+	// Exhausted iterator keeps returning false.
+	if _, ok := it.Next(); ok {
+		t.Error("exhausted iterator returned a value")
+	}
+}
+
+func TestIteratorTruncated(t *testing.T) {
+	buf := Encode(nil, []int32{1, 300})
+	it := NewIterator(buf[:1], 2)
+	if _, ok := it.Next(); !ok {
+		t.Fatal("first entry should decode")
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("second entry should fail")
+	}
+	if it.Err() == nil {
+		t.Error("Err must report truncation")
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := []int32{1, 3, 5, 7, 9}
+	b := []int32{3, 4, 5, 10}
+	if got := Intersect(a, b); !reflect.DeepEqual(got, []int32{3, 5}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := Union(a, b); !reflect.DeepEqual(got, []int32{1, 3, 4, 5, 7, 9, 10}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := Intersect(a, nil); got != nil {
+		t.Errorf("Intersect with empty = %v", got)
+	}
+	if got := Union(nil, b); !reflect.DeepEqual(got, b) {
+		t.Errorf("Union with empty = %v", got)
+	}
+}
+
+func TestIntersectUnionProperties(t *testing.T) {
+	f := func(ra, rb []uint16) bool {
+		a, b := sortedUnique(ra), sortedUnique(rb)
+		inter := Intersect(a, b)
+		union := Union(a, b)
+		set := func(l []int32) map[int32]bool {
+			m := map[int32]bool{}
+			for _, v := range l {
+				m[v] = true
+			}
+			return m
+		}
+		sa, sb := set(a), set(b)
+		for _, v := range inter {
+			if !sa[v] || !sb[v] {
+				return false
+			}
+		}
+		for v := range sa {
+			if !contains(union, v) {
+				return false
+			}
+		}
+		for v := range sb {
+			if !contains(union, v) {
+				return false
+			}
+		}
+		if len(union) != len(sa)+len(sb)-len(inter) {
+			return false
+		}
+		return sort.SliceIsSorted(union, func(i, j int) bool { return union[i] < union[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	// Dense lists (small deltas) must compress to near 1 byte/entry,
+	// versus 4 bytes raw.
+	rng := rand.New(rand.NewSource(1))
+	list := make([]int32, 10000)
+	cur := int32(0)
+	for i := range list {
+		cur += int32(1 + rng.Intn(3))
+		list[i] = cur
+	}
+	buf := Encode(nil, list)
+	if perEntry := float64(len(buf)) / float64(len(list)); perEntry > 1.1 {
+		t.Errorf("dense list uses %.2f bytes/entry, want ~1", perEntry)
+	}
+}
+
+func sortedUnique(raw []uint16) []int32 {
+	m := map[int32]bool{}
+	for _, r := range raw {
+		m[int32(r)] = true
+	}
+	out := make([]int32, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func contains(l []int32, v int32) bool {
+	for _, x := range l {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,273 @@
+// Package server exposes a GKS system over HTTP with a small JSON API —
+// the deployment surface a production XML search service needs. All
+// endpoints are read-only GETs against an immutable index, so the handler
+// is safe for concurrent use.
+//
+//	GET /search?q=<query>&s=<threshold>&top=<k>     ranked GKS response
+//	GET /insights?q=<query>&s=<threshold>&m=<m>     deeper analytical insights
+//	GET /refine?q=<query>&s=<threshold>&top=<k>     query refinement suggestions
+//	GET /explain?q=<query>&s=<threshold>            pipeline diagnostics
+//	GET /baselines?q=<query>                        SLCA / ELCA answers
+//	GET /types?q=<query>&top=<k>                    inferred result types
+//	GET /suggest?kw=<keyword>&dist=<d>&top=<k>      did-you-mean candidates
+//	GET /schema                                     inferred schema edges
+//	GET /stats                                      index statistics
+//
+// q supports double-quoted phrases; s=0 requests best-effort thresholding.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	gks "repro"
+	"repro/internal/cache"
+)
+
+// Handler routes the JSON API for one system.
+type Handler struct {
+	sys       *gks.System
+	mux       *http.ServeMux
+	respCache *cache.LRU[string, searchJSON]
+}
+
+// New builds the HTTP handler for sys.
+func New(sys *gks.System) *Handler { return NewWithCache(sys, 0) }
+
+// NewWithCache builds the handler with an LRU memoizing /search responses
+// for up to capacity distinct (q, s, top) triples. Search is deterministic
+// over an immutable index, so cached responses never go stale within one
+// handler's lifetime. capacity <= 0 disables the cache.
+func NewWithCache(sys *gks.System, capacity int) *Handler {
+	h := &Handler{sys: sys, mux: http.NewServeMux()}
+	if capacity > 0 {
+		h.respCache = cache.New[string, searchJSON](capacity)
+	}
+	h.mux.HandleFunc("/search", h.handleSearch)
+	h.mux.HandleFunc("/insights", h.handleInsights)
+	h.mux.HandleFunc("/refine", h.handleRefine)
+	h.mux.HandleFunc("/explain", h.handleExplain)
+	h.mux.HandleFunc("/baselines", h.handleBaselines)
+	h.mux.HandleFunc("/types", h.handleTypes)
+	h.mux.HandleFunc("/suggest", h.handleSuggest)
+	h.mux.HandleFunc("/schema", h.handleSchema)
+	h.mux.HandleFunc("/stats", h.handleStats)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// resultJSON is the wire form of one response node.
+type resultJSON struct {
+	ID       string   `json:"id"`
+	Label    string   `json:"label"`
+	Rank     float64  `json:"rank"`
+	Keywords []string `json:"keywords"`
+	Entity   bool     `json:"entity"`
+}
+
+// searchJSON is the wire form of a response.
+type searchJSON struct {
+	Query   string       `json:"query"`
+	S       int          `json:"s"`
+	SLSize  int          `json:"slSize"`
+	Total   int          `json:"total"`
+	Results []resultJSON `json:"results"`
+}
+
+type insightJSON struct {
+	Value  string   `json:"value"`
+	Path   []string `json:"path"`
+	Weight float64  `json:"weight"`
+	Count  int      `json:"count"`
+}
+
+func (h *Handler) runSearch(r *http.Request) (*gks.Response, error) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		return nil, fmt.Errorf("missing q parameter")
+	}
+	s := intParam(r, "s", 1)
+	if s <= 0 {
+		return h.sys.SearchBestEffort(q)
+	}
+	return h.sys.Search(q, s)
+}
+
+func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	top := intParam(r, "top", 10)
+	cacheKey := fmt.Sprintf("%s|%d|%d", r.URL.Query().Get("q"), intParam(r, "s", 1), top)
+	if h.respCache != nil {
+		if out, ok := h.respCache.Get(cacheKey); ok {
+			writeJSON(w, out)
+			return
+		}
+	}
+	resp, err := h.runSearch(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	out := searchJSON{
+		Query:  resp.Query.String(),
+		S:      resp.S,
+		SLSize: resp.SLSize,
+		Total:  len(resp.Results),
+	}
+	for i, res := range resp.Results {
+		if top > 0 && i >= top {
+			break
+		}
+		out.Results = append(out.Results, resultJSON{
+			ID:       res.ID.String(),
+			Label:    res.Label,
+			Rank:     res.Rank,
+			Keywords: resp.KeywordsOf(res),
+			Entity:   res.IsEntity,
+		})
+	}
+	if h.respCache != nil {
+		h.respCache.Put(cacheKey, out)
+	}
+	writeJSON(w, out)
+}
+
+func (h *Handler) handleInsights(w http.ResponseWriter, r *http.Request) {
+	resp, err := h.runSearch(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	m := intParam(r, "m", 5)
+	var out []insightJSON
+	for _, in := range h.sys.Insights(resp, m) {
+		out = append(out, insightJSON{
+			Value: in.Value, Path: in.Path, Weight: in.Weight, Count: in.Count,
+		})
+	}
+	writeJSON(w, map[string]interface{}{"query": resp.Query.String(), "insights": out})
+}
+
+func (h *Handler) handleRefine(w http.ResponseWriter, r *http.Request) {
+	resp, err := h.runSearch(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	top := intParam(r, "top", 5)
+	var out []string
+	for _, q := range h.sys.Refinements(resp, top) {
+		out = append(out, q.String())
+	}
+	writeJSON(w, map[string]interface{}{"query": resp.Query.String(), "refinements": out})
+}
+
+func (h *Handler) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, fmt.Errorf("missing q parameter"))
+		return
+	}
+	ex, err := h.sys.Explain(q, intParam(r, "s", 1))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"query":            ex.Query.String(),
+		"s":                ex.S,
+		"postingSizes":     ex.PostingSizes,
+		"slSize":           ex.SLSize,
+		"blocks":           ex.Blocks,
+		"lcpNodes":         ex.LCPNodes,
+		"candidates":       ex.Candidates,
+		"entityCandidates": ex.EntityCandidates,
+		"survivors":        ex.Survivors,
+		"mergeMicros":      ex.MergeTime.Microseconds(),
+		"scanMicros":       ex.ScanTime.Microseconds(),
+		"rankMicros":       ex.RankTime.Microseconds(),
+	})
+}
+
+func (h *Handler) handleBaselines(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("q")
+	if raw == "" {
+		httpError(w, fmt.Errorf("missing q parameter"))
+		return
+	}
+	q := gks.ParseQuery(raw)
+	writeJSON(w, map[string]interface{}{
+		"query": q.String(),
+		"slca":  orEmpty(h.sys.SLCA(q)),
+		"elca":  orEmpty(h.sys.ELCA(q)),
+	})
+}
+
+func (h *Handler) handleTypes(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, fmt.Errorf("missing q parameter"))
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"query": q,
+		"types": h.sys.InferResultTypes(q, intParam(r, "top", 3)),
+	})
+}
+
+func (h *Handler) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	kw := r.URL.Query().Get("kw")
+	if kw == "" {
+		httpError(w, fmt.Errorf("missing kw parameter"))
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"keyword":     kw,
+		"hasMatches":  h.sys.HasMatches(kw),
+		"suggestions": h.sys.Suggest(kw, intParam(r, "dist", 2), intParam(r, "top", 5)),
+	})
+}
+
+func (h *Handler) handleSchema(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.sys.Schema())
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.sys.Stats())
+}
+
+func orEmpty(v []string) []string {
+	if v == nil {
+		return []string{}
+	}
+	return v
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	if v := r.URL.Query().Get(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	gks "repro"
+)
+
+func testHandler(t *testing.T) *Handler {
+	t.Helper()
+	doc := gks.BuildDocument("uni.xml", gks.E("Dept",
+		gks.ET("Dept_Name", "CS"),
+		gks.E("Area",
+			gks.ET("Name", "Databases"),
+			gks.E("Courses",
+				gks.E("Course",
+					gks.ET("Name", "Data Mining"),
+					gks.E("Students",
+						gks.ET("Student", "Karen"),
+						gks.ET("Student", "Mike"),
+					),
+				),
+				gks.E("Course",
+					gks.ET("Name", "Algorithms"),
+					gks.E("Students",
+						gks.ET("Student", "Karen"),
+						gks.ET("Student", "Julie"),
+					),
+				),
+			),
+		),
+	))
+	sys, err := gks.IndexDocuments(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sys)
+}
+
+func get(t *testing.T, h *Handler, url string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/search?q=karen+mike&s=2")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var out struct {
+		Query   string `json:"query"`
+		S       int    `json:"s"`
+		Total   int    `json:"total"`
+		SLSize  int    `json:"slSize"`
+		Results []struct {
+			ID     string  `json:"id"`
+			Label  string  `json:"label"`
+			Rank   float64 `json:"rank"`
+			Entity bool    `json:"entity"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if out.Total != 1 || len(out.Results) != 1 {
+		t.Fatalf("results = %+v", out)
+	}
+	if out.Results[0].Label != "Course" || !out.Results[0].Entity {
+		t.Errorf("result = %+v", out.Results[0])
+	}
+}
+
+func TestSearchBestEffortViaS0(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/search?q=karen+julie+mike&s=0")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var out struct {
+		S int `json:"s"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.S < 2 {
+		t.Errorf("best-effort s = %d, want >= 2", out.S)
+	}
+}
+
+func TestSearchTopParameter(t *testing.T) {
+	h := testHandler(t)
+	_, body := get(t, h, "/search?q=karen&s=1&top=1")
+	var out struct {
+		Total   int           `json:"total"`
+		Results []interface{} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total < 2 || len(out.Results) != 1 {
+		t.Errorf("top truncation failed: total=%d printed=%d", out.Total, len(out.Results))
+	}
+}
+
+func TestInsightsEndpoint(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/insights?q=karen&s=1&m=3")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "Data Mining") && !strings.Contains(body, "Algorithms") {
+		t.Errorf("insights missing course names: %s", body)
+	}
+}
+
+func TestRefineEndpoint(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/refine?q=karen+julie+mike&s=2")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "refinements") {
+		t.Errorf("refine body: %s", body)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/explain?q=karen+mike&s=2")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"slSize", "blocks", "survivors"} {
+		if _, ok := out[key]; !ok {
+			t.Errorf("explain missing %q: %s", key, body)
+		}
+	}
+}
+
+func TestBaselinesEndpoint(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/baselines?q=karen+mike")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "slca") || !strings.Contains(body, "elca") {
+		t.Errorf("baselines body: %s", body)
+	}
+}
+
+func TestSchemaAndStatsEndpoints(t *testing.T) {
+	h := testHandler(t)
+	if code, body := get(t, h, "/schema"); code != 200 || !strings.Contains(body, "Student") {
+		t.Errorf("schema: %d %s", code, body)
+	}
+	if code, body := get(t, h, "/stats"); code != 200 || !strings.Contains(body, "EntityNodes") {
+		t.Errorf("stats: %d %s", code, body)
+	}
+}
+
+func TestMissingQuery(t *testing.T) {
+	h := testHandler(t)
+	for _, url := range []string{"/search", "/insights", "/refine", "/explain", "/baselines"} {
+		if code, _ := get(t, h, url); code != 400 {
+			t.Errorf("%s without q: status %d, want 400", url, code)
+		}
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	// The index is immutable; concurrent searches must be race-free
+	// (validated under -race in CI).
+	h := testHandler(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			urls := []string{
+				"/search?q=karen&s=1",
+				"/insights?q=mike&s=1",
+				"/baselines?q=karen+mike",
+				"/stats",
+			}
+			code, _ := get(t, h, urls[i%len(urls)])
+			if code != 200 {
+				t.Errorf("concurrent request failed: %d", code)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestTypesEndpoint(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/types?q=karen+mike&top=2")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "Course") {
+		t.Errorf("types body: %s", body)
+	}
+	if code, _ := get(t, h, "/types"); code != 400 {
+		t.Errorf("missing q: %d", code)
+	}
+}
+
+func TestSuggestEndpoint(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/suggest?kw=karne")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "karen") {
+		t.Errorf("suggest body: %s", body)
+	}
+	if code, _ := get(t, h, "/suggest"); code != 400 {
+		t.Errorf("missing kw: %d", code)
+	}
+}
+
+func TestCachedSearch(t *testing.T) {
+	doc := gks.BuildDocument("c.xml", gks.E("r",
+		gks.E("item", gks.ET("name", "widget"), gks.ET("color", "red")),
+		gks.E("item", gks.ET("name", "gadget"), gks.ET("color", "red")),
+	))
+	sys, err := gks.IndexDocuments(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewWithCache(sys, 8)
+	first := ""
+	for i := 0; i < 3; i++ {
+		code, body := get(t, h, "/search?q=red&s=1")
+		if code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		if i == 0 {
+			first = body
+		} else if body != first {
+			t.Fatal("cached response differs from first response")
+		}
+	}
+	// Different parameters bypass the cached entry.
+	_, other := get(t, h, "/search?q=red&s=1&top=1")
+	if other == first {
+		t.Error("top parameter must key the cache")
+	}
+}

@@ -1,0 +1,92 @@
+package snippet
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/textproc"
+	"repro/internal/xmltree"
+)
+
+// PrunedClone builds a MaxMatch-style "relaxed tightest fragment" (Liu &
+// Chen, PVLDB 2008; Kong et al., EDBT 2009 — the paper's related-work §3)
+// of a result subtree: branches with no query-keyword match are removed,
+// except that value-carrying children of kept elements stay as context
+// (the attribute nodes that, per §2.2, define the context of the matches).
+// The returned tree is a deep copy; the original document is untouched.
+func PrunedClone(resp *core.Response, node *xmltree.Node) *xmltree.Node {
+	if resp == nil || node == nil {
+		return nil
+	}
+	queryTokens := resp.Query.TokenSet()
+	clone, _ := prune(node, queryTokens, true)
+	return clone
+}
+
+// prune returns the pruned copy of n (nil if dropped) and whether n's
+// subtree contains a match.
+func prune(n *xmltree.Node, queryTokens map[string]bool, isRoot bool) (*xmltree.Node, bool) {
+	if n.Kind == xmltree.Text {
+		return &xmltree.Node{Kind: xmltree.Text, Text: n.Text, ID: n.ID},
+			textMatches(n.Text, queryTokens)
+	}
+	selfMatch := labelMatches(n.Label, queryTokens)
+
+	// Singleton value children are attribute nodes (Def 2.1.1) and stay as
+	// context; repeating value children (same-label siblings) are dropped
+	// unless they match — MaxMatch's "irrelevant match" filtering.
+	labelCount := map[string]int{}
+	for _, c := range n.Children {
+		if c.IsElement() {
+			labelCount[c.Label]++
+		}
+	}
+	type kept struct {
+		node    *xmltree.Node
+		matched bool
+		isValue bool
+	}
+	var children []kept
+	anyChildMatch := false
+	for _, c := range n.Children {
+		cc, m := prune(c, queryTokens, false)
+		if cc == nil {
+			continue
+		}
+		isValue := c.Kind == xmltree.Text ||
+			(c.DirectlyContainsValue() && labelCount[c.Label] == 1)
+		children = append(children, kept{node: cc, matched: m, isValue: isValue})
+		if m {
+			anyChildMatch = true
+		}
+	}
+	matched := selfMatch || anyChildMatch
+	if !matched && !isRoot && !n.DirectlyContainsValue() {
+		// Non-matching internal branches are dropped; value leaves survive
+		// to this point so their parent can keep them as context.
+		return nil, false
+	}
+
+	out := &xmltree.Node{Kind: xmltree.Element, Label: n.Label, ID: n.ID}
+	for _, k := range children {
+		// Keep matching branches always; keep non-matching children only
+		// when they are value context (attribute-like) of a kept element.
+		if k.matched || k.isValue {
+			out.Append(k.node)
+		}
+	}
+	return out, matched
+}
+
+func textMatches(text string, queryTokens map[string]bool) bool {
+	for _, tok := range textproc.Tokenize(text) {
+		if queryTokens[textproc.Stem(tok)] {
+			return true
+		}
+	}
+	return false
+}
+
+func labelMatches(label string, queryTokens map[string]bool) bool {
+	return queryTokens[textproc.Stem(strings.ToLower(label))]
+}

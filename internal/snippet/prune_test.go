@@ -1,0 +1,131 @@
+package snippet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+func TestPrunedCloneKeepsMatchesAndContext(t *testing.T) {
+	resp, doc := setup(t) // query {karen, mike}; top result = a Course
+	node := doc.FindByID(resp.Results[0].ID)
+	pruned := PrunedClone(resp, node)
+	if pruned == nil {
+		t.Fatal("nil pruned clone")
+	}
+	// The course Name (context attribute) and matching students survive;
+	// non-matching students are dropped.
+	var students, names []string
+	xmltree.Walk(pruned, func(n *xmltree.Node) bool {
+		switch n.Label {
+		case "Student":
+			students = append(students, n.Value())
+		case "Name":
+			names = append(names, n.Value())
+		}
+		return true
+	})
+	if len(names) != 1 {
+		t.Errorf("names = %v, want the course name as context", names)
+	}
+	for _, s := range students {
+		if s != "Karen" && s != "Mike" {
+			t.Errorf("non-matching student %q survived pruning", s)
+		}
+	}
+	if len(students) != 2 {
+		t.Errorf("students = %v, want exactly Karen and Mike", students)
+	}
+}
+
+func TestPrunedCloneDoesNotMutateOriginal(t *testing.T) {
+	resp, doc := setup(t)
+	node := doc.FindByID(resp.Results[0].ID)
+	before := 0
+	xmltree.Walk(node, func(*xmltree.Node) bool { before++; return true })
+	_ = PrunedClone(resp, node)
+	after := 0
+	xmltree.Walk(node, func(*xmltree.Node) bool { after++; return true })
+	if before != after {
+		t.Errorf("original mutated: %d -> %d nodes", before, after)
+	}
+}
+
+func TestPrunedCloneDropsEmptyBranches(t *testing.T) {
+	doc := xmltree.NewDocument("d", 0, xmltree.E("root",
+		xmltree.E("wanted",
+			xmltree.ET("tag", "needle here"),
+			xmltree.E("deep", xmltree.ET("note", "irrelevant"), xmltree.E("deeper", xmltree.ET("x", "also irrelevant"))),
+		),
+		xmltree.E("unwanted",
+			xmltree.ET("tag", "nothing"),
+		),
+	))
+	ix, err := index.BuildDocument(doc, index.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(ix)
+	resp, err := eng.Search(core.NewQuery("needle"), 1)
+	if err != nil || len(resp.Results) == 0 {
+		t.Fatalf("search: %v", err)
+	}
+	pruned := PrunedClone(resp, doc.Root)
+	var labels []string
+	xmltree.Walk(pruned, func(n *xmltree.Node) bool {
+		if n.IsElement() {
+			labels = append(labels, n.Label)
+		}
+		return true
+	})
+	for _, l := range labels {
+		if l == "deeper" || l == "unwanted" || l == "deep" {
+			t.Errorf("branch %q should be pruned (labels: %v)", l, labels)
+		}
+	}
+	found := false
+	for _, l := range labels {
+		if l == "tag" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("matching leaf missing: %v", labels)
+	}
+}
+
+func TestPrunedCloneLabelMatch(t *testing.T) {
+	// Element-name keywords keep the labeled branch.
+	doc := xmltree.NewDocument("d", 0, xmltree.E("root",
+		xmltree.E("items", xmltree.E("item", xmltree.ET("sku", "1")), xmltree.E("item", xmltree.ET("sku", "2"))),
+		xmltree.E("other", xmltree.ET("note", "x")),
+	))
+	ix, err := index.BuildDocument(doc, index.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(ix)
+	resp, err := eng.Search(core.NewQuery("item"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := PrunedClone(resp, doc.Root)
+	count := 0
+	xmltree.Walk(pruned, func(n *xmltree.Node) bool {
+		if n.Label == "item" || n.Label == "items" {
+			count++
+		}
+		return true
+	})
+	if count < 3 {
+		t.Errorf("labeled matches pruned away (count %d)", count)
+	}
+}
+
+func TestPrunedCloneNil(t *testing.T) {
+	if PrunedClone(nil, nil) != nil {
+		t.Error("nil inputs must yield nil")
+	}
+}

@@ -1,0 +1,133 @@
+// Package snippet renders query-focused result previews: the value lines
+// of a response node's subtree with matched query keywords highlighted —
+// what a search UI shows under each hit. It complements the full XML chunk
+// (the paper's "well-constructed XML chunk") with a compact, match-centric
+// view.
+package snippet
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/textproc"
+	"repro/internal/xmltree"
+)
+
+// Options controls snippet rendering.
+type Options struct {
+	// MaxLines caps the emitted lines (0 means 6).
+	MaxLines int
+	// Mark wraps a matched token for display; nil wraps in «…».
+	Mark func(string) string
+	// KeepUnmatched keeps value lines without any match if there is room
+	// left after all matching lines.
+	KeepUnmatched bool
+}
+
+func (o Options) maxLines() int {
+	if o.MaxLines <= 0 {
+		return 6
+	}
+	return o.MaxLines
+}
+
+func (o Options) mark(tok string) string {
+	if o.Mark != nil {
+		return o.Mark(tok)
+	}
+	return "«" + tok + "»"
+}
+
+// Line is one rendered snippet line.
+type Line struct {
+	// Path is the element path from the result node to the value node.
+	Path []string
+	// Text is the value with matches highlighted.
+	Text string
+	// Matched reports whether the line contains a query keyword.
+	Matched bool
+}
+
+// String renders "path: text".
+func (l Line) String() string {
+	return strings.Join(l.Path, "/") + ": " + l.Text
+}
+
+// Build renders the snippet for one result of a response. node must be the
+// tree node of the result (resolved by the caller through the repository).
+func Build(resp *core.Response, node *xmltree.Node, opts Options) []Line {
+	if node == nil || resp == nil {
+		return nil
+	}
+	queryTokens := resp.Query.TokenSet()
+	var matched, unmatched []Line
+	var walk func(n *xmltree.Node, path []string)
+	walk = func(n *xmltree.Node, path []string) {
+		if n.IsElement() {
+			path = append(path, n.Label)
+		}
+		hasText := false
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Text {
+				hasText = true
+			} else {
+				walk(c, path)
+			}
+		}
+		if !hasText {
+			return
+		}
+		text, hit := highlight(n.Value(), queryTokens, opts)
+		line := Line{Path: append([]string(nil), path...), Text: text, Matched: hit}
+		if hit {
+			matched = append(matched, line)
+		} else {
+			unmatched = append(unmatched, line)
+		}
+	}
+	walk(node, nil)
+
+	out := matched
+	if opts.KeepUnmatched {
+		out = append(out, unmatched...)
+	}
+	if len(out) > opts.maxLines() {
+		out = out[:opts.maxLines()]
+	}
+	return out
+}
+
+// highlight wraps every token of value whose stem is a query token.
+func highlight(value string, queryTokens map[string]bool, opts Options) (string, bool) {
+	if len(queryTokens) == 0 {
+		return value, false
+	}
+	var b strings.Builder
+	hit := false
+	i := 0
+	for i < len(value) {
+		start := i
+		for i < len(value) && isWordByte(value[i]) {
+			i++
+		}
+		if i > start {
+			word := value[start:i]
+			stem := textproc.Stem(strings.ToLower(word))
+			if queryTokens[stem] {
+				hit = true
+				b.WriteString(opts.mark(word))
+			} else {
+				b.WriteString(word)
+			}
+		}
+		for i < len(value) && !isWordByte(value[i]) {
+			b.WriteByte(value[i])
+			i++
+		}
+	}
+	return b.String(), hit
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c >= 0x80
+}

@@ -1,0 +1,131 @@
+package snippet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+func setup(t *testing.T) (*core.Response, *xmltree.Document) {
+	t.Helper()
+	doc := xmltree.BuildFigure2a()
+	ix, err := index.BuildDocument(doc, index.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(ix)
+	resp, err := eng.Search(core.NewQuery("karen", "mike"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("no results")
+	}
+	return resp, doc
+}
+
+func TestBuildHighlightsMatches(t *testing.T) {
+	resp, doc := setup(t)
+	node := doc.FindByID(resp.Results[0].ID)
+	lines := Build(resp, node, Options{MaxLines: 10})
+	if len(lines) == 0 {
+		t.Fatal("no snippet lines")
+	}
+	joined := ""
+	for _, l := range lines {
+		if !l.Matched {
+			t.Errorf("unmatched line in match-only snippet: %s", l)
+		}
+		joined += l.String() + "\n"
+	}
+	if !strings.Contains(joined, "«Karen»") {
+		t.Errorf("missing highlighted Karen:\n%s", joined)
+	}
+	if !strings.Contains(joined, "«Mike»") {
+		t.Errorf("missing highlighted Mike:\n%s", joined)
+	}
+	// Paths are relative to the result node (a Course).
+	if !strings.HasPrefix(lines[0].Path[0], "Course") {
+		t.Errorf("path = %v", lines[0].Path)
+	}
+}
+
+func TestBuildKeepUnmatched(t *testing.T) {
+	resp, doc := setup(t)
+	node := doc.FindByID(resp.Results[0].ID)
+	lines := Build(resp, node, Options{MaxLines: 20, KeepUnmatched: true})
+	foundUnmatched := false
+	for _, l := range lines {
+		if !l.Matched {
+			foundUnmatched = true
+		}
+	}
+	if !foundUnmatched {
+		t.Error("expected unmatched context lines (course name, other students)")
+	}
+}
+
+func TestBuildMaxLines(t *testing.T) {
+	resp, doc := setup(t)
+	node := doc.FindByID(resp.Results[0].ID)
+	lines := Build(resp, node, Options{MaxLines: 1, KeepUnmatched: true})
+	if len(lines) != 1 {
+		t.Errorf("lines = %d, want 1", len(lines))
+	}
+	// Matched lines come first.
+	if !lines[0].Matched {
+		t.Error("first line must be a match")
+	}
+}
+
+func TestCustomMarker(t *testing.T) {
+	resp, doc := setup(t)
+	node := doc.FindByID(resp.Results[0].ID)
+	lines := Build(resp, node, Options{
+		Mark: func(s string) string { return "<b>" + s + "</b>" },
+	})
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l.Text, "<b>Karen</b>") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("custom marker not applied: %+v", lines)
+	}
+}
+
+func TestStemmedHighlight(t *testing.T) {
+	doc := xmltree.NewDocument("d", 0, xmltree.E("r",
+		xmltree.E("item", xmltree.ET("note", "databases and mining"), xmltree.ET("note", "other")),
+		xmltree.E("item", xmltree.ET("note", "nothing here"), xmltree.ET("note", "at all")),
+	))
+	ix, err := index.BuildDocument(doc, index.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(ix)
+	resp, err := eng.Search(core.NewQuery("database"), 1)
+	if err != nil || len(resp.Results) == 0 {
+		t.Fatalf("search: %v (%d results)", err, len(resp.Results))
+	}
+	node := doc.FindByID(resp.Results[0].ID)
+	lines := Build(resp, node, Options{})
+	joined := ""
+	for _, l := range lines {
+		joined += l.Text
+	}
+	// Query "database" highlights the inflected "databases".
+	if !strings.Contains(joined, "«databases»") {
+		t.Errorf("stemmed match not highlighted: %s", joined)
+	}
+}
+
+func TestNilInputs(t *testing.T) {
+	if got := Build(nil, nil, Options{}); got != nil {
+		t.Error("nil inputs must yield nil")
+	}
+}

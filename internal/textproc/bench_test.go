@@ -1,0 +1,21 @@
+package textproc
+
+import "testing"
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"relational", "troubled", "databases", "sensibiliti", "running", "keyword"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	const text = "The Design and Implementation of Generic Keyword Search over Semistructured Data Collections"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := Normalize(text); len(got) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

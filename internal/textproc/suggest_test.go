@@ -1,0 +1,83 @@
+package textproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundedEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		bound int
+		want  int
+	}{
+		{"karen", "karen", 2, 0},
+		{"karen", "karin", 2, 1},
+		{"karen", "kraen", 2, 1}, // transposition
+		{"karen", "kern", 2, 2},
+		{"abc", "xyz", 2, 3}, // exceeds bound -> bound+1
+		{"", "ab", 2, 2},
+		{"ab", "", 2, 2},
+		{"abcdef", "a", 2, 3}, // length filter
+	}
+	for _, c := range cases {
+		if got := BoundedEditDistance(c.a, c.b, c.bound); got != c.want {
+			t.Errorf("dist(%q,%q,%d) = %d, want %d", c.a, c.b, c.bound, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 12 {
+			a = a[:12]
+		}
+		if len(b) > 12 {
+			b = b[:12]
+		}
+		d1 := BoundedEditDistance(a, b, 20)
+		d2 := BoundedEditDistance(b, a, 20)
+		if d1 != d2 { // symmetry
+			return false
+		}
+		if (d1 == 0) != (a == b) { // identity
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	vocab := map[string]int{
+		"karen":   3,
+		"karin":   1,
+		"databas": 10,
+		"mine":    5,
+		"student": 16,
+	}
+	got := Suggest("karne", vocab, 2, 3)
+	if len(got) == 0 || got[0].Keyword != "karen" {
+		t.Fatalf("Suggest(karne) = %+v, want karen first", got)
+	}
+	// Exact matches are excluded; near misses ranked by distance then count.
+	got = Suggest("Karen", vocab, 2, 5)
+	for _, s := range got {
+		if s.Keyword == "karen" {
+			t.Error("exact match must not be suggested")
+		}
+	}
+	// Normalization applies: "Databases" stems to databas (exact).
+	got = Suggest("Databasses", vocab, 2, 3)
+	if len(got) == 0 || got[0].Keyword != "databas" {
+		t.Errorf("Suggest(Databasses) = %+v", got)
+	}
+	if got := Suggest("", vocab, 2, 3); got != nil {
+		t.Error("empty input must yield nil")
+	}
+	if got := Suggest("zzzzzzzz", vocab, 1, 3); got != nil {
+		t.Errorf("far word got %+v", got)
+	}
+}

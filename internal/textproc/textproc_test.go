@@ -1,0 +1,162 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Data Mining", []string{"data", "mining"}},
+		{"Peter Buneman", []string{"peter", "buneman"}},
+		{"E. F. Codd", []string{"e", "f", "codd"}},
+		{"year: 2001!", []string{"year", "2001"}},
+		{"SIGMOD-Record", []string{"sigmod", "record"}},
+		{"", nil},
+		{"   \t\n ", nil},
+		{"a1b2", []string{"a1b2"}},
+		{"Jean-Marc Cadiou", []string{"jean", "marc", "cadiou"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStemKnownVectors(t *testing.T) {
+	// Reference vectors from Porter's published examples.
+	cases := map[string]string{
+		"caresses":     "caress",
+		"ponies":       "poni",
+		"ties":         "ti",
+		"caress":       "caress",
+		"cats":         "cat",
+		"feed":         "feed",
+		"agreed":       "agre",
+		"plastered":    "plaster",
+		"bled":         "bled",
+		"motoring":     "motor",
+		"sing":         "sing",
+		"conflated":    "conflat",
+		"troubled":     "troubl",
+		"sized":        "size",
+		"hopping":      "hop",
+		"tanned":       "tan",
+		"falling":      "fall",
+		"hissing":      "hiss",
+		"fizzed":       "fizz",
+		"failing":      "fail",
+		"filing":       "file",
+		"happy":        "happi",
+		"sky":          "sky",
+		"relational":   "relat",
+		"conditional":  "condit",
+		"rational":     "ration",
+		"valenci":      "valenc",
+		"digitizer":    "digit",
+		"operator":     "oper",
+		"feudalism":    "feudal",
+		"decisiveness": "decis",
+		"hopefulness":  "hope",
+		"callousness":  "callous",
+		"formaliti":    "formal",
+		"sensitiviti":  "sensit",
+		"sensibiliti":  "sensibl",
+		"triplicate":   "triplic",
+		"formative":    "form",
+		"formalize":    "formal",
+		"electriciti":  "electr",
+		"electrical":   "electr",
+		"hopeful":      "hope",
+		"goodness":     "good",
+		"revival":      "reviv",
+		"allowance":    "allow",
+		"inference":    "infer",
+		"airliner":     "airlin",
+		"gyroscopic":   "gyroscop",
+		"adjustable":   "adjust",
+		"defensible":   "defens",
+		"irritant":     "irrit",
+		"replacement":  "replac",
+		"adjustment":   "adjust",
+		"dependent":    "depend",
+		"adoption":     "adopt",
+		"homologou":    "homolog",
+		"communism":    "commun",
+		"activate":     "activ",
+		"angulariti":   "angular",
+		"homologous":   "homolog",
+		"effective":    "effect",
+		"bowdlerize":   "bowdler",
+		"probate":      "probat",
+		"rate":         "rate",
+		"cease":        "ceas",
+		"controll":     "control",
+		"roll":         "roll",
+		"databases":    "databas",
+		"mining":       "mine",
+		"keyword":      "keyword",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemLeavesNonWordsAlone(t *testing.T) {
+	for _, in := range []string{"2001", "x86", "a1b2", "ab", "é"} {
+		if got := Stem(in); got != in {
+			t.Errorf("Stem(%q) = %q, want unchanged", in, got)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize("The Databases and the Mining of Data")
+	want := []string{"databas", "mine", "data"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Normalize = %v, want %v", got, want)
+	}
+}
+
+func TestNormalizeKeyword(t *testing.T) {
+	if got := NormalizeKeyword("Databases"); got != "databas" {
+		t.Errorf("NormalizeKeyword = %q", got)
+	}
+	if got := NormalizeKeyword("  "); got != "" {
+		t.Errorf("NormalizeKeyword(blank) = %q, want empty", got)
+	}
+	// Stop words are preserved for explicit queries.
+	if got := NormalizeKeyword("the"); got != "the" {
+		t.Errorf("NormalizeKeyword(the) = %q, want \"the\"", got)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || !IsStopword("and") {
+		t.Error("classic stop words must be detected")
+	}
+	if IsStopword("database") {
+		t.Error("content words must not be stop words")
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	words := []string{"database", "search", "keyword", "student", "course",
+		"journal", "author", "article", "protein", "sequence", "country"}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		// Porter is not idempotent in general, but for our index/query
+		// agreement we only need Normalize(query) == Normalize(index term),
+		// both of which stem exactly once. Still, flag surprising drift.
+		if len(twice) > len(once) {
+			t.Errorf("Stem grew %q: %q -> %q", w, once, twice)
+		}
+	}
+}

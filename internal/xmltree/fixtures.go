@@ -1,0 +1,100 @@
+package xmltree
+
+// Paper fixtures shared by tests, examples and documentation across the
+// repository. They reconstruct the worked examples of Agarwal et al.
+// (EDBT 2016) so that algorithmic results can be checked against the
+// numbers printed in the paper.
+
+// BuildFigure2a builds the university document of Figure 2(a): a <Dept>
+// with a department name and two <Area> subtrees; the Databases area holds
+// three courses (Data Mining, Algorithms, AI) whose student rosters drive
+// Examples 3–5 and the DI discovery example of §2.3.
+//
+// In the paper's numbering <Area> is n0.1; with the repository's document
+// prefix and root ordinal the same node is Dewey "0.0.1".
+func BuildFigure2a() *Document {
+	root := E("Dept",
+		ET("Dept_Name", "CS"),
+		E("Area",
+			ET("Name", "Databases"),
+			E("Courses",
+				E("Course",
+					ET("Name", "Data Mining"),
+					E("Students",
+						ET("Student", "Karen"),
+						ET("Student", "Mike"),
+						ET("Student", "John"),
+					),
+				),
+				E("Course",
+					ET("Name", "Algorithms"),
+					E("Students",
+						ET("Student", "Karen"),
+						ET("Student", "Julie"),
+						ET("Student", "John"),
+					),
+				),
+				E("Course",
+					ET("Name", "AI"),
+					E("Students",
+						ET("Student", "Karen"),
+						ET("Student", "Mike"),
+						ET("Student", "Serena"),
+						ET("Student", "Peter"),
+					),
+				),
+			),
+		),
+		E("Area",
+			ET("Name", "Theory"),
+			E("Courses",
+				E("Course",
+					ET("Name", "Logic"),
+					E("Students",
+						ET("Student", "Alice"),
+						ET("Student", "Bob"),
+					),
+				),
+			),
+		),
+	)
+	return NewDocument("figure2a.xml", 0, root)
+}
+
+// BuildFigure1 builds a tree realizing Figure 1(i) and consistent with
+// Table 1 and Example 5 of the paper:
+//
+//	r
+//	├── x1: a₁ b₂ c₂ x2(a₂ b₁ c₁)
+//	└── x3: a₃ b₃ x4(a₄ d₁)
+//
+// Keyword instances are elements that directly contain the keyword as
+// their value (the paper's "text nodes"). The paper's abstract keywords
+// a, b, c, d, e are realized as alpha, beta, gamma, delta, epsilon (the
+// single letters would be removed as stop words). With queries
+// Q1={a,b,c}, Q2={a,b,e}, Q3={a,b,c,d} this tree yields exactly the
+// paper's Table 1 responses and the Example 5 ranks rank(x2)=3,
+// rank(x3)=2.5, rank(x4)=2.
+func BuildFigure1() *Document {
+	root := E("r",
+		E("x1",
+			ET("k", "alpha"),
+			ET("k", "beta"),
+			ET("k", "gamma"),
+			E("x2",
+				ET("k", "alpha"),
+				ET("k", "beta"),
+				ET("k", "gamma"),
+			),
+		),
+		E("x3",
+			ET("k", "alpha"),
+			ET("k", "beta"),
+			E("x4",
+				ET("k", "alpha"),
+				ET("k", "delta"),
+			),
+		),
+	)
+	return NewDocument("figure1.xml", 0, root)
+}

@@ -1,0 +1,84 @@
+package xmltree
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// WriteXML serializes the document as indented XML. The output re-parses to
+// an equivalent tree (attributes stay child elements). It is used by the
+// dataset generators to materialize repositories on disk and to measure
+// data-set sizes for the Table 4 experiment.
+func WriteXML(w io.Writer, d *Document) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(xml.Header); err != nil {
+		return err
+	}
+	if err := writeNode(bw, d.Root, 0); err != nil {
+		return err
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeNode(w *bufio.Writer, n *Node, depth int) error {
+	for i := 0; i < depth; i++ {
+		if err := w.WriteByte(' '); err != nil {
+			return err
+		}
+	}
+	if n.Kind == Text {
+		return xml.EscapeText(w, []byte(n.Text))
+	}
+	if _, err := fmt.Fprintf(w, "<%s>", n.Label); err != nil {
+		return err
+	}
+	if n.DirectlyContainsValue() {
+		if err := xml.EscapeText(w, []byte(n.Children[0].Text)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "</%s>\n", n.Label)
+		return err
+	}
+	if err := w.WriteByte('\n'); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := writeNode(w, c, depth+1); err != nil {
+			return err
+		}
+		if c.Kind == Text {
+			if err := w.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < depth; i++ {
+		if err := w.WriteByte(' '); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "</%s>\n", n.Label)
+	return err
+}
+
+// XMLSize returns the number of bytes WriteXML would produce for d. It is
+// the "Data Set Size" column of the Table 4 experiment.
+func XMLSize(d *Document) (int64, error) {
+	var cw countWriter
+	if err := WriteXML(&cw, d); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

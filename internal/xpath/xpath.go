@@ -1,0 +1,324 @@
+// Package xpath implements a small XPath subset over xmltree documents —
+// the structured-query counterpoint to GKS. The paper's opening motivation
+// is "to relieve users from writing difficult XQueries since otherwise
+// users are required to know the complex XML schema"; this evaluator is
+// what such a user would have to write, and the examples and tests use it
+// to cross-check keyword-search results against exact structural queries.
+//
+// Supported grammar:
+//
+//	path     := ('/' | '//') step (('/' | '//') step)*
+//	step     := (name | '*') predicate*
+//	predicate:= '[' integer ']'                     positional (1-based)
+//	          | '[' rel ']'                         existence of a child path
+//	          | '[' rel '=' '"' value '"' ']'       child-path value equality
+//	          | '[' '.' '=' '"' value '"' ']'       own-value equality
+//	rel      := name ('/' name)*
+//
+// Examples:
+//
+//	/Dept/Area/Courses/Course
+//	//Course[Name="Data Mining"]/Students/Student
+//	//Student[.="Karen"]
+//	//Course[2]
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Expr is a compiled XPath-subset expression.
+type Expr struct {
+	source string
+	steps  []step
+}
+
+type axis int
+
+const (
+	axisChild axis = iota
+	axisDescendant
+)
+
+type step struct {
+	axis  axis
+	name  string // "*" matches any element
+	preds []predicate
+}
+
+type predicate struct {
+	position int      // >0 for positional predicates
+	path     []string // child path for existence/equality
+	self     bool     // [.="v"]
+	value    string   // comparison value; "" with hasValue=false means existence
+	hasValue bool
+}
+
+// Compile parses an expression.
+func Compile(src string) (*Expr, error) {
+	p := &parser{src: src}
+	steps, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("xpath: %s: %w", src, err)
+	}
+	return &Expr{source: src, steps: steps}, nil
+}
+
+// MustCompile is Compile for tests and static expressions.
+func MustCompile(src string) *Expr {
+	e, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// String returns the source expression.
+func (e *Expr) String() string { return e.source }
+
+// Evaluate returns the nodes selected by the expression from the document
+// root, in document order, without duplicates.
+func (e *Expr) Evaluate(doc *xmltree.Document) []*xmltree.Node {
+	if doc == nil || doc.Root == nil {
+		return nil
+	}
+	// A virtual root above the document element makes /RootName behave
+	// like standard XPath.
+	virtual := &xmltree.Node{Kind: xmltree.Element, Children: []*xmltree.Node{doc.Root}}
+	current := []*xmltree.Node{virtual}
+	for _, st := range e.steps {
+		var next []*xmltree.Node
+		seen := map[*xmltree.Node]bool{}
+		for _, n := range current {
+			var matched []*xmltree.Node
+			switch st.axis {
+			case axisChild:
+				for _, c := range n.Children {
+					if elementMatches(c, st.name) {
+						matched = append(matched, c)
+					}
+				}
+			case axisDescendant:
+				collectDescendants(n, st.name, &matched)
+			}
+			matched = applyPredicates(matched, st.preds)
+			for _, m := range matched {
+				if !seen[m] {
+					seen[m] = true
+					next = append(next, m)
+				}
+			}
+		}
+		current = next
+		if len(current) == 0 {
+			return nil
+		}
+	}
+	return current
+}
+
+// EvaluateRepo evaluates the expression over every document of a
+// repository, concatenating results in repository order.
+func (e *Expr) EvaluateRepo(repo *xmltree.Repository) []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, doc := range repo.Docs {
+		out = append(out, e.Evaluate(doc)...)
+	}
+	return out
+}
+
+func elementMatches(n *xmltree.Node, name string) bool {
+	return n.IsElement() && (name == "*" || n.Label == name)
+}
+
+func collectDescendants(n *xmltree.Node, name string, out *[]*xmltree.Node) {
+	for _, c := range n.Children {
+		if elementMatches(c, name) {
+			*out = append(*out, c)
+		}
+		if c.IsElement() {
+			collectDescendants(c, name, out)
+		}
+	}
+}
+
+func applyPredicates(nodes []*xmltree.Node, preds []predicate) []*xmltree.Node {
+	for _, p := range preds {
+		var kept []*xmltree.Node
+		for i, n := range nodes {
+			if predicateHolds(n, i, p) {
+				kept = append(kept, n)
+			}
+		}
+		nodes = kept
+	}
+	return nodes
+}
+
+func predicateHolds(n *xmltree.Node, pos int, p predicate) bool {
+	if p.position > 0 {
+		return pos+1 == p.position
+	}
+	if p.self {
+		return n.Value() == p.value
+	}
+	// Resolve the child path; any match suffices.
+	targets := []*xmltree.Node{n}
+	for _, label := range p.path {
+		var next []*xmltree.Node
+		for _, t := range targets {
+			for _, c := range t.Children {
+				if elementMatches(c, label) {
+					next = append(next, c)
+				}
+			}
+		}
+		targets = next
+	}
+	if !p.hasValue {
+		return len(targets) > 0
+	}
+	for _, t := range targets {
+		if t.Value() == p.value {
+			return true
+		}
+	}
+	return false
+}
+
+// ------------------------------------------------------------------ parser
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) parse() ([]step, error) {
+	var steps []step
+	if p.pos >= len(p.src) || p.src[p.pos] != '/' {
+		return nil, fmt.Errorf("expression must start with '/' or '//'")
+	}
+	for p.pos < len(p.src) {
+		ax := axisChild
+		if !p.consume("/") {
+			return nil, fmt.Errorf("expected '/' at offset %d", p.pos)
+		}
+		if p.consume("/") {
+			ax = axisDescendant
+		}
+		name := p.readName()
+		if name == "" {
+			return nil, fmt.Errorf("missing element name at offset %d", p.pos)
+		}
+		st := step{axis: ax, name: name}
+		for p.pos < len(p.src) && p.src[p.pos] == '[' {
+			pred, err := p.readPredicate()
+			if err != nil {
+				return nil, err
+			}
+			st.preds = append(st.preds, pred)
+		}
+		steps = append(steps, st)
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("empty expression")
+	}
+	return steps, nil
+}
+
+func (p *parser) consume(tok string) bool {
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func nameChar(c byte) bool {
+	return c == '_' || c == '-' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func (p *parser) readName() string {
+	if p.pos < len(p.src) && p.src[p.pos] == '*' {
+		p.pos++
+		return "*"
+	}
+	start := p.pos
+	for p.pos < len(p.src) && nameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) readPredicate() (predicate, error) {
+	var pred predicate
+	if !p.consume("[") {
+		return pred, fmt.Errorf("expected '[' at offset %d", p.pos)
+	}
+	// Positional predicate.
+	if p.pos < len(p.src) && p.src[p.pos] >= '1' && p.src[p.pos] <= '9' {
+		n := 0
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			n = n*10 + int(p.src[p.pos]-'0')
+			p.pos++
+		}
+		if !p.consume("]") {
+			return pred, fmt.Errorf("unterminated positional predicate")
+		}
+		pred.position = n
+		return pred, nil
+	}
+	// Self-value predicate.
+	if p.consume(".") {
+		pred.self = true
+	} else {
+		for {
+			name := p.readName()
+			if name == "" || name == "*" {
+				return pred, fmt.Errorf("bad predicate path at offset %d", p.pos)
+			}
+			pred.path = append(pred.path, name)
+			if !p.consume("/") {
+				break
+			}
+		}
+	}
+	if p.consume("=") {
+		val, err := p.readQuoted()
+		if err != nil {
+			return pred, err
+		}
+		pred.value = val
+		pred.hasValue = true
+	} else if pred.self {
+		return pred, fmt.Errorf("'.' predicate requires a comparison")
+	}
+	if !p.consume("]") {
+		return pred, fmt.Errorf("unterminated predicate at offset %d", p.pos)
+	}
+	return pred, nil
+}
+
+func (p *parser) readQuoted() (string, error) {
+	var quote byte
+	if p.pos < len(p.src) && (p.src[p.pos] == '"' || p.src[p.pos] == '\'') {
+		quote = p.src[p.pos]
+		p.pos++
+	} else {
+		return "", fmt.Errorf("expected quoted value at offset %d", p.pos)
+	}
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("unterminated string")
+	}
+	val := p.src[start:p.pos]
+	p.pos++
+	return val, nil
+}

@@ -1,0 +1,177 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func doc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	return xmltree.BuildFigure2a()
+}
+
+func values(nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Value()
+	}
+	return out
+}
+
+func labels(nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Label
+	}
+	return out
+}
+
+func TestAbsoluteChildPath(t *testing.T) {
+	got := MustCompile("/Dept/Area/Courses/Course").Evaluate(doc(t))
+	if len(got) != 4 {
+		t.Fatalf("courses = %d, want 4", len(got))
+	}
+	for _, n := range got {
+		if n.Label != "Course" {
+			t.Errorf("label = %s", n.Label)
+		}
+	}
+}
+
+func TestDescendantAxis(t *testing.T) {
+	got := MustCompile("//Student").Evaluate(doc(t))
+	if len(got) != 12 {
+		t.Fatalf("students = %d, want 12", len(got))
+	}
+	got = MustCompile("//Course//Student").Evaluate(doc(t))
+	if len(got) != 12 {
+		t.Fatalf("course students = %d, want 12", len(got))
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	got := MustCompile("/Dept/*").Evaluate(doc(t))
+	if len(got) != 3 {
+		t.Fatalf("children = %v", labels(got))
+	}
+}
+
+func TestValuePredicate(t *testing.T) {
+	// The paper's "perfect query" as XPath: students of the Data Mining
+	// course — this is what GKS spares the user from writing.
+	got := MustCompile(`//Course[Name="Data Mining"]/Students/Student`).Evaluate(doc(t))
+	want := []string{"Karen", "Mike", "John"}
+	if len(got) != len(want) {
+		t.Fatalf("students = %v", values(got))
+	}
+	for i, w := range want {
+		if got[i].Value() != w {
+			t.Errorf("student %d = %q, want %q", i, got[i].Value(), w)
+		}
+	}
+}
+
+func TestSelfValuePredicate(t *testing.T) {
+	got := MustCompile(`//Student[.="Karen"]`).Evaluate(doc(t))
+	if len(got) != 3 {
+		t.Fatalf("karens = %d, want 3", len(got))
+	}
+}
+
+func TestPositionalPredicate(t *testing.T) {
+	got := MustCompile(`/Dept/Area/Courses/Course[2]`).Evaluate(doc(t))
+	if len(got) != 1 || got[0].Children[0].Value() != "Algorithms" {
+		t.Fatalf("second course = %v", values(got))
+	}
+}
+
+func TestExistencePredicate(t *testing.T) {
+	got := MustCompile(`//Course[Students]`).Evaluate(doc(t))
+	if len(got) != 4 {
+		t.Fatalf("courses with students = %d", len(got))
+	}
+	got = MustCompile(`//Course[Instructor]`).Evaluate(doc(t))
+	if len(got) != 0 {
+		t.Fatalf("courses with instructors = %d, want 0", len(got))
+	}
+}
+
+func TestNestedPredicatePath(t *testing.T) {
+	got := MustCompile(`//Area[Courses/Course/Name="AI"]`).Evaluate(doc(t))
+	if len(got) != 1 {
+		t.Fatalf("areas = %d, want 1", len(got))
+	}
+	if got[0].Children[0].Value() != "Databases" {
+		t.Errorf("area = %q", got[0].Children[0].Value())
+	}
+}
+
+func TestDocumentOrderAndDedup(t *testing.T) {
+	got := MustCompile(`//Student`).Evaluate(doc(t))
+	for i := 1; i < len(got); i++ {
+		if got[i-1] == got[i] {
+			t.Fatal("duplicate node")
+		}
+	}
+	// First student in document order is Karen of Data Mining.
+	if got[0].ID.String() != "0.0.1.1.0.1.0" {
+		t.Errorf("first student = %s", got[0].ID)
+	}
+}
+
+func TestEvaluateRepo(t *testing.T) {
+	var repo xmltree.Repository
+	repo.Add(xmltree.BuildFigure2a())
+	repo.Add(xmltree.BuildFigure2a())
+	got := MustCompile(`//Course`).EvaluateRepo(&repo)
+	if len(got) != 8 {
+		t.Fatalf("courses over 2 docs = %d, want 8", len(got))
+	}
+}
+
+func TestNoMatches(t *testing.T) {
+	if got := MustCompile(`/Nope`).Evaluate(doc(t)); got != nil {
+		t.Errorf("got %v", labels(got))
+	}
+	if got := MustCompile(`//Student[.="Nobody"]`).Evaluate(doc(t)); got != nil {
+		t.Errorf("got %v", labels(got))
+	}
+	if got := MustCompile(`/Dept`).Evaluate(nil); got != nil {
+		t.Errorf("nil doc: %v", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Dept",
+		"/",
+		"/Dept[",
+		"/Dept[Name",
+		`/Dept[Name="x`,
+		"/Dept[.]",
+		"/Dept[0]x",
+		"/Dept/",
+		"/Dept[*]",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q): expected error", src)
+		}
+	}
+}
+
+func TestSingleQuotes(t *testing.T) {
+	got := MustCompile(`//Course[Name='AI']`).Evaluate(doc(t))
+	if len(got) != 1 {
+		t.Fatalf("AI courses = %d", len(got))
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := `//Course[Name="Data Mining"]/Students/Student`
+	if got := MustCompile(src).String(); got != src {
+		t.Errorf("String = %q", got)
+	}
+}
