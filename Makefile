@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The serving layer (middleware, singleflight, shared cache, graceful
+# shutdown) is concurrency-sensitive; always exercise it under the race
+# detector before shipping.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+check: build vet race

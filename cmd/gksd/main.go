@@ -1,26 +1,37 @@
 // Command gksd serves a GKS index over HTTP with a JSON API — see
-// internal/server for the endpoint list.
+// internal/server for the endpoint list. The serving stack is
+// production-shaped: panic recovery, structured access logs, per-request
+// timeouts, load shedding at a concurrency cap, Prometheus-format metrics
+// at /metrics, a liveness probe at /healthz, and graceful drain on
+// SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	gksd -index repo.gksidx -addr :8791
-//	gksd -files dblp.xml,sigmod.xml -addr 127.0.0.1:8791
+//	gksd -files dblp.xml,sigmod.xml -addr 127.0.0.1:8791 \
+//	     -timeout 5s -max-inflight 128 -cache 1024
 //
 // Example session:
 //
 //	curl 'localhost:8791/search?q="Peter Buneman" "Wenfei Fan"&s=2'
 //	curl 'localhost:8791/insights?q=karen&m=5'
-//	curl 'localhost:8791/stats'
+//	curl 'localhost:8791/metrics'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	gks "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -30,6 +41,10 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8791", "listen address")
 	schemaCats := flag.Bool("schema", false, "apply schema-aware categorization at startup")
 	cacheSize := flag.Int("cache", 256, "LRU entries for /search responses (0 disables)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout; exceeding it answers 504 (0 disables)")
+	maxInflight := flag.Int("max-inflight", 256, "concurrent request cap; excess load sheds with 503 (0 disables)")
+	grace := flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+	quiet := flag.Bool("quiet", false, "suppress per-request access log lines")
 	flag.Parse()
 
 	var sys *gks.System
@@ -49,8 +64,41 @@ func main() {
 		changed := sys.ApplySchemaCategorization()
 		log.Printf("schema-aware categorization: %d node(s) reclassified", changed)
 	}
+
+	logger := log.New(os.Stderr, "gksd ", log.LstdFlags)
+	reg := obs.NewRegistry()
+	api := server.NewWithCache(sys, *cacheSize)
+	reg.SetCacheStats(api.CacheStats)
+
+	mw := []server.Middleware{server.WithMetrics(reg)}
+	if !*quiet {
+		mw = append(mw, server.WithAccessLog(logger))
+	}
+	mw = append(mw,
+		server.WithRecovery(reg, logger),
+		server.WithLimit(*maxInflight, reg),
+		server.WithTimeout(*timeout),
+	)
+
+	// /metrics and /healthz bypass the limiter and timeout so observability
+	// stays reachable even when the API is saturated.
+	root := http.NewServeMux()
+	root.Handle("/", server.Chain(api, mw...))
+	root.Handle("/metrics", server.Chain(reg.Handler(), server.WithRecovery(reg, logger)))
+	root.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
 	st := sys.Stats()
-	log.Printf("serving %d document(s), %d elements, %d entity nodes on %s",
-		st.Documents, st.ElementNodes, st.EntityNodes, *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.NewWithCache(sys, *cacheSize)))
+	log.Printf("serving %d document(s), %d elements, %d entity nodes on %s (timeout=%s max-inflight=%d cache=%d)",
+		st.Documents, st.ElementNodes, st.EntityNodes, *addr, *timeout, *maxInflight, *cacheSize)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := server.NewHTTPServer(*addr, root, *timeout)
+	if err := server.Serve(ctx, srv, *grace); err != nil {
+		log.Fatal("gksd: ", err)
+	}
+	log.Print("gksd: drained in-flight requests, shut down cleanly")
 }

@@ -26,6 +26,7 @@
 package gks
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -235,6 +236,53 @@ func (s *System) SearchBestEffort(query string) (*Response, error) {
 // reach the top k.
 func (s *System) SearchTopK(query string, threshold, k int) (*Response, error) {
 	return s.engine.SearchTopK(ParseQuery(query), threshold, k)
+}
+
+// underCtx runs fn on its own goroutine and returns early with ctx.Err()
+// if ctx is done first. The GKS pipeline itself is not preemptible: on
+// early return the search completes in the background over the immutable
+// index (bounded work) and its result is discarded. This is the standard
+// wrapper that lets the HTTP serving layer enforce per-request deadlines.
+func underCtx[T any](ctx context.Context, fn func() (T, error)) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := fn()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}
+
+// SearchContext is Search honoring cancellation and deadlines from ctx.
+func (s *System) SearchContext(ctx context.Context, query string, threshold int) (*Response, error) {
+	return underCtx(ctx, func() (*Response, error) { return s.Search(query, threshold) })
+}
+
+// SearchBestEffortContext is SearchBestEffort honoring ctx.
+func (s *System) SearchBestEffortContext(ctx context.Context, query string) (*Response, error) {
+	return underCtx(ctx, func() (*Response, error) { return s.SearchBestEffort(query) })
+}
+
+// SearchTopKContext is SearchTopK honoring ctx.
+func (s *System) SearchTopKContext(ctx context.Context, query string, threshold, k int) (*Response, error) {
+	return underCtx(ctx, func() (*Response, error) { return s.SearchTopK(query, threshold, k) })
+}
+
+// ExplainContext is Explain honoring ctx.
+func (s *System) ExplainContext(ctx context.Context, query string, threshold int) (*Explanation, error) {
+	return underCtx(ctx, func() (*Explanation, error) { return s.Explain(query, threshold) })
 }
 
 // Explanation traces a search through the GKS pipeline (posting sizes,

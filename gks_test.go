@@ -2,6 +2,8 @@ package gks
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -515,5 +517,48 @@ func TestFacadeSmallWrappers(t *testing.T) {
 	augs := sys.Augmentations(NewQuery("karen"), ins, 1)
 	if len(augs) != 1 || augs[0].Len() != 2 {
 		t.Errorf("Augmentations = %+v", augs)
+	}
+}
+
+func TestSearchContext(t *testing.T) {
+	sys := university(t)
+	ctx := context.Background()
+
+	resp, err := sys.SearchContext(ctx, "karen mike", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sys.Search("karen mike", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(plain.Results) {
+		t.Errorf("SearchContext returned %d results, Search %d", len(resp.Results), len(plain.Results))
+	}
+
+	if resp, err := sys.SearchBestEffortContext(ctx, "karen julie mike"); err != nil || resp.S < 2 {
+		t.Errorf("SearchBestEffortContext = (%+v, %v)", resp, err)
+	}
+	if _, err := sys.SearchTopKContext(ctx, "karen", 1, 1); err != nil {
+		t.Errorf("SearchTopKContext: %v", err)
+	}
+	if ex, err := sys.ExplainContext(ctx, "karen mike", 2); err != nil || ex.SLSize == 0 {
+		t.Errorf("ExplainContext = (%+v, %v)", ex, err)
+	}
+}
+
+func TestSearchContextCanceled(t *testing.T) {
+	sys := university(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, run := range map[string]func() error{
+		"SearchContext":           func() error { _, err := sys.SearchContext(ctx, "karen", 1); return err },
+		"SearchBestEffortContext": func() error { _, err := sys.SearchBestEffortContext(ctx, "karen"); return err },
+		"SearchTopKContext":       func() error { _, err := sys.SearchTopKContext(ctx, "karen", 1, 1); return err },
+		"ExplainContext":          func() error { _, err := sys.ExplainContext(ctx, "karen", 1); return err },
+	} {
+		if err := run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with canceled ctx: err = %v, want context.Canceled", name, err)
+		}
 	}
 }

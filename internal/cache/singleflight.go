@@ -1,0 +1,61 @@
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// Group coalesces concurrent calls that share a key: the first caller (the
+// leader) executes fn; every caller that arrives for the same key while the
+// leader is running waits for — and shares — the leader's result instead of
+// re-executing fn. In front of the search engine this prevents a popular
+// query from stampeding the engine on a cold cache: N identical concurrent
+// misses cost one search, not N.
+//
+// Followers share the leader's outcome, including its error: if the leader's
+// request context is canceled mid-search, waiting followers receive that
+// error too. A follower whose own ctx expires stops waiting and returns
+// ctx.Err() without affecting the flight.
+//
+// The zero value is ready to use. All methods are safe for concurrent use.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do executes fn once per concurrent set of callers with the same key and
+// returns the shared result. shared reports whether the result came from
+// another caller's execution.
+func (g *Group[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (val V, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*flightCall[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, true, ctx.Err()
+		}
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The stampede case: one leader executes, concurrent callers for the same
+// key wait and share the result — fn runs exactly once.
+func TestGroupCoalescesConcurrentCalls(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, shared, err := g.Do(context.Background(), "q", func() (int, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if v != 42 || shared || err != nil {
+			t.Errorf("leader got (%d, %v, %v), want (42, false, nil)", v, shared, err)
+		}
+	}()
+	<-started // the leader is inside fn
+
+	const followers = 10
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := g.Do(context.Background(), "q", func() (int, error) {
+				calls.Add(1)
+				return -1, nil
+			})
+			if v != 42 || err != nil {
+				t.Errorf("follower got (%d, %v), want (42, nil)", v, err)
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond) // let followers join the flight
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fn executed %d times, want 1", n)
+	}
+}
+
+func TestGroupDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[string, string]
+	a, shared, err := g.Do(context.Background(), "a", func() (string, error) { return "va", nil })
+	if a != "va" || shared || err != nil {
+		t.Fatalf("got (%q, %v, %v)", a, shared, err)
+	}
+	b, _, _ := g.Do(context.Background(), "b", func() (string, error) { return "vb", nil })
+	if b != "vb" {
+		t.Fatalf("got %q", b)
+	}
+	// A completed flight does not pin its result: the next call re-executes.
+	a2, shared, _ := g.Do(context.Background(), "a", func() (string, error) { return "va2", nil })
+	if a2 != "va2" || shared {
+		t.Errorf("finished flight leaked: (%q, %v)", a2, shared)
+	}
+}
+
+func TestGroupSharesLeaderError(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go g.Do(context.Background(), "k", func() (int, error) {
+		close(started)
+		<-release
+		return 0, boom
+	})
+	<-started
+	followerErr := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func() (int, error) { return 1, nil })
+		followerErr <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	if err := <-followerErr; !errors.Is(err, boom) {
+		t.Errorf("follower error = %v, want boom", err)
+	}
+}
+
+func TestGroupFollowerContextCancellation(t *testing.T) {
+	var g Group[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go g.Do(context.Background(), "k", func() (int, error) {
+		close(started)
+		<-release
+		return 7, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := g.Do(ctx, "k", func() (int, error) { return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled follower error = %v, want context.Canceled", err)
+	}
+}

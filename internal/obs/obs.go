@@ -1,0 +1,228 @@
+// Package obs provides stdlib-only serving-path observability for cmd/gksd:
+// per-endpoint request counters, error counters keyed by status code, latency
+// histograms, panic / load-shed counters, an in-flight gauge, and cache
+// hit/miss gauges sourced from internal/cache.Stats. The whole registry is
+// exported in Prometheus text exposition format (version 0.0.4) at
+// GET /metrics, so the service can sit behind a stock Prometheus scrape
+// config without importing any client library.
+//
+// This package is distinct from internal/metrics, which implements the
+// paper's evaluation metrics (rank score, precision/recall); obs measures
+// the HTTP serving layer itself.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultBuckets are the histogram upper bounds in seconds. They span 100µs
+// to 10s — the paper's engine answers most queries in well under a
+// millisecond at test scale, while production-scale indexes and best-effort
+// threshold searches reach into the tens of milliseconds.
+var DefaultBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. The zero value is unusable;
+// create instances with newHistogram. Guarded by the Registry mutex.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []int64   // len(bounds)+1, last = +Inf
+	sum    float64
+	count  int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *Histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// endpointStats aggregates one endpoint's serving counters.
+type endpointStats struct {
+	requests int64
+	errors   map[int]int64 // by HTTP status code, 4xx/5xx only
+	latency  *Histogram
+}
+
+// Registry aggregates serving metrics for one process. All methods are safe
+// for concurrent use. Create instances with NewRegistry.
+type Registry struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	buckets   []float64
+
+	panics   int64
+	shed     int64
+	inFlight int64
+
+	cacheStats func() (hits, misses int64)
+}
+
+// NewRegistry returns an empty registry using DefaultBuckets.
+func NewRegistry() *Registry {
+	return &Registry{
+		endpoints: make(map[string]*endpointStats),
+		buckets:   DefaultBuckets,
+	}
+}
+
+// SetCacheStats wires a cumulative hit/miss source (typically
+// server.Handler.CacheStats backed by cache.LRU.Stats) into the
+// gks_cache_hits_total / gks_cache_misses_total series.
+func (r *Registry) SetCacheStats(fn func() (hits, misses int64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cacheStats = fn
+}
+
+func (r *Registry) endpoint(name string) *endpointStats {
+	es, ok := r.endpoints[name]
+	if !ok {
+		es = &endpointStats{errors: make(map[int]int64), latency: newHistogram(r.buckets)}
+		r.endpoints[name] = es
+	}
+	return es
+}
+
+// ObserveRequest records one completed request: the request counter, the
+// latency histogram, and — for status >= 400 — the per-status error counter.
+func (r *Registry) ObserveRequest(endpoint string, status int, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	es := r.endpoint(endpoint)
+	es.requests++
+	es.latency.observe(d.Seconds())
+	if status >= 400 {
+		es.errors[status]++
+	}
+}
+
+// IncPanic counts one recovered handler panic.
+func (r *Registry) IncPanic() {
+	r.mu.Lock()
+	r.panics++
+	r.mu.Unlock()
+}
+
+// IncShed counts one request rejected by the concurrency limiter.
+func (r *Registry) IncShed() {
+	r.mu.Lock()
+	r.shed++
+	r.mu.Unlock()
+}
+
+// AddInFlight adjusts the in-flight request gauge by delta (±1).
+func (r *Registry) AddInFlight(delta int64) {
+	r.mu.Lock()
+	r.inFlight += delta
+	r.mu.Unlock()
+}
+
+// Snapshot returns aggregate counters for tests and logs.
+func (r *Registry) Snapshot() (requests, errors, panics, shed int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, es := range r.endpoints {
+		requests += es.requests
+		for _, n := range es.errors {
+			errors += n
+		}
+	}
+	return requests, errors, r.panics, r.shed
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every series in Prometheus text exposition format.
+// Output is deterministic: endpoints and status codes are sorted.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	names := make([]string, 0, len(r.endpoints))
+	for name := range r.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintln(w, "# HELP gks_http_requests_total Total HTTP requests by endpoint.")
+	fmt.Fprintln(w, "# TYPE gks_http_requests_total counter")
+	for _, name := range names {
+		fmt.Fprintf(w, "gks_http_requests_total{endpoint=%q} %d\n", name, r.endpoints[name].requests)
+	}
+
+	fmt.Fprintln(w, "# HELP gks_http_errors_total HTTP responses with status >= 400, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE gks_http_errors_total counter")
+	for _, name := range names {
+		es := r.endpoints[name]
+		codes := make([]int, 0, len(es.errors))
+		for code := range es.errors {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(w, "gks_http_errors_total{endpoint=%q,code=\"%d\"} %d\n", name, code, es.errors[code])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP gks_http_request_duration_seconds HTTP request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE gks_http_request_duration_seconds histogram")
+	for _, name := range names {
+		h := r.endpoints[name].latency
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "gks_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, fmtFloat(bound), cum)
+		}
+		fmt.Fprintf(w, "gks_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, h.count)
+		fmt.Fprintf(w, "gks_http_request_duration_seconds_sum{endpoint=%q} %s\n", name, fmtFloat(h.sum))
+		fmt.Fprintf(w, "gks_http_request_duration_seconds_count{endpoint=%q} %d\n", name, h.count)
+	}
+
+	fmt.Fprintln(w, "# HELP gks_http_panics_total Recovered handler panics.")
+	fmt.Fprintln(w, "# TYPE gks_http_panics_total counter")
+	fmt.Fprintf(w, "gks_http_panics_total %d\n", r.panics)
+
+	fmt.Fprintln(w, "# HELP gks_http_load_shed_total Requests rejected with 503 by the concurrency limiter.")
+	fmt.Fprintln(w, "# TYPE gks_http_load_shed_total counter")
+	fmt.Fprintf(w, "gks_http_load_shed_total %d\n", r.shed)
+
+	fmt.Fprintln(w, "# HELP gks_http_in_flight Requests currently being served.")
+	fmt.Fprintln(w, "# TYPE gks_http_in_flight gauge")
+	fmt.Fprintf(w, "gks_http_in_flight %d\n", r.inFlight)
+
+	if r.cacheStats != nil {
+		hits, misses := r.cacheStats()
+		fmt.Fprintln(w, "# HELP gks_cache_hits_total Response-cache hits.")
+		fmt.Fprintln(w, "# TYPE gks_cache_hits_total counter")
+		fmt.Fprintf(w, "gks_cache_hits_total %d\n", hits)
+		fmt.Fprintln(w, "# HELP gks_cache_misses_total Response-cache misses.")
+		fmt.Fprintln(w, "# TYPE gks_cache_misses_total counter")
+		fmt.Fprintf(w, "gks_cache_misses_total %d\n", misses)
+	}
+}
+
+// Handler serves the registry at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// Graceful shutdown: canceling the serve context (what SIGTERM does via
+// signal.NotifyContext in cmd/gksd) must let in-flight requests complete
+// while refusing new connections, and ServeListener must return nil on a
+// clean drain.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	inflight := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(inflight)
+		<-release
+		io.WriteString(w, "completed")
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer(ln.Addr().String(), mux, time.Second)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- ServeListener(ctx, srv, ln, 5*time.Second) }()
+
+	type result struct {
+		body string
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			resc <- result{"", err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		resc <- result{string(b), err}
+	}()
+
+	<-inflight // the slow request is being served
+	cancel()   // simulate SIGTERM
+
+	// Shutdown has begun: the listener must refuse new connections while
+	// the in-flight request is still running.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond)
+		if err != nil {
+			break // listener closed
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after shutdown began")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(release) // let the in-flight request finish
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during graceful shutdown: %v", res.err)
+	}
+	if res.body != "completed" {
+		t.Fatalf("in-flight response = %q, want %q", res.body, "completed")
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("ServeListener returned %v, want nil after clean drain", err)
+	}
+}
+
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	srv := NewHTTPServer(":0", http.NewServeMux(), 10*time.Second)
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Errorf("server timeouts unset: %+v", srv)
+	}
+	if srv.WriteTimeout <= 10*time.Second {
+		t.Errorf("WriteTimeout %v should exceed the request timeout", srv.WriteTimeout)
+	}
+	if noReq := NewHTTPServer(":0", nil, 0); noReq.WriteTimeout != 0 {
+		t.Errorf("disabled request timeout should leave WriteTimeout unbounded, got %v", noReq.WriteTimeout)
+	}
+}

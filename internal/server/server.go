@@ -14,10 +14,24 @@
 //	GET /stats                                      index statistics
 //
 // q supports double-quoted phrases; s=0 requests best-effort thresholding.
+//
+// Parameter validation is strict: malformed or negative integer parameters
+// are rejected with 400 (never silently defaulted), and top, m, dist, and s
+// are clamped to sane upper bounds so no request can demand an unbounded
+// response. Unknown paths get a JSON 404 listing the known endpoints;
+// non-GET methods get 405. Client mistakes answer 400, internal failures
+// 500, and an exceeded request deadline 504.
+//
+// The handler is plain business logic; production concerns (panic recovery,
+// request timeouts, load shedding, metrics, access logs) are layered on via
+// the Middleware stack in middleware.go, and lifecycle.go configures the
+// http.Server and graceful drain used by cmd/gksd.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -26,11 +40,30 @@ import (
 	"repro/internal/cache"
 )
 
+// Upper bounds for integer query parameters. Values above these are clamped,
+// keeping every response bounded regardless of what the client asks for.
+const (
+	maxTop  = 1000 // results / refinements / types returned
+	maxS    = 64   // threshold; queries support at most 64 keywords
+	maxM    = 1000 // insights returned
+	maxDist = 8    // did-you-mean edit distance
+)
+
+// Endpoints lists every route the handler serves, sorted; it is returned in
+// 404 bodies and used by the metrics middleware to label known paths.
+func Endpoints() []string {
+	return []string{
+		"/baselines", "/explain", "/insights", "/refine",
+		"/schema", "/search", "/stats", "/suggest", "/types",
+	}
+}
+
 // Handler routes the JSON API for one system.
 type Handler struct {
 	sys       *gks.System
 	mux       *http.ServeMux
 	respCache *cache.LRU[string, searchJSON]
+	flight    cache.Group[string, searchJSON]
 }
 
 // New builds the HTTP handler for sys.
@@ -39,7 +72,9 @@ func New(sys *gks.System) *Handler { return NewWithCache(sys, 0) }
 // NewWithCache builds the handler with an LRU memoizing /search responses
 // for up to capacity distinct (q, s, top) triples. Search is deterministic
 // over an immutable index, so cached responses never go stale within one
-// handler's lifetime. capacity <= 0 disables the cache.
+// handler's lifetime. capacity <= 0 disables the cache. Concurrent identical
+// cache misses are coalesced through a singleflight group so a popular
+// query cannot stampede the engine.
 func NewWithCache(sys *gks.System, capacity int) *Handler {
 	h := &Handler{sys: sys, mux: http.NewServeMux()}
 	if capacity > 0 {
@@ -54,12 +89,30 @@ func NewWithCache(sys *gks.System, capacity int) *Handler {
 	h.mux.HandleFunc("/suggest", h.handleSuggest)
 	h.mux.HandleFunc("/schema", h.handleSchema)
 	h.mux.HandleFunc("/stats", h.handleStats)
+	h.mux.HandleFunc("/", h.handleNotFound)
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every endpoint is a read-only GET;
+// other methods answer 405 with an Allow header.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeJSONStatus(w, http.StatusMethodNotAllowed, map[string]any{
+			"error": fmt.Sprintf("method %s not allowed; all endpoints are read-only GETs", r.Method),
+		})
+		return
+	}
 	h.mux.ServeHTTP(w, r)
+}
+
+// CacheStats returns the cumulative response-cache hit/miss counters (zero
+// when the cache is disabled) — the source for the obs cache gauges.
+func (h *Handler) CacheStats() (hits, misses int64) {
+	if h.respCache == nil {
+		return 0, 0
+	}
+	return h.respCache.Stats()
 }
 
 // resultJSON is the wire form of one response node.
@@ -87,32 +140,42 @@ type insightJSON struct {
 	Count  int      `json:"count"`
 }
 
-func (h *Handler) runSearch(r *http.Request) (*gks.Response, error) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		return nil, fmt.Errorf("missing q parameter")
-	}
-	s := intParam(r, "s", 1)
-	if s <= 0 {
-		return h.sys.SearchBestEffort(q)
-	}
-	return h.sys.Search(q, s)
+// cacheKey builds a collision-proof key for a (q, s, top) triple. The query
+// is quoted so a "|" (or any other delimiter byte) inside q can never bleed
+// into the numeric fields or a neighboring key.
+func cacheKey(q string, s, top int) string {
+	return strconv.Quote(q) + "|" + strconv.Itoa(s) + "|" + strconv.Itoa(top)
 }
 
-func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
-	top := intParam(r, "top", 10)
-	cacheKey := fmt.Sprintf("%s|%d|%d", r.URL.Query().Get("q"), intParam(r, "s", 1), top)
-	if h.respCache != nil {
-		if out, ok := h.respCache.Get(cacheKey); ok {
-			writeJSON(w, out)
-			return
-		}
+// search runs one query with ctx-aware cancellation: s <= 0 requests
+// best-effort thresholding. Engine errors (empty query, too many keywords)
+// are client errors; context expiry passes through for the 504 path.
+func (h *Handler) search(ctx context.Context, q string, s int) (*gks.Response, error) {
+	var resp *gks.Response
+	var err error
+	if s <= 0 {
+		resp, err = h.sys.SearchBestEffortContext(ctx, q)
+	} else {
+		resp, err = h.sys.SearchContext(ctx, q, s)
 	}
-	resp, err := h.runSearch(r)
-	if err != nil {
-		httpError(w, err)
-		return
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		err = badRequest(err)
 	}
+	return resp, err
+}
+
+// searchParams validates the common q/s pair shared by /search, /insights
+// and /refine.
+func searchParams(r *http.Request) (q string, s int, err error) {
+	q = r.URL.Query().Get("q")
+	if q == "" {
+		return "", 0, badRequest(errors.New("missing q parameter"))
+	}
+	s, err = intParam(r, "s", 1, maxS)
+	return q, s, err
+}
+
+func buildSearchJSON(resp *gks.Response, top int) searchJSON {
 	out := searchJSON{
 		Query:  resp.Query.String(),
 		S:      resp.S,
@@ -120,7 +183,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Total:  len(resp.Results),
 	}
 	for i, res := range resp.Results {
-		if top > 0 && i >= top {
+		if i >= top {
 			break
 		}
 		out.Results = append(out.Results, resultJSON{
@@ -131,19 +194,63 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Entity:   res.IsEntity,
 		})
 	}
+	return out
+}
+
+func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q, s, err := searchParams(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	top, err := intParam(r, "top", 10, maxTop)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	key := cacheKey(q, s, top)
 	if h.respCache != nil {
-		h.respCache.Put(cacheKey, out)
+		if out, ok := h.respCache.Get(key); ok {
+			writeJSON(w, out)
+			return
+		}
+	}
+	// Coalesce identical concurrent misses: one engine search serves them
+	// all, and exactly one goroutine populates the cache.
+	out, _, err := h.flight.Do(r.Context(), key, func() (searchJSON, error) {
+		resp, err := h.search(r.Context(), q, s)
+		if err != nil {
+			return searchJSON{}, err
+		}
+		out := buildSearchJSON(resp, top)
+		if h.respCache != nil {
+			h.respCache.Put(key, out)
+		}
+		return out, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
 	}
 	writeJSON(w, out)
 }
 
 func (h *Handler) handleInsights(w http.ResponseWriter, r *http.Request) {
-	resp, err := h.runSearch(r)
+	q, s, err := searchParams(r)
 	if err != nil {
-		httpError(w, err)
+		writeError(w, err)
 		return
 	}
-	m := intParam(r, "m", 5)
+	m, err := intParam(r, "m", 5, maxM)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := h.search(r.Context(), q, s)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	var out []insightJSON
 	for _, in := range h.sys.Insights(resp, m) {
 		out = append(out, insightJSON{
@@ -154,28 +261,43 @@ func (h *Handler) handleInsights(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleRefine(w http.ResponseWriter, r *http.Request) {
-	resp, err := h.runSearch(r)
+	q, s, err := searchParams(r)
 	if err != nil {
-		httpError(w, err)
+		writeError(w, err)
 		return
 	}
-	top := intParam(r, "top", 5)
+	top, err := intParam(r, "top", 5, maxTop)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := h.search(r.Context(), q, s)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	var out []string
-	for _, q := range h.sys.Refinements(resp, top) {
-		out = append(out, q.String())
+	for _, rq := range h.sys.Refinements(resp, top) {
+		out = append(out, rq.String())
 	}
 	writeJSON(w, map[string]interface{}{"query": resp.Query.String(), "refinements": out})
 }
 
 func (h *Handler) handleExplain(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		httpError(w, fmt.Errorf("missing q parameter"))
+	q, s, err := searchParams(r)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
-	ex, err := h.sys.Explain(q, intParam(r, "s", 1))
+	if s <= 0 {
+		s = 1
+	}
+	ex, err := h.sys.ExplainContext(r.Context(), q, s)
 	if err != nil {
-		httpError(w, err)
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			err = badRequest(err)
+		}
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, map[string]interface{}{
@@ -197,7 +319,7 @@ func (h *Handler) handleExplain(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleBaselines(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query().Get("q")
 	if raw == "" {
-		httpError(w, fmt.Errorf("missing q parameter"))
+		clientError(w, errors.New("missing q parameter"))
 		return
 	}
 	q := gks.ParseQuery(raw)
@@ -211,25 +333,40 @@ func (h *Handler) handleBaselines(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleTypes(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		httpError(w, fmt.Errorf("missing q parameter"))
+		clientError(w, errors.New("missing q parameter"))
+		return
+	}
+	top, err := intParam(r, "top", 3, maxTop)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, map[string]interface{}{
 		"query": q,
-		"types": h.sys.InferResultTypes(q, intParam(r, "top", 3)),
+		"types": h.sys.InferResultTypes(q, top),
 	})
 }
 
 func (h *Handler) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	kw := r.URL.Query().Get("kw")
 	if kw == "" {
-		httpError(w, fmt.Errorf("missing kw parameter"))
+		clientError(w, errors.New("missing kw parameter"))
+		return
+	}
+	dist, err := intParam(r, "dist", 2, maxDist)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	top, err := intParam(r, "top", 5, maxTop)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, map[string]interface{}{
 		"keyword":     kw,
 		"hasMatches":  h.sys.HasMatches(kw),
-		"suggestions": h.sys.Suggest(kw, intParam(r, "dist", 2), intParam(r, "top", 5)),
+		"suggestions": h.sys.Suggest(kw, dist, top),
 	})
 }
 
@@ -241,6 +378,13 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, h.sys.Stats())
 }
 
+func (h *Handler) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeJSONStatus(w, http.StatusNotFound, map[string]any{
+		"error":     fmt.Sprintf("unknown endpoint %q", r.URL.Path),
+		"endpoints": Endpoints(),
+	})
+}
+
 func orEmpty(v []string) []string {
 	if v == nil {
 		return []string{}
@@ -248,13 +392,67 @@ func orEmpty(v []string) []string {
 	return v
 }
 
-func intParam(r *http.Request, name string, def int) int {
-	if v := r.URL.Query().Get(name); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			return n
-		}
+// intParam parses an integer query parameter strictly: absent returns def;
+// malformed or negative values are a 400-class error; values above max are
+// clamped. Rejecting negatives closes the top=-1 hole that used to disable
+// result truncation entirely.
+func intParam(r *http.Request, name string, def, max int) (int, error) {
+	vals := r.URL.Query()
+	if !vals.Has(name) {
+		return def, nil
 	}
-	return def
+	v := vals.Get(name)
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, badRequest(fmt.Errorf("invalid %s parameter %q: not an integer", name, v))
+	}
+	if n < 0 {
+		return 0, badRequest(fmt.Errorf("invalid %s parameter %d: must be non-negative", name, n))
+	}
+	if n > max {
+		n = max
+	}
+	return n, nil
+}
+
+// statusError carries an HTTP status with an underlying error so handlers
+// can classify failures once and writeError can render them uniformly.
+type statusError struct {
+	code int
+	err  error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// badRequest marks err as the client's fault (HTTP 400).
+func badRequest(err error) error { return &statusError{http.StatusBadRequest, err} }
+
+// writeError renders err with the right status class: explicit statusError
+// codes win; context expiry maps to 504; everything else is an internal 500.
+// Client mistakes must never surface as 500s, and internal failures must
+// never masquerade as 400s.
+func writeError(w http.ResponseWriter, err error) {
+	var se *statusError
+	switch {
+	case errors.As(err, &se):
+		writeJSONStatus(w, se.code, map[string]string{"error": err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSONStatus(w, http.StatusGatewayTimeout, map[string]string{"error": "request timed out"})
+	default:
+		serverError(w, err)
+	}
+}
+
+// clientError answers 400 for malformed requests (missing/invalid params,
+// query parse failures).
+func clientError(w http.ResponseWriter, err error) {
+	writeJSONStatus(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}
+
+// serverError answers 500 for internal failures.
+func serverError(w http.ResponseWriter, err error) {
+	writeJSONStatus(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -266,8 +464,10 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	}
 }
 
-func httpError(w http.ResponseWriter, err error) {
+func writeJSONStatus(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusBadRequest)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -10,7 +13,7 @@ import (
 	gks "repro"
 )
 
-func testHandler(t *testing.T) *Handler {
+func testSystem(t *testing.T) *gks.System {
 	t.Helper()
 	doc := gks.BuildDocument("uni.xml", gks.E("Dept",
 		gks.ET("Dept_Name", "CS"),
@@ -38,7 +41,12 @@ func testHandler(t *testing.T) *Handler {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(sys)
+	return sys
+}
+
+func testHandler(t *testing.T) *Handler {
+	t.Helper()
+	return New(testSystem(t))
 }
 
 func get(t *testing.T, h *Handler, url string) (int, string) {
@@ -228,6 +236,201 @@ func TestSuggestEndpoint(t *testing.T) {
 	}
 	if code, _ := get(t, h, "/suggest"); code != 400 {
 		t.Errorf("missing kw: %d", code)
+	}
+}
+
+// Regression: the old cache key fmt.Sprintf("%s|%d|%d", q, s, top) joined
+// the raw query with the numeric fields, so a "|" inside q could bleed into
+// them. The quoted key must keep every distinct triple distinct.
+func TestCacheKeyPipeCollisionProof(t *testing.T) {
+	triples := []struct {
+		q      string
+		s, top int
+	}{
+		{"a", 1, 10}, {"a|1", 1, 10}, {"a|1|1", 10, 10}, {"a|1", 10, 10},
+		{`a"b`, 1, 10}, {"a", 11, 0}, {"a|1|10", 1, 10},
+	}
+	seen := make(map[string]int)
+	for i, tr := range triples {
+		k := cacheKey(tr.q, tr.s, tr.top)
+		if j, dup := seen[k]; dup {
+			t.Errorf("cacheKey collision between %+v and %+v: %q", triples[j], triples[i], k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestCachedSearchPipeQuery(t *testing.T) {
+	h := NewWithCache(testSystem(t), 8)
+	// "karen|mike" tokenizes like "karen mike"; a query containing "|" must
+	// hit its own cache entry, not a neighboring one.
+	code, piped := get(t, h, "/search?q=karen%7Cmike&s=2")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, piped)
+	}
+	if code, again := get(t, h, "/search?q=karen%7Cmike&s=2"); code != 200 || again != piped {
+		t.Errorf("piped query not cached consistently")
+	}
+	if code, plain := get(t, h, "/search?q=karen&s=1"); code != 200 || plain == piped {
+		t.Errorf("distinct query served the piped query's entry")
+	}
+	hits, misses := h.CacheStats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+}
+
+func TestMalformedIntParamsRejected(t *testing.T) {
+	h := testHandler(t)
+	for _, url := range []string{
+		"/search?q=karen&s=abc",
+		"/search?q=karen&top=1.5",
+		"/search?q=karen&top=",
+		"/insights?q=karen&m=x",
+		"/refine?q=karen&top=x",
+		"/explain?q=karen&s=x",
+		"/types?q=karen&top=x",
+		"/suggest?kw=karen&dist=x",
+		"/suggest?kw=karen&top=x",
+	} {
+		code, body := get(t, h, url)
+		if code != 400 {
+			t.Errorf("%s: status %d, want 400 (%s)", url, code, body)
+		}
+		if !strings.Contains(body, "invalid") {
+			t.Errorf("%s: body should name the invalid parameter: %s", url, body)
+		}
+	}
+}
+
+// Regression: top=-1 used to disable truncation and return the unbounded
+// result set; negative integers are now rejected outright.
+func TestNegativeParamsRejected(t *testing.T) {
+	h := testHandler(t)
+	for _, url := range []string{
+		"/search?q=karen&top=-1",
+		"/search?q=karen&s=-2",
+		"/insights?q=karen&m=-1",
+		"/suggest?kw=karen&dist=-1",
+	} {
+		if code, body := get(t, h, url); code != 400 {
+			t.Errorf("%s: status %d, want 400 (%s)", url, code, body)
+		}
+	}
+}
+
+func TestTopZeroAndClamp(t *testing.T) {
+	h := testHandler(t)
+	_, body := get(t, h, "/search?q=karen&s=1&top=0")
+	var out struct {
+		Total   int           `json:"total"`
+		Results []interface{} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total < 2 || len(out.Results) != 0 {
+		t.Errorf("top=0 should return metadata only: total=%d printed=%d", out.Total, len(out.Results))
+	}
+	// Values above the cap are clamped, not rejected.
+	if code, _ := get(t, h, "/search?q=karen&s=1&top=99999999"); code != 200 {
+		t.Errorf("oversized top should be clamped to maxTop, got status %d", code)
+	}
+}
+
+func TestNotFoundJSON(t *testing.T) {
+	h := testHandler(t)
+	for _, url := range []string{"/nope", "/", "/search/extra"} {
+		code, body := get(t, h, url)
+		if code != 404 {
+			t.Errorf("%s: status %d, want 404", url, code)
+		}
+		var out struct {
+			Error     string   `json:"error"`
+			Endpoints []string `json:"endpoints"`
+		}
+		if err := json.Unmarshal([]byte(body), &out); err != nil {
+			t.Fatalf("%s: 404 body is not JSON: %v\n%s", url, err, body)
+		}
+		found := false
+		for _, ep := range out.Endpoints {
+			found = found || ep == "/search"
+		}
+		if !found {
+			t.Errorf("%s: 404 body should list known endpoints: %s", url, body)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	h := testHandler(t)
+	for _, method := range []string{"POST", "PUT", "DELETE"} {
+		req := httptest.NewRequest(method, "/search?q=karen", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 405 {
+			t.Errorf("%s /search: status %d, want 405", method, rec.Code)
+		}
+		if allow := rec.Header().Get("Allow"); !strings.Contains(allow, "GET") {
+			t.Errorf("%s /search: Allow header = %q", method, allow)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "json") {
+			t.Errorf("405 should be JSON, got Content-Type %q", ct)
+		}
+	}
+}
+
+// writeError must route client mistakes to 400, context expiry to 504, and
+// everything else to 500 — internal failures no longer masquerade as 400s.
+func TestErrorStatusSplit(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{badRequest(errors.New("bad param")), 400},
+		{fmt.Errorf("wrapped: %w", badRequest(errors.New("bad"))), 400},
+		{context.DeadlineExceeded, 504},
+		{fmt.Errorf("search: %w", context.Canceled), 504},
+		{errors.New("disk exploded"), 500},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		writeError(rec, c.err)
+		if rec.Code != c.want {
+			t.Errorf("writeError(%v) = %d, want %d", c.err, rec.Code, c.want)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "json") {
+			t.Errorf("writeError(%v): Content-Type %q", c.err, ct)
+		}
+	}
+}
+
+// Singleflight + shared cache under -race: many goroutines hammering the
+// same cold key must all succeed and agree on the response body.
+func TestSearchSingleflightHammer(t *testing.T) {
+	h := NewWithCache(testSystem(t), 32)
+	const workers = 64
+	bodies := make([]string, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := get(t, h, "/search?q=karen+mike&s=2")
+			if code != 200 {
+				t.Errorf("worker %d: status %d", i, code)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("worker %d saw a different response body", i)
+		}
+	}
+	if hits, misses := h.CacheStats(); hits+misses != workers {
+		t.Errorf("cache saw %d lookups, want %d", hits+misses, workers)
 	}
 }
 
