@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -20,4 +20,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
-check: build vet race
+# Short fuzz pass over the snapshot loader: arbitrary bytes fed to
+# index.Load must produce a typed error, never a panic or an unbounded
+# allocation. CI-sized; run with a longer -fuzztime when touching the
+# codec.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s ./internal/index
+
+check: build vet race fuzz-smoke

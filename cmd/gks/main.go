@@ -46,7 +46,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: gks {index|search|stats|repl|xpath} [flags] ...")
-	fmt.Fprintln(os.Stderr, "  gks index  -out repo.gksidx file.xml ...")
+	fmt.Fprintln(os.Stderr, "  gks index  -out repo.gksidx [-stream] [-lenient] file.xml ...")
 	fmt.Fprintln(os.Stderr, `  gks search [-index repo.gksidx | -files a.xml,b.xml] [-s N] [-top K] [-di M] [-baselines] [-chunks] "query"`)
 	fmt.Fprintln(os.Stderr, "  gks stats  -index repo.gksidx")
 	fmt.Fprintln(os.Stderr, "  gks repl   [-index repo.gksidx | -files a.xml,b.xml]")
@@ -63,15 +63,23 @@ func cmdIndex(args []string) {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	out := fs.String("out", "repo.gksidx", "output index file")
 	stream := fs.Bool("stream", false, "single-pass streaming build (O(depth) memory, for large files)")
+	lenient := fs.Bool("lenient", false, "skip unparsable XML files (reported on stderr) instead of failing the batch")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fatal(fmt.Errorf("no input files"))
 	}
 	var sys *gks.System
 	var err error
-	if *stream {
+	switch {
+	case *lenient:
+		var skipped []gks.FileError
+		sys, skipped, err = gks.IndexFilesLenient(fs.Args()...)
+		for _, fe := range skipped {
+			fmt.Fprintf(os.Stderr, "gks: skipping %s: %v\n", fe.Path, fe.Err)
+		}
+	case *stream:
 		sys, err = gks.IndexFilesStreaming(fs.Args()...)
-	} else {
+	default:
 		sys, err = gks.IndexFiles(fs.Args()...)
 	}
 	if err != nil {
@@ -86,9 +94,21 @@ func cmdIndex(args []string) {
 }
 
 func loadSystem(indexPath, files string) (*gks.System, error) {
+	return loadSystemLenient(indexPath, files, false)
+}
+
+func loadSystemLenient(indexPath, files string, lenient bool) (*gks.System, error) {
 	switch {
 	case files != "":
-		return gks.IndexFiles(strings.Split(files, ",")...)
+		paths := strings.Split(files, ",")
+		if lenient {
+			sys, skipped, err := gks.IndexFilesLenient(paths...)
+			for _, fe := range skipped {
+				fmt.Fprintf(os.Stderr, "gks: skipping %s: %v\n", fe.Path, fe.Err)
+			}
+			return sys, err
+		}
+		return gks.IndexFiles(paths...)
 	case indexPath != "":
 		return gks.LoadIndexFile(indexPath)
 	}
@@ -107,11 +127,12 @@ func cmdSearch(args []string) {
 	explain := fs.Bool("explain", false, "print pipeline diagnostics")
 	snippets := fs.Bool("snippets", false, "print highlighted snippets (requires -files)")
 	pruned := fs.Bool("pruned", false, "print MaxMatch-style pruned chunks (requires -files)")
+	lenient := fs.Bool("lenient", false, "with -files: skip unparsable XML files instead of failing")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fatal(fmt.Errorf("no query"))
 	}
-	sys, err := loadSystem(*indexPath, *files)
+	sys, err := loadSystemLenient(*indexPath, *files, *lenient)
 	if err != nil {
 		fatal(err)
 	}

@@ -2,8 +2,9 @@
 // internal/server for the endpoint list. The serving stack is
 // production-shaped: panic recovery, structured access logs, per-request
 // timeouts, load shedding at a concurrency cap, Prometheus-format metrics
-// at /metrics, a liveness probe at /healthz, and graceful drain on
-// SIGINT/SIGTERM.
+// at /metrics, a liveness probe at /healthz, graceful drain on
+// SIGINT/SIGTERM, and zero-downtime snapshot reload via POST /admin/reload
+// or SIGHUP.
 //
 // Usage:
 //
@@ -16,6 +17,14 @@
 //	curl 'localhost:8791/search?q="Peter Buneman" "Wenfei Fan"&s=2'
 //	curl 'localhost:8791/insights?q=karen&m=5'
 //	curl 'localhost:8791/metrics'
+//	gks index -out repo.gksidx updated.xml && curl -X POST localhost:8791/admin/reload
+//
+// Reload repeats whatever the daemon booted from — it re-reads the -index
+// snapshot (replaced atomically on disk by `gks index`) or re-parses the
+// -files list — off the request path, validates the result, and swaps it
+// in. If the new snapshot is corrupt or unreadable, the old index keeps
+// serving and the error is surfaced in the reload response, the logs, and
+// the gks_snapshot_reloads_total{result="failure"} counter.
 package main
 
 import (
@@ -39,7 +48,8 @@ func main() {
 	indexPath := flag.String("index", "", "saved index file")
 	files := flag.String("files", "", "comma-separated XML files to index on startup")
 	addr := flag.String("addr", "127.0.0.1:8791", "listen address")
-	schemaCats := flag.Bool("schema", false, "apply schema-aware categorization at startup")
+	schemaCats := flag.Bool("schema", false, "apply schema-aware categorization at startup (and on reload)")
+	lenient := flag.Bool("lenient", false, "with -files: skip unparsable XML files (logged) instead of failing the batch")
 	cacheSize := flag.Int("cache", 256, "LRU entries for /search responses (0 disables)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout; exceeding it answers 504 (0 disables)")
 	maxInflight := flag.Int("max-inflight", 256, "concurrent request cap; excess load sheds with 503 (0 disables)")
@@ -47,28 +57,50 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-request access log lines")
 	flag.Parse()
 
-	var sys *gks.System
-	var err error
-	switch {
-	case *files != "":
-		sys, err = gks.IndexFiles(strings.Split(*files, ",")...)
-	case *indexPath != "":
-		sys, err = gks.LoadIndexFile(*indexPath)
-	default:
-		err = fmt.Errorf("provide -index or -files")
+	// loadSys builds a serving system from the configured source. It runs
+	// once at boot and again on every reload trigger, so a reload picks up
+	// a replaced snapshot file or re-parses updated XML inputs.
+	loadSys := func() (*gks.System, error) {
+		var sys *gks.System
+		var err error
+		switch {
+		case *files != "":
+			paths := strings.Split(*files, ",")
+			if *lenient {
+				var skipped []gks.FileError
+				sys, skipped, err = gks.IndexFilesLenient(paths...)
+				for _, fe := range skipped {
+					log.Printf("gksd: lenient: skipping %s: %v", fe.Path, fe.Err)
+				}
+			} else {
+				sys, err = gks.IndexFiles(paths...)
+			}
+		case *indexPath != "":
+			sys, err = gks.LoadIndexFile(*indexPath)
+		default:
+			err = fmt.Errorf("provide -index or -files")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if *schemaCats {
+			changed := sys.ApplySchemaCategorization()
+			log.Printf("schema-aware categorization: %d node(s) reclassified", changed)
+		}
+		return sys, nil
 	}
+
+	sys, err := loadSys()
 	if err != nil {
 		log.Fatal("gksd: ", err)
-	}
-	if *schemaCats {
-		changed := sys.ApplySchemaCategorization()
-		log.Printf("schema-aware categorization: %d node(s) reclassified", changed)
 	}
 
 	logger := log.New(os.Stderr, "gksd ", log.LstdFlags)
 	reg := obs.NewRegistry()
 	api := server.NewWithCache(sys, *cacheSize)
 	reg.SetCacheStats(api.CacheStats)
+	reg.SetSnapshotGeneration(api.Generation())
+	reloader := server.NewReloader(api, loadSys, reg, logger)
 
 	mw := []server.Middleware{server.WithMetrics(reg)}
 	if !*quiet {
@@ -80,15 +112,29 @@ func main() {
 		server.WithTimeout(*timeout),
 	)
 
-	// /metrics and /healthz bypass the limiter and timeout so observability
-	// stays reachable even when the API is saturated.
+	// /metrics, /healthz and /admin/reload bypass the limiter and timeout
+	// so observability and operations stay reachable even when the API is
+	// saturated; reload work happens off the request path regardless.
 	root := http.NewServeMux()
 	root.Handle("/", server.Chain(api, mw...))
 	root.Handle("/metrics", server.Chain(reg.Handler(), server.WithRecovery(reg, logger)))
+	root.Handle("/admin/reload", server.Chain(reloader.AdminHandler(), server.WithRecovery(reg, logger)))
 	root.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		fmt.Fprintf(w, "ok generation=%d\n", api.Generation())
 	})
+
+	// SIGHUP triggers the same reload as POST /admin/reload — the
+	// traditional "re-read your config" signal, here "re-read your index".
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if _, err := reloader.Reload(); err != nil {
+				logger.Printf("SIGHUP reload: %v", err)
+			}
+		}
+	}()
 
 	st := sys.Stats()
 	log.Printf("serving %d document(s), %d elements, %d entity nodes on %s (timeout=%s max-inflight=%d cache=%d)",

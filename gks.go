@@ -143,6 +143,44 @@ func IndexFiles(paths ...string) (*System, error) {
 	return IndexDocuments(docs...)
 }
 
+// FileError records one input file that failed to parse during lenient
+// indexing.
+type FileError struct {
+	Path string
+	Err  error
+}
+
+func (e FileError) Error() string { return e.Path + ": " + e.Err.Error() }
+
+func (e FileError) Unwrap() error { return e.Err }
+
+// IndexFilesLenient parses and indexes the XML files at the given paths in
+// partial-failure mode: files that fail to open or parse are skipped and
+// reported in the returned FileError list instead of failing the whole
+// batch — the ingestion semantics a production crawler needs when one bad
+// document must not block a million good ones. An error is returned only
+// when no file could be indexed at all.
+func IndexFilesLenient(paths ...string) (*System, []FileError, error) {
+	docs := make([]*Document, 0, len(paths))
+	var skipped []FileError
+	for _, p := range paths {
+		d, err := xmltree.ParseFile(p, 0)
+		if err != nil {
+			skipped = append(skipped, FileError{Path: p, Err: err})
+			continue
+		}
+		docs = append(docs, d)
+	}
+	if len(docs) == 0 {
+		if len(skipped) > 0 {
+			return nil, skipped, fmt.Errorf("gks: no indexable files: all %d input file(s) failed to parse", len(skipped))
+		}
+		return nil, nil, fmt.Errorf("gks: no documents")
+	}
+	sys, err := IndexDocuments(docs...)
+	return sys, skipped, err
+}
+
 // IndexFilesStreaming indexes the XML files in a single streaming pass
 // each, without materializing the document trees — peak memory is
 // O(depth + index), which is how the paper-scale 1.45 GB DBLP dump fits on
@@ -156,6 +194,12 @@ func IndexFilesStreaming(paths ...string) (*System, error) {
 	}
 	return newSystem(ix, nil), nil
 }
+
+// ErrCorruptIndex reports that a persisted index is damaged — truncated,
+// bit-flipped, or not an index at all. LoadIndex and LoadIndexFile wrap it
+// into their errors (match with errors.Is); the gksd startup and reload
+// paths use it to distinguish a bad snapshot from a missing one.
+var ErrCorruptIndex = index.ErrCorrupt
 
 // LoadIndex restores a system from an index previously written with
 // SaveIndex. Result chunks (Chunk) are unavailable without the documents.
@@ -181,11 +225,21 @@ func newSystem(ix *index.Index, repo *xmltree.Repository) *System {
 	return &System{ix: ix, engine: eng, an: di.New(eng), repo: repo}
 }
 
-// SaveIndex persists the index ("a onetime activity", §2.4).
+// SaveIndex persists the index ("a onetime activity", §2.4) in the legacy
+// gob format. Prefer SaveIndexFile, which writes the checksummed snapshot
+// format; LoadIndex and LoadIndexFile read both.
 func (s *System) SaveIndex(w io.Writer) error { return s.ix.Save(w) }
 
-// SaveIndexFile persists the index to a file.
+// SaveIndexFile persists the index to a file in the checksummed snapshot
+// format (v3), atomically: a crash or full disk mid-save never destroys a
+// previous snapshot at path.
 func (s *System) SaveIndexFile(path string) error { return s.ix.SaveFile(path) }
+
+// ValidateIndex checks the structural invariants of the underlying index
+// (label/parent/subtree ranges, sorted posting lists). The gksd reload
+// path runs it between loading a candidate snapshot and swapping it into
+// service.
+func (s *System) ValidateIndex() error { return s.ix.Validate() }
 
 // Stats returns the index statistics (Tables 4–5 of the paper).
 func (s *System) Stats() IndexStats { return s.ix.Stats }

@@ -562,3 +562,89 @@ func TestSearchContextCanceled(t *testing.T) {
 		}
 	}
 }
+
+func TestIndexFilesLenient(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.xml")
+	bad := filepath.Join(dir, "bad.xml")
+	missing := filepath.Join(dir, "missing.xml")
+	if err := writeFile(good, universityXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(bad, "<Dept><unclosed>"); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, skipped, err := IndexFilesLenient(good, bad, missing)
+	if err != nil {
+		t.Fatalf("lenient batch with one good file errored: %v", err)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %d files (%v), want 2", len(skipped), skipped)
+	}
+	for _, fe := range skipped {
+		if fe.Path != bad && fe.Path != missing {
+			t.Errorf("unexpected skipped path %q", fe.Path)
+		}
+		if fe.Unwrap() == nil || !strings.Contains(fe.Error(), fe.Path) {
+			t.Errorf("FileError should carry cause and name the file: %v", fe)
+		}
+	}
+	resp, err := sys.Search("karen", 1)
+	if err != nil || len(resp.Results) == 0 {
+		t.Fatalf("search on lenient-built index: %v / %+v", err, resp)
+	}
+
+	// All files unusable: lenient mode still errors rather than returning
+	// an empty searchable system.
+	if _, _, err := IndexFilesLenient(bad, missing); err == nil {
+		t.Error("lenient batch with zero parsable files must error")
+	}
+	if _, _, err := IndexFilesLenient(); err == nil {
+		t.Error("lenient batch with no files must error")
+	}
+}
+
+func TestLoadIndexFileCorrupt(t *testing.T) {
+	sys := university(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "uni.gksidx")
+	if err := sys.SaveIndexFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"flipped.gksidx":   append(append([]byte(nil), raw[:len(raw)/2]...), append([]byte{raw[len(raw)/2] ^ 0x10}, raw[len(raw)/2+1:]...)...),
+		"truncated.gksidx": raw[:len(raw)-5],
+		"empty.gksidx":     {},
+		"garbage.gksidx":   []byte("this is not an index"),
+	}
+	for name, data := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadIndexFile(p)
+		if !errors.Is(err, ErrCorruptIndex) {
+			t.Errorf("%s: err = %v, want ErrCorruptIndex", name, err)
+		}
+		if err == nil || !strings.Contains(err.Error(), name) {
+			t.Errorf("%s: error should name the file: %v", name, err)
+		}
+	}
+
+	// A missing file is an I/O problem, not corruption.
+	if _, err := LoadIndexFile(filepath.Join(dir, "nope.gksidx")); err == nil || errors.Is(err, ErrCorruptIndex) {
+		t.Errorf("missing file err = %v, want non-nil and not ErrCorruptIndex", err)
+	}
+}
+
+func TestValidateIndexOnHealthySystem(t *testing.T) {
+	if err := university(t).ValidateIndex(); err != nil {
+		t.Errorf("ValidateIndex on a freshly built system: %v", err)
+	}
+}

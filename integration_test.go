@@ -46,16 +46,23 @@ func TestFullPipeline(t *testing.T) {
 			t.Fatalf("%s: stream index: %v", name, err)
 		}
 
-		// 3. Persist in the compact binary format and reload.
+		// 3. Persist in the compact binary format and reload. SaveIndex
+		// writes the raw v2 binary image; SaveIndexFile wraps it in the
+		// checksummed v3 envelope. Exercise both through the
+		// auto-detecting loader.
 		ixPath := filepath.Join(dir, name+".gksidx")
-		// SaveIndexFile uses gob; exercise the binary format explicitly
-		// through the index layer, then the auto-detecting loader.
 		var buf bytes.Buffer
 		if err := streamed.SaveIndex(&buf); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(ixPath, buf.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
+		}
+		if err := streamed.SaveIndexFile(filepath.Join(dir, name+"-v3.gksidx")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gks.LoadIndexFile(filepath.Join(dir, name+"-v3.gksidx")); err != nil {
+			t.Fatalf("%s: load v3 snapshot: %v", name, err)
 		}
 		loaded, err := gks.LoadIndexFile(ixPath)
 		if err != nil {

@@ -3,6 +3,7 @@ package index
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -121,23 +122,47 @@ func LoadBinary(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("index: binary load: %w", err)
+		return nil, corruptf("binary load: magic: %v", err)
 	}
 	if string(magic[:]) != binaryMagic {
-		return nil, fmt.Errorf("index: binary load: bad magic %q", magic)
+		return nil, corruptf("binary load: bad magic %q", magic)
 	}
-	return loadBinaryAfterMagic(br)
+	return loadBinaryAfterMagic(br, -1)
 }
 
-func loadBinaryAfterMagic(br *bufio.Reader) (*Index, error) {
+// preallocCap bounds an upfront slice allocation for a decoded count when
+// the input size is unknown: the slice starts at most this many elements
+// and grows by append, so a lying count costs a bounded allocation before
+// the stream runs dry and decoding fails.
+const preallocCap = 1 << 16
+
+// boundedCount validates a decoded element count. Every element occupies at
+// least minBytes bytes of input, so when the input size is known a count
+// exceeding size/minBytes proves corruption before anything is allocated;
+// absCap is the structural ceiling (e.g. node ordinals are int32).
+func boundedCount(what string, n uint64, minBytes, size int64, absCap uint64) (int, error) {
+	if n > absCap {
+		return 0, corruptf("binary load: implausible %s %d", what, n)
+	}
+	if size >= 0 && n > uint64(size)/uint64(minBytes) {
+		return 0, corruptf("binary load: %s %d exceeds what %d input bytes can hold", what, n, size)
+	}
+	return int(n), nil
+}
+
+// loadBinaryAfterMagic decodes a v2 stream whose magic has been consumed.
+// size bounds the bytes plausibly remaining in br (< 0 when unknown); all
+// pre-allocations are capped against it so corrupt counts fail with
+// ErrCorrupt instead of demanding multi-GB allocations.
+func loadBinaryAfterMagic(br *bufio.Reader, size int64) (*Index, error) {
 	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
 	readString := func() (string, error) {
 		n, err := readUvarint()
 		if err != nil {
 			return "", err
 		}
-		if n > 1<<28 {
-			return "", fmt.Errorf("implausible string length %d", n)
+		if n > 1<<28 || (size >= 0 && n > uint64(size)) {
+			return "", corruptf("binary load: implausible string length %d", n)
 		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(br, buf); err != nil {
@@ -146,7 +171,10 @@ func loadBinaryAfterMagic(br *bufio.Reader) (*Index, error) {
 		return string(buf), nil
 	}
 	fail := func(what string, err error) (*Index, error) {
-		return nil, fmt.Errorf("index: binary load: %s: %w", what, err)
+		if errors.Is(err, ErrCorrupt) {
+			return nil, err
+		}
+		return nil, corruptf("binary load: %s: %v", what, err)
 	}
 
 	version, err := readUvarint()
@@ -154,13 +182,16 @@ func loadBinaryAfterMagic(br *bufio.Reader) (*Index, error) {
 		return fail("version", err)
 	}
 	if version != binaryVersion {
-		return nil, fmt.Errorf("index: binary load: unsupported version %d", version)
+		return nil, corruptf("binary load: unsupported version %d", version)
 	}
 
 	ix := &Index{Postings: make(map[string][]int32), labelIDs: make(map[string]int32)}
 	nLabels, err := readUvarint()
 	if err != nil {
 		return fail("label count", err)
+	}
+	if _, err := boundedCount("label count", nLabels, 1, size, 1<<31); err != nil {
+		return nil, err
 	}
 	for i := uint64(0); i < nLabels; i++ {
 		l, err := readString()
@@ -174,6 +205,9 @@ func loadBinaryAfterMagic(br *bufio.Reader) (*Index, error) {
 	if err != nil {
 		return fail("doc count", err)
 	}
+	if _, err := boundedCount("doc count", nDocs, 1, size, 1<<31); err != nil {
+		return nil, err
+	}
 	for i := uint64(0); i < nDocs; i++ {
 		d, err := readString()
 		if err != nil {
@@ -182,16 +216,19 @@ func loadBinaryAfterMagic(br *bufio.Reader) (*Index, error) {
 		ix.DocNames = append(ix.DocNames, d)
 	}
 
-	nNodes, err := readUvarint()
+	rawNodes, err := readUvarint()
 	if err != nil {
 		return fail("node count", err)
 	}
-	if nNodes > 1<<31 {
-		return nil, fmt.Errorf("index: binary load: implausible node count %d", nNodes)
+	// A serialized node is at least 8 bytes (2 dewey varints + label +
+	// category + child count + subtree + parent + has-value flag).
+	nNodes, err := boundedCount("node count", rawNodes, 8, size, 1<<31)
+	if err != nil {
+		return nil, err
 	}
-	ix.Nodes = make([]NodeInfo, nNodes)
-	for i := range ix.Nodes {
-		n := &ix.Nodes[i]
+	ix.Nodes = make([]NodeInfo, 0, min(nNodes, preallocCap))
+	for i := 0; i < nNodes; i++ {
+		var n NodeInfo
 		id, err := readDewey(br)
 		if err != nil {
 			return fail("dewey", err)
@@ -232,24 +269,32 @@ func loadBinaryAfterMagic(br *bufio.Reader) (*Index, error) {
 				return fail("value", err)
 			}
 		}
+		ix.Nodes = append(ix.Nodes, n)
 	}
 
 	nKeys, err := readUvarint()
 	if err != nil {
 		return fail("keyword count", err)
 	}
+	if _, err := boundedCount("keyword count", nKeys, 1, size, 1<<31); err != nil {
+		return nil, err
+	}
 	for i := uint64(0); i < nKeys; i++ {
 		key, err := readString()
 		if err != nil {
 			return fail("keyword", err)
 		}
-		n, err := readUvarint()
+		rawN, err := readUvarint()
 		if err != nil {
 			return fail("posting count", err)
 		}
-		list := make([]int32, 0, n)
+		n, err := boundedCount("posting count", rawN, 1, size, 1<<31)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]int32, 0, min(n, preallocCap))
 		prev := int32(-1)
-		for j := uint64(0); j < n; j++ {
+		for j := 0; j < n; j++ {
 			d, err := readUvarint()
 			if err != nil {
 				return fail("posting delta", err)

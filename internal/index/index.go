@@ -481,3 +481,40 @@ func (ix *Index) ValueNodesUnder(e int32) []int32 {
 	}
 	return out
 }
+
+// Validate checks the structural invariants a healthy index satisfies:
+// labels in range, parents preceding their children (pre-order), subtree
+// ranges inside the node table, and posting lists strictly increasing
+// within bounds. A decoded snapshot that passes the checksum but was
+// written by a buggy or hostile producer is caught here before it is
+// swapped into a serving system; reload paths call this between load and
+// swap.
+func (ix *Index) Validate() error {
+	nNodes := len(ix.Nodes)
+	nLabels := int32(len(ix.Labels))
+	for i := range ix.Nodes {
+		n := &ix.Nodes[i]
+		if n.Label < 0 || n.Label >= nLabels {
+			return fmt.Errorf("index: validate: node %d: label %d out of range [0,%d)", i, n.Label, nLabels)
+		}
+		if n.Parent < -1 || n.Parent >= int32(i) {
+			return fmt.Errorf("index: validate: node %d: parent %d is not a preceding ordinal", i, n.Parent)
+		}
+		if n.ChildCount < 0 {
+			return fmt.Errorf("index: validate: node %d: negative child count %d", i, n.ChildCount)
+		}
+		if n.Subtree < 1 || int64(i)+int64(n.Subtree) > int64(nNodes) {
+			return fmt.Errorf("index: validate: node %d: subtree size %d overruns %d nodes", i, n.Subtree, nNodes)
+		}
+	}
+	for kw, list := range ix.Postings {
+		prev := int32(-1)
+		for _, ord := range list {
+			if ord <= prev || int(ord) >= nNodes {
+				return fmt.Errorf("index: validate: posting list %q: ordinal %d out of order or out of range [0,%d)", kw, ord, nNodes)
+			}
+			prev = ord
+		}
+	}
+	return nil
+}

@@ -71,6 +71,11 @@ type Registry struct {
 	shed     int64
 	inFlight int64
 
+	reloadOK       int64
+	reloadFail     int64
+	snapshotGen    int64
+	lastReloadUnix int64
+
 	cacheStats func() (hits, misses int64)
 }
 
@@ -132,6 +137,37 @@ func (r *Registry) AddInFlight(delta int64) {
 	r.mu.Lock()
 	r.inFlight += delta
 	r.mu.Unlock()
+}
+
+// SetSnapshotGeneration records the index snapshot generation currently
+// serving; cmd/gksd seeds it at boot and ObserveReload advances it.
+func (r *Registry) SetSnapshotGeneration(gen int64) {
+	r.mu.Lock()
+	r.snapshotGen = gen
+	r.mu.Unlock()
+}
+
+// ObserveReload counts one snapshot reload attempt. On success the
+// generation gauge moves to gen and the last-reload timestamp is set; on
+// failure only the failure counter moves — the generation gauge keeps
+// reporting the snapshot still serving.
+func (r *Registry) ObserveReload(ok bool, gen int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ok {
+		r.reloadOK++
+		r.snapshotGen = gen
+		r.lastReloadUnix = time.Now().Unix()
+	} else {
+		r.reloadFail++
+	}
+}
+
+// ReloadStats returns the reload counters and generation gauge for tests.
+func (r *Registry) ReloadStats() (ok, fail, gen int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reloadOK, r.reloadFail, r.snapshotGen
 }
 
 // Snapshot returns aggregate counters for tests and logs.
@@ -207,6 +243,19 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP gks_http_in_flight Requests currently being served.")
 	fmt.Fprintln(w, "# TYPE gks_http_in_flight gauge")
 	fmt.Fprintf(w, "gks_http_in_flight %d\n", r.inFlight)
+
+	fmt.Fprintln(w, "# HELP gks_snapshot_generation Index snapshot generation currently serving (1 = boot snapshot).")
+	fmt.Fprintln(w, "# TYPE gks_snapshot_generation gauge")
+	fmt.Fprintf(w, "gks_snapshot_generation %d\n", r.snapshotGen)
+
+	fmt.Fprintln(w, "# HELP gks_snapshot_reloads_total Snapshot reload attempts by result.")
+	fmt.Fprintln(w, "# TYPE gks_snapshot_reloads_total counter")
+	fmt.Fprintf(w, "gks_snapshot_reloads_total{result=\"success\"} %d\n", r.reloadOK)
+	fmt.Fprintf(w, "gks_snapshot_reloads_total{result=\"failure\"} %d\n", r.reloadFail)
+
+	fmt.Fprintln(w, "# HELP gks_snapshot_last_reload_timestamp_seconds Unix time of the last successful reload (0 = never reloaded).")
+	fmt.Fprintln(w, "# TYPE gks_snapshot_last_reload_timestamp_seconds gauge")
+	fmt.Fprintf(w, "gks_snapshot_last_reload_timestamp_seconds %d\n", r.lastReloadUnix)
 
 	if r.cacheStats != nil {
 		hits, misses := r.cacheStats()

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	gks "repro"
 	"repro/internal/cache"
@@ -58,9 +59,19 @@ func Endpoints() []string {
 	}
 }
 
-// Handler routes the JSON API for one system.
+// Handler routes the JSON API for one system. The system lives behind an
+// atomic pointer so a reload (Swap) can replace the whole index with zero
+// downtime: each request loads the pointer once and serves a consistent
+// view, while in-flight requests on the previous system finish against the
+// immutable index they started with.
 type Handler struct {
-	sys       *gks.System
+	sys atomic.Pointer[gks.System]
+	// gen counts snapshot generations, starting at 1 for the boot system
+	// and incrementing on every Swap. It is baked into every response-cache
+	// key, so entries computed against an old system can never serve a
+	// post-swap request — even when a concurrent singleflight populates the
+	// cache after the swap lands.
+	gen       atomic.Int64
 	mux       *http.ServeMux
 	respCache *cache.LRU[string, searchJSON]
 	flight    cache.Group[string, searchJSON]
@@ -72,11 +83,14 @@ func New(sys *gks.System) *Handler { return NewWithCache(sys, 0) }
 // NewWithCache builds the handler with an LRU memoizing /search responses
 // for up to capacity distinct (q, s, top) triples. Search is deterministic
 // over an immutable index, so cached responses never go stale within one
-// handler's lifetime. capacity <= 0 disables the cache. Concurrent identical
-// cache misses are coalesced through a singleflight group so a popular
-// query cannot stampede the engine.
+// snapshot generation, and Swap starts a new generation. capacity <= 0
+// disables the cache. Concurrent identical cache misses are coalesced
+// through a singleflight group so a popular query cannot stampede the
+// engine.
 func NewWithCache(sys *gks.System, capacity int) *Handler {
-	h := &Handler{sys: sys, mux: http.NewServeMux()}
+	h := &Handler{mux: http.NewServeMux()}
+	h.sys.Store(sys)
+	h.gen.Store(1)
 	if capacity > 0 {
 		h.respCache = cache.New[string, searchJSON](capacity)
 	}
@@ -115,6 +129,28 @@ func (h *Handler) CacheStats() (hits, misses int64) {
 	return h.respCache.Stats()
 }
 
+// System returns the currently served system.
+func (h *Handler) System() *gks.System { return h.sys.Load() }
+
+// Generation returns the snapshot generation being served (1 at boot,
+// +1 per successful Swap).
+func (h *Handler) Generation() int64 { return h.gen.Load() }
+
+// Swap atomically replaces the served system and invalidates the response
+// cache, returning the new generation. Requests already past their pointer
+// load finish on the old system (immutable, so always consistent); every
+// subsequent request sees the new one. The caller is responsible for
+// validating sys before swapping — Swap itself cannot fail, which is what
+// gives the reload path its rollback-by-default semantics.
+func (h *Handler) Swap(sys *gks.System) int64 {
+	h.sys.Store(sys)
+	gen := h.gen.Add(1)
+	if h.respCache != nil {
+		h.respCache.Purge()
+	}
+	return gen
+}
+
 // resultJSON is the wire form of one response node.
 type resultJSON struct {
 	ID       string   `json:"id"`
@@ -140,23 +176,25 @@ type insightJSON struct {
 	Count  int      `json:"count"`
 }
 
-// cacheKey builds a collision-proof key for a (q, s, top) triple. The query
-// is quoted so a "|" (or any other delimiter byte) inside q can never bleed
-// into the numeric fields or a neighboring key.
-func cacheKey(q string, s, top int) string {
-	return strconv.Quote(q) + "|" + strconv.Itoa(s) + "|" + strconv.Itoa(top)
+// cacheKey builds a collision-proof key for a (gen, q, s, top) tuple. The
+// query is quoted so a "|" (or any other delimiter byte) inside q can never
+// bleed into the numeric fields or a neighboring key; the generation prefix
+// fences off entries from superseded snapshots.
+func cacheKey(gen int64, q string, s, top int) string {
+	return strconv.FormatInt(gen, 10) + "|" + strconv.Quote(q) + "|" + strconv.Itoa(s) + "|" + strconv.Itoa(top)
 }
 
-// search runs one query with ctx-aware cancellation: s <= 0 requests
-// best-effort thresholding. Engine errors (empty query, too many keywords)
-// are client errors; context expiry passes through for the 504 path.
-func (h *Handler) search(ctx context.Context, q string, s int) (*gks.Response, error) {
+// search runs one query against sys with ctx-aware cancellation: s <= 0
+// requests best-effort thresholding. Engine errors (empty query, too many
+// keywords) are client errors; context expiry passes through for the 504
+// path.
+func search(ctx context.Context, sys *gks.System, q string, s int) (*gks.Response, error) {
 	var resp *gks.Response
 	var err error
 	if s <= 0 {
-		resp, err = h.sys.SearchBestEffortContext(ctx, q)
+		resp, err = sys.SearchBestEffortContext(ctx, q)
 	} else {
-		resp, err = h.sys.SearchContext(ctx, q, s)
+		resp, err = sys.SearchContext(ctx, q, s)
 	}
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 		err = badRequest(err)
@@ -208,7 +246,8 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	key := cacheKey(q, s, top)
+	sys := h.sys.Load()
+	key := cacheKey(h.gen.Load(), q, s, top)
 	if h.respCache != nil {
 		if out, ok := h.respCache.Get(key); ok {
 			writeJSON(w, out)
@@ -218,7 +257,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// Coalesce identical concurrent misses: one engine search serves them
 	// all, and exactly one goroutine populates the cache.
 	out, _, err := h.flight.Do(r.Context(), key, func() (searchJSON, error) {
-		resp, err := h.search(r.Context(), q, s)
+		resp, err := search(r.Context(), sys, q, s)
 		if err != nil {
 			return searchJSON{}, err
 		}
@@ -246,13 +285,14 @@ func (h *Handler) handleInsights(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, err := h.search(r.Context(), q, s)
+	sys := h.sys.Load()
+	resp, err := search(r.Context(), sys, q, s)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	var out []insightJSON
-	for _, in := range h.sys.Insights(resp, m) {
+	for _, in := range sys.Insights(resp, m) {
 		out = append(out, insightJSON{
 			Value: in.Value, Path: in.Path, Weight: in.Weight, Count: in.Count,
 		})
@@ -271,13 +311,14 @@ func (h *Handler) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, err := h.search(r.Context(), q, s)
+	sys := h.sys.Load()
+	resp, err := search(r.Context(), sys, q, s)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	var out []string
-	for _, rq := range h.sys.Refinements(resp, top) {
+	for _, rq := range sys.Refinements(resp, top) {
 		out = append(out, rq.String())
 	}
 	writeJSON(w, map[string]interface{}{"query": resp.Query.String(), "refinements": out})
@@ -292,7 +333,7 @@ func (h *Handler) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if s <= 0 {
 		s = 1
 	}
-	ex, err := h.sys.ExplainContext(r.Context(), q, s)
+	ex, err := h.sys.Load().ExplainContext(r.Context(), q, s)
 	if err != nil {
 		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 			err = badRequest(err)
@@ -323,10 +364,11 @@ func (h *Handler) handleBaselines(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := gks.ParseQuery(raw)
+	sys := h.sys.Load()
 	writeJSON(w, map[string]interface{}{
 		"query": q.String(),
-		"slca":  orEmpty(h.sys.SLCA(q)),
-		"elca":  orEmpty(h.sys.ELCA(q)),
+		"slca":  orEmpty(sys.SLCA(q)),
+		"elca":  orEmpty(sys.ELCA(q)),
 	})
 }
 
@@ -343,7 +385,7 @@ func (h *Handler) handleTypes(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, map[string]interface{}{
 		"query": q,
-		"types": h.sys.InferResultTypes(q, top),
+		"types": h.sys.Load().InferResultTypes(q, top),
 	})
 }
 
@@ -363,19 +405,20 @@ func (h *Handler) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	sys := h.sys.Load()
 	writeJSON(w, map[string]interface{}{
 		"keyword":     kw,
-		"hasMatches":  h.sys.HasMatches(kw),
-		"suggestions": h.sys.Suggest(kw, dist, top),
+		"hasMatches":  sys.HasMatches(kw),
+		"suggestions": sys.Suggest(kw, dist, top),
 	})
 }
 
 func (h *Handler) handleSchema(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, h.sys.Schema())
+	writeJSON(w, h.sys.Load().Schema())
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, h.sys.Stats())
+	writeJSON(w, h.sys.Load().Stats())
 }
 
 func (h *Handler) handleNotFound(w http.ResponseWriter, r *http.Request) {
