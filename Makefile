@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke check
+.PHONY: build vet test race bench fuzz-smoke shard-race bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -26,5 +26,22 @@ bench:
 # codec.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s ./internal/index
+	$(GO) test -run '^$$' -fuzz FuzzLoadManifest -fuzztime 10s ./internal/shard
 
-check: build vet race fuzz-smoke
+# The scatter-gather fan-out and the build worker pool are the most
+# concurrency-sensitive code in the tree; the shard suite includes
+# dedicated concurrent-search and reload-under-traffic tests that only
+# bite under the race detector.
+shard-race:
+	$(GO) test -race -count=1 ./internal/shard/... ./internal/server/...
+
+# One-shot parallel-build benchmark smoke: runs the shard experiment at
+# the default scale and checks it completes and emits the JSON artifact
+# (speedup numbers are only meaningful at -scale 10+ on a quiet machine;
+# see BENCH_shard.json for the recorded run).
+bench-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/gksbench -exp shard -json-dir $$tmp > /dev/null && \
+	test -s $$tmp/BENCH_shard.json && echo "bench-smoke: BENCH_shard.json OK" && rm -rf $$tmp
+
+check: build vet race fuzz-smoke shard-race bench-smoke

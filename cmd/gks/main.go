@@ -46,7 +46,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: gks {index|search|stats|repl|xpath} [flags] ...")
-	fmt.Fprintln(os.Stderr, "  gks index  -out repo.gksidx [-stream] [-lenient] file.xml ...")
+	fmt.Fprintln(os.Stderr, "  gks index  -out repo.gksidx [-stream] [-lenient] [-shards N] file.xml ...")
 	fmt.Fprintln(os.Stderr, `  gks search [-index repo.gksidx | -files a.xml,b.xml] [-s N] [-top K] [-di M] [-baselines] [-chunks] "query"`)
 	fmt.Fprintln(os.Stderr, "  gks stats  -index repo.gksidx")
 	fmt.Fprintln(os.Stderr, "  gks repl   [-index repo.gksidx | -files a.xml,b.xml]")
@@ -64,9 +64,18 @@ func cmdIndex(args []string) {
 	out := fs.String("out", "repo.gksidx", "output index file")
 	stream := fs.Bool("stream", false, "single-pass streaming build (O(depth) memory, for large files)")
 	lenient := fs.Bool("lenient", false, "skip unparsable XML files (reported on stderr) instead of failing the batch")
+	shards := fs.Int("shards", 1, "partition the documents into N index shards built in parallel; writes a manifest plus one snapshot per shard")
+	byTokens := fs.Bool("balance-tokens", false, "with -shards: balance shards by token count instead of hashing document names")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fatal(fmt.Errorf("no input files"))
+	}
+	if *shards > 1 {
+		if *stream {
+			fatal(fmt.Errorf("-shards and -stream are mutually exclusive"))
+		}
+		cmdIndexSharded(*out, *shards, *byTokens, *lenient, fs.Args())
+		return
 	}
 	var sys *gks.System
 	var err error
@@ -93,11 +102,43 @@ func cmdIndex(args []string) {
 		st.Documents, st.ElementNodes, st.EntityNodes, st.DistinctKeywords, *out)
 }
 
-func loadSystem(indexPath, files string) (*gks.System, error) {
+// cmdIndexSharded builds an n-shard index set and writes it as a GKSM1
+// manifest plus one snapshot file per shard next to it.
+func cmdIndexSharded(out string, n int, byTokens, lenient bool, paths []string) {
+	docs := make([]*gks.Document, 0, len(paths))
+	for _, p := range paths {
+		d, err := gks.ParseDocumentFile(p)
+		if err != nil {
+			if lenient {
+				fmt.Fprintf(os.Stderr, "gks: skipping %s: %v\n", p, err)
+				continue
+			}
+			fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	if len(docs) == 0 {
+		fatal(fmt.Errorf("no indexable files: all %d input file(s) failed to parse", len(paths)))
+	}
+	opts := gks.DefaultShardOptions(n)
+	opts.ByTokens = byTokens
+	set, err := gks.IndexDocumentsShardedOpts(opts, docs...)
+	if err != nil {
+		fatal(err)
+	}
+	if err := set.SaveManifest(out); err != nil {
+		fatal(err)
+	}
+	st := set.Stats()
+	fmt.Printf("indexed %d document(s) into %d shard(s): %d elements, %d entity nodes, %d distinct keywords -> %s\n",
+		st.Documents, set.NumShards(), st.ElementNodes, st.EntityNodes, st.DistinctKeywords, out)
+}
+
+func loadSystem(indexPath, files string) (gks.Searcher, error) {
 	return loadSystemLenient(indexPath, files, false)
 }
 
-func loadSystemLenient(indexPath, files string, lenient bool) (*gks.System, error) {
+func loadSystemLenient(indexPath, files string, lenient bool) (gks.Searcher, error) {
 	switch {
 	case files != "":
 		paths := strings.Split(files, ",")
@@ -110,9 +151,27 @@ func loadSystemLenient(indexPath, files string, lenient bool) (*gks.System, erro
 		}
 		return gks.IndexFiles(paths...)
 	case indexPath != "":
+		if isManifest(indexPath) {
+			return gks.LoadShardSet(indexPath)
+		}
 		return gks.LoadIndexFile(indexPath)
 	}
 	return nil, fmt.Errorf("provide -index or -files")
+}
+
+// isManifest sniffs the file's magic bytes so -index transparently accepts
+// both single-index snapshots and shard-set manifests.
+func isManifest(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [5]byte
+	if _, err := f.Read(magic[:]); err != nil {
+		return false
+	}
+	return string(magic[:]) == "GKSM1"
 }
 
 func cmdSearch(args []string) {
@@ -135,6 +194,13 @@ func cmdSearch(args []string) {
 	sys, err := loadSystemLenient(*indexPath, *files, *lenient)
 	if err != nil {
 		fatal(err)
+	}
+	// Snippets, pruned chunks and full chunks read the parsed document
+	// trees, which only a single-index System built from -files retains.
+	docSys, _ := sys.(*gks.System)
+	if docSys == nil && (*snippets || *pruned || *chunks) {
+		fmt.Fprintln(os.Stderr, "gks: -snippets/-pruned/-chunks need a single-index system built with -files; skipping")
+		*snippets, *pruned, *chunks = false, false, false
 	}
 	queryStr := strings.Join(fs.Args(), " ")
 	var resp *gks.Response
@@ -174,7 +240,7 @@ func cmdSearch(args []string) {
 			i+1, r.Label, r.ID, r.Rank, r.KeywordCount,
 			strings.Join(resp.KeywordsOf(r), ", "), kind)
 		if *snippets {
-			lines, err := sys.Snippet(resp, r, 4)
+			lines, err := docSys.Snippet(resp, r, 4)
 			if err != nil {
 				fmt.Printf("     (snippet unavailable: %v)\n", err)
 			}
@@ -183,7 +249,7 @@ func cmdSearch(args []string) {
 			}
 		}
 		if *pruned {
-			chunk, err := sys.PrunedChunk(resp, r)
+			chunk, err := docSys.PrunedChunk(resp, r)
 			if err != nil {
 				fmt.Printf("     (pruned chunk unavailable: %v)\n", err)
 			} else {
@@ -193,7 +259,7 @@ func cmdSearch(args []string) {
 			}
 		}
 		if *chunks {
-			chunk, err := sys.Chunk(r)
+			chunk, err := docSys.Chunk(r)
 			if err != nil {
 				fmt.Printf("     (chunk unavailable: %v)\n", err)
 				continue
@@ -252,19 +318,25 @@ func cmdStats(args []string) {
 	fmt.Printf("posting entries:    %d\n", st.PostingEntries)
 	fmt.Printf("max depth:          %d\n", st.MaxDepth)
 	if *top > 0 {
+		single, ok := sys.(*gks.System)
+		if !ok {
+			// Histograms walk one node table; a sharded set has several.
+			fmt.Fprintln(os.Stderr, "gks: -top breakdowns are unavailable for sharded indexes")
+			return
+		}
 		fmt.Printf("top %d keywords:\n", *top)
-		for _, kf := range sys.TopKeywords(*top) {
+		for _, kf := range single.TopKeywords(*top) {
 			fmt.Printf("  %-24s %d\n", kf.Keyword, kf.Count)
 		}
 		fmt.Printf("top %d labels (count AN/RN/EN/CN):\n", *top)
-		for i, lc := range sys.LabelHistogram() {
+		for i, lc := range single.LabelHistogram() {
 			if i >= *top {
 				break
 			}
 			fmt.Printf("  %-24s %d  %d/%d/%d/%d\n", lc.Label, lc.Count,
 				lc.PerCategory[0], lc.PerCategory[1], lc.PerCategory[2], lc.PerCategory[3])
 		}
-		fmt.Printf("elements per depth: %v\n", sys.DepthHistogram())
+		fmt.Printf("elements per depth: %v\n", single.DepthHistogram())
 	}
 }
 
@@ -280,7 +352,8 @@ func cmdXPath(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	nodes, err := sys.XPath(strings.Join(fs.Args(), " "))
+	// loadSystem with -files always builds a single-index System.
+	nodes, err := sys.(*gks.System).XPath(strings.Join(fs.Args(), " "))
 	if err != nil {
 		fatal(err)
 	}

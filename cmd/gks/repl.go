@@ -86,7 +86,7 @@ func cmdRepl(args []string) {
 	}
 }
 
-func runReplQuery(sys *gks.System, line string, sThresh, top, diM int, baselines bool) {
+func runReplQuery(sys gks.Searcher, line string, sThresh, top, diM int, baselines bool) {
 	var resp *gks.Response
 	var err error
 	if sThresh <= 0 {

@@ -5,17 +5,23 @@
 //
 // Usage:
 //
-//	gksbench [-scale N] [-exp name]
+//	gksbench [-scale N] [-exp name] [-json-dir DIR]
 //
 // Experiments: table1, table4, table5, table7, table8, fig8, fig9, fig10,
 // fig8s, refine, feedback, hybrid, naive, schema, formats, meaning, fslca,
-// recursive, or "all" (default).
+// recursive, shard, or "all" (default).
+//
+// With -json-dir every experiment additionally writes its typed rows as
+// BENCH_<name>.json into the directory — a machine-readable record of the
+// run for regression tracking, alongside the human-readable tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/experiments"
@@ -24,6 +30,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "dataset scale factor")
 	exp := flag.String("exp", "all", "experiment to run (comma separated), or 'all'")
+	jsonDir := flag.String("json-dir", "", "also write each experiment's rows as BENCH_<name>.json into this directory")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -39,6 +46,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gksbench: %s: %v\n", name, err)
 		os.Exit(1)
 	}
+	// emit records an experiment's typed result as BENCH_<name>.json.
+	emit := func(name string, v any) {
+		if *jsonDir == "" {
+			return
+		}
+		data, err := json.MarshalIndent(map[string]any{
+			"experiment": name,
+			"scale":      *scale,
+			"result":     v,
+		}, "", "  ")
+		if err != nil {
+			fail(name, err)
+		}
+		path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fail(name, err)
+		}
+	}
 
 	if run("table1") {
 		rows, err := experiments.Table1()
@@ -46,6 +71,7 @@ func main() {
 			fail("table1", err)
 		}
 		fmt.Fprintln(out, "== Table 1: GKS vs ELCA vs SLCA on the Figure 1 tree ==")
+		emit("table1", rows)
 		experiments.PrintTable1(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -55,6 +81,7 @@ func main() {
 			fail("table4", err)
 		}
 		fmt.Fprintln(out, "== Table 4: index size and preparation time ==")
+		emit("table4", rows)
 		experiments.PrintTable4(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -64,6 +91,7 @@ func main() {
 			fail("table5", err)
 		}
 		fmt.Fprintln(out, "== Table 5: distribution of XML elements over node categories ==")
+		emit("table5", rows)
 		experiments.PrintTable5(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -72,6 +100,7 @@ func main() {
 		if err != nil {
 			fail("fig8", err)
 		}
+		emit("fig8", points)
 		experiments.PrintRTPoints(out, "== Figure 8: response time vs merged list size (n=8) ==", points)
 		fmt.Fprintln(out)
 	}
@@ -81,6 +110,7 @@ func main() {
 			fail("fig8s", err)
 		}
 		fmt.Fprintln(out, "== Figure 8 (sampled workload) ==")
+		emit("fig8s", points)
 		experiments.PrintFigure8Sampled(out, points)
 		fmt.Fprintln(out)
 	}
@@ -89,6 +119,7 @@ func main() {
 		if err != nil {
 			fail("fig9", err)
 		}
+		emit("fig9", points)
 		experiments.PrintRTPoints(out, "== Figure 9: response time vs keywords in query (n) ==", points)
 		fmt.Fprintln(out)
 	}
@@ -98,6 +129,7 @@ func main() {
 			fail("fig10", err)
 		}
 		fmt.Fprintln(out, "== Figure 10: scalability over replicated datasets ==")
+		emit("fig10", points)
 		experiments.PrintFigure10(out, points)
 		fmt.Fprintln(out)
 	}
@@ -107,6 +139,7 @@ func main() {
 			fail("table7", err)
 		}
 		fmt.Fprintln(out, "== Table 7: comparison with SLCA and rank score ==")
+		emit("table7", rows)
 		experiments.PrintTable7(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -116,6 +149,7 @@ func main() {
 			fail("table8", err)
 		}
 		fmt.Fprintln(out, "== Table 8: DI discovered for different queries ==")
+		emit("table8", rows)
 		experiments.PrintTable8(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -125,6 +159,7 @@ func main() {
 			fail("refine", err)
 		}
 		fmt.Fprintln(out, "== Section 7.4: DI-driven query refinement ==")
+		emit("refine", r)
 		experiments.PrintRefinement(out, r)
 		fmt.Fprintln(out)
 	}
@@ -134,6 +169,7 @@ func main() {
 			fail("feedback", err)
 		}
 		fmt.Fprintln(out, "== Section 7.5: simulated crowd feedback (GKS vs SLCA) ==")
+		emit("feedback", rows)
 		experiments.PrintFeedback(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -143,6 +179,7 @@ func main() {
 			fail("hybrid", err)
 		}
 		fmt.Fprintln(out, "== Section 7.6: hybrid queries over merged repositories ==")
+		emit("hybrid", r)
 		experiments.PrintHybrid(out, r)
 		fmt.Fprintln(out)
 	}
@@ -152,6 +189,7 @@ func main() {
 			fail("naive", err)
 		}
 		fmt.Fprintln(out, "== Lemma 3 ablation ==")
+		emit("naive", rows)
 		experiments.PrintNaiveAblation(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -161,6 +199,7 @@ func main() {
 			fail("schema", err)
 		}
 		fmt.Fprintln(out, "== Schema-aware categorization ablation (§2.2 future work) ==")
+		emit("schema", rows)
 		experiments.PrintSchemaAblation(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -170,6 +209,7 @@ func main() {
 			fail("meaning", err)
 		}
 		fmt.Fprintln(out, "== Meaningfulness: precision/recall vs SLCA (§1.2) ==")
+		emit("meaning", rows)
 		experiments.PrintMeaningfulness(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -179,6 +219,7 @@ func main() {
 			fail("recursive", err)
 		}
 		fmt.Fprintln(out, "== Recursive DI rounds (§2.3) ==")
+		emit("recursive", rows)
 		experiments.PrintRecursiveDI(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -188,6 +229,7 @@ func main() {
 			fail("fslca", err)
 		}
 		fmt.Fprintln(out, "== FSLCA (simplified MESSIAH) comparison (§7.3) ==")
+		emit("fslca", rows)
 		experiments.PrintFSLCA(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -197,7 +239,18 @@ func main() {
 			fail("formats", err)
 		}
 		fmt.Fprintln(out, "== Index persistence format comparison ==")
+		emit("formats", rows)
 		experiments.PrintIndexFormats(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("shard") {
+		r, err := experiments.ShardBench(*scale, []int{2, 4, 8}, 5)
+		if err != nil {
+			fail("shard", err)
+		}
+		fmt.Fprintln(out, "== Sharded index: parallel build and scatter-gather search ==")
+		emit("shard", r)
+		experiments.PrintShardBench(out, r)
 		fmt.Fprintln(out)
 	}
 }

@@ -46,7 +46,10 @@ import (
 
 func main() {
 	indexPath := flag.String("index", "", "saved index file")
+	manifestPath := flag.String("index-manifest", "", "saved shard-set manifest (serves a sharded index with scatter-gather search)")
 	files := flag.String("files", "", "comma-separated XML files to index on startup")
+	shardN := flag.Int("shards", 1, "with -files: partition the documents into N index shards built in parallel")
+	partial := flag.Bool("partial-results", false, "with a sharded index: answer with partial results when a shard fails instead of failing the query")
 	addr := flag.String("addr", "127.0.0.1:8791", "listen address")
 	schemaCats := flag.Bool("schema", false, "apply schema-aware categorization at startup (and on reload)")
 	lenient := flag.Bool("lenient", false, "with -files: skip unparsable XML files (logged) instead of failing the batch")
@@ -57,28 +60,48 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-request access log lines")
 	flag.Parse()
 
+	logger := log.New(os.Stderr, "gksd ", log.LstdFlags)
+	reg := obs.NewRegistry()
+
 	// loadSys builds a serving system from the configured source. It runs
 	// once at boot and again on every reload trigger, so a reload picks up
-	// a replaced snapshot file or re-parses updated XML inputs.
-	loadSys := func() (*gks.System, error) {
-		var sys *gks.System
+	// a replaced snapshot (or whole shard set) on disk, or re-parses
+	// updated XML inputs. Sharded systems get the metrics sink wired in
+	// before they serve their first request.
+	loadSys := func() (gks.Searcher, error) {
+		var sys gks.Searcher
 		var err error
 		switch {
 		case *files != "":
 			paths := strings.Split(*files, ",")
-			if *lenient {
+			if *shardN > 1 {
+				opts := gks.DefaultShardOptions(*shardN)
+				opts.AllowPartial = *partial
+				var set *gks.ShardedSystem
+				set, err = shardedFromFiles(opts, paths, *lenient)
+				sys = set
+			} else if *lenient {
 				var skipped []gks.FileError
-				sys, skipped, err = gks.IndexFilesLenient(paths...)
+				var single *gks.System
+				single, skipped, err = gks.IndexFilesLenient(paths...)
 				for _, fe := range skipped {
 					log.Printf("gksd: lenient: skipping %s: %v", fe.Path, fe.Err)
 				}
+				sys = single
 			} else {
 				sys, err = gks.IndexFiles(paths...)
 			}
+		case *manifestPath != "":
+			var set *gks.ShardedSystem
+			set, err = gks.LoadShardSet(*manifestPath)
+			if err == nil {
+				set.SetAllowPartial(*partial)
+			}
+			sys = set
 		case *indexPath != "":
 			sys, err = gks.LoadIndexFile(*indexPath)
 		default:
-			err = fmt.Errorf("provide -index or -files")
+			err = fmt.Errorf("provide -index, -index-manifest or -files")
 		}
 		if err != nil {
 			return nil, err
@@ -86,6 +109,12 @@ func main() {
 		if *schemaCats {
 			changed := sys.ApplySchemaCategorization()
 			log.Printf("schema-aware categorization: %d node(s) reclassified", changed)
+		}
+		if set, ok := sys.(*gks.ShardedSystem); ok {
+			set.SetMetrics(reg)
+			reg.SetShardCount(set.NumShards())
+		} else {
+			reg.SetShardCount(1)
 		}
 		return sys, nil
 	}
@@ -95,8 +124,6 @@ func main() {
 		log.Fatal("gksd: ", err)
 	}
 
-	logger := log.New(os.Stderr, "gksd ", log.LstdFlags)
-	reg := obs.NewRegistry()
 	api := server.NewWithCache(sys, *cacheSize)
 	reg.SetCacheStats(api.CacheStats)
 	reg.SetSnapshotGeneration(api.Generation())
@@ -147,4 +174,26 @@ func main() {
 		log.Fatal("gksd: ", err)
 	}
 	log.Print("gksd: drained in-flight requests, shut down cleanly")
+}
+
+// shardedFromFiles parses the XML inputs and builds a sharded system. With
+// lenient set, files that fail to open or parse are skipped (logged) and
+// only an empty surviving set is an error — mirroring IndexFilesLenient.
+func shardedFromFiles(opts gks.ShardOptions, paths []string, lenient bool) (*gks.ShardedSystem, error) {
+	docs := make([]*gks.Document, 0, len(paths))
+	for _, p := range paths {
+		d, err := gks.ParseDocumentFile(p)
+		if err != nil {
+			if lenient {
+				log.Printf("gksd: lenient: skipping %s: %v", p, err)
+				continue
+			}
+			return nil, err
+		}
+		docs = append(docs, d)
+	}
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("no indexable files: all %d input file(s) failed to parse", len(paths))
+	}
+	return gks.IndexDocumentsShardedOpts(opts, docs...)
 }

@@ -98,6 +98,12 @@ func ParseDocumentString(src, name string) (*Document, error) {
 	return xmltree.ParseString(src, 0, name)
 }
 
+// ParseDocumentFile parses one XML document from the file at path; the
+// path becomes the document name.
+func ParseDocumentFile(path string) (*Document, error) {
+	return xmltree.ParseFile(path, 0)
+}
+
 // BuildDocument wraps a programmatically built tree (see E, ET, T) in a
 // document and assigns Dewey identifiers.
 func BuildDocument(name string, root *Node) *Document {
@@ -293,10 +299,11 @@ func (s *System) SearchTopK(query string, threshold, k int) (*Response, error) {
 }
 
 // underCtx runs fn on its own goroutine and returns early with ctx.Err()
-// if ctx is done first. The GKS pipeline itself is not preemptible: on
-// early return the search completes in the background over the immutable
-// index (bounded work) and its result is discarded. This is the standard
-// wrapper that lets the HTTP serving layer enforce per-request deadlines.
+// if ctx is done first. It remains only for operations without a
+// ctx-aware engine path (Explain); the search entry points call the
+// engine's cooperative SearchCtx variants, which stop the pipeline at the
+// next cancellation checkpoint instead of finishing on a detached
+// goroutine.
 func underCtx[T any](ctx context.Context, fn func() (T, error)) (T, error) {
 	var zero T
 	if err := ctx.Err(); err != nil {
@@ -320,18 +327,21 @@ func underCtx[T any](ctx context.Context, fn func() (T, error)) (T, error) {
 }
 
 // SearchContext is Search honoring cancellation and deadlines from ctx.
+// Cancellation is cooperative: the engine polls ctx inside the S_L merge,
+// the window scan and the ranking loop, so a timed-out request frees its
+// CPU at the next checkpoint rather than completing in the background.
 func (s *System) SearchContext(ctx context.Context, query string, threshold int) (*Response, error) {
-	return underCtx(ctx, func() (*Response, error) { return s.Search(query, threshold) })
+	return s.engine.SearchCtx(ctx, ParseQuery(query), threshold)
 }
 
 // SearchBestEffortContext is SearchBestEffort honoring ctx.
 func (s *System) SearchBestEffortContext(ctx context.Context, query string) (*Response, error) {
-	return underCtx(ctx, func() (*Response, error) { return s.SearchBestEffort(query) })
+	return s.engine.SearchBestEffortCtx(ctx, ParseQuery(query))
 }
 
 // SearchTopKContext is SearchTopK honoring ctx.
 func (s *System) SearchTopKContext(ctx context.Context, query string, threshold, k int) (*Response, error) {
-	return underCtx(ctx, func() (*Response, error) { return s.SearchTopK(query, threshold, k) })
+	return s.engine.SearchTopKCtx(ctx, ParseQuery(query), threshold, k)
 }
 
 // ExplainContext is Explain honoring ctx.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 	"sort"
 
@@ -58,6 +59,10 @@ type Response struct {
 	// SLSize is |S_L|, the merged posting list length (Figures 8–10 of the
 	// paper plot response time against it).
 	SLSize int
+	// Partial reports that the response covers only part of the data: a
+	// sharded scatter-gather search ran with some shards failing and
+	// degrade-to-partial enabled. Single-index searches never set it.
+	Partial bool
 
 	// sl and masks are retained for the analysis engine (ranking already
 	// consumed them; DI re-uses the ranked results only).
@@ -90,23 +95,41 @@ type candidate struct {
 // (the paper's response contains nodes with at least min(s,|Q|) query
 // keywords). The returned response is ranked.
 func (e *Engine) Search(q Query, s int) (*Response, error) {
-	resp, cands, sl, err := e.collectCandidates(q, s)
+	return e.SearchCtx(context.Background(), q, s)
+}
+
+// SearchCtx is Search honoring cancellation and deadlines from ctx. The
+// pipeline polls ctx periodically — inside the S_L merge, the window scan
+// and the ranking loop — so an expired request stops burning CPU at the
+// next checkpoint instead of completing a doomed search on a detached
+// goroutine. A cancelled search returns ctx.Err() and no response.
+func (e *Engine) SearchCtx(ctx context.Context, q Query, s int) (*Response, error) {
+	resp, cands, sl, err := e.collectCandidates(ctx, q, s)
 	if err != nil || len(cands) == 0 {
 		return resp, err
 	}
 	// Rank every survivor with the potential-flow model and order the
 	// response (§5).
-	for _, c := range cands {
+	for i, c := range cands {
+		if i&rankCheckMask == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		resp.Results = append(resp.Results, e.rankCandidate(c, sl))
 	}
 	sortResults(resp.Results)
 	return resp, nil
 }
 
+// rankCheckMask spaces the cancellation polls of the ranking loops: one
+// check every 256 candidates keeps the overhead invisible while a single
+// candidate's terminal scan stays bounded by its subtree.
+const rankCheckMask = 1<<8 - 1
+
 // collectCandidates runs stages 1–4 of the pipeline (merge, windows,
 // lifting, witness filter) and returns the surviving candidates in
-// pre-order, unranked.
-func (e *Engine) collectCandidates(q Query, s int) (*Response, []*candidate, []merge.Entry, error) {
+// pre-order, unranked. ctx is polled at stage boundaries and periodically
+// inside the merge and window scans.
+func (e *Engine) collectCandidates(ctx context.Context, q Query, s int) (*Response, []*candidate, []merge.Entry, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -124,7 +147,10 @@ func (e *Engine) collectCandidates(q Query, s int) (*Response, []*candidate, []m
 	for i, kw := range q.Keywords {
 		lists[i] = e.postings(kw)
 	}
-	sl := merge.Merge(lists)
+	sl, err := merge.MergeCtx(ctx, lists)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	resp.SLSize = len(sl)
 	resp.sl = sl
 	if len(sl) == 0 {
@@ -136,11 +162,23 @@ func (e *Engine) collectCandidates(q Query, s int) (*Response, []*candidate, []m
 	// for a Dewey-sorted block the common prefix of the first and last
 	// entries is the common prefix of the whole block).
 	lcpCounts := make(map[int32]int)
+	windows, cancelled := 0, false
 	merge.Windows(sl, s, func(l, r int) {
+		windows++
+		if cancelled {
+			return
+		}
+		if windows&rankCheckMask == 0 && ctx.Err() != nil {
+			cancelled = true // skip the per-window LCP work for the rest
+			return
+		}
 		if ord, ok := e.lcpNode(sl[l].Ord, sl[r].Ord); ok {
 			lcpCounts[ord]++
 		}
 	})
+	if cancelled {
+		return nil, nil, nil, ctx.Err()
+	}
 
 	// 3. Lift candidates: attribute nodes resolve to their parent
 	// (Def 2.1.1: "the parent node of an attribute node is considered the
@@ -304,6 +342,24 @@ func sortResults(results []Result) {
 		}
 		return a.Ord < b.Ord
 	})
+}
+
+// ResultBefore reports whether a precedes b in response order: rank
+// descending, then keyword count descending, then global document order.
+// The final key compares Dewey IDs rather than ordinals, so the order is
+// well defined across results drawn from different index shards — within a
+// single index the two orders coincide because pre-order ordinals equal
+// Dewey order. The sharded scatter-gather merge uses it to interleave
+// per-shard ranked lists into exactly the order sortResults produces on
+// the equivalent single index.
+func ResultBefore(a, b Result) bool {
+	if a.Rank != b.Rank {
+		return a.Rank > b.Rank
+	}
+	if a.KeywordCount != b.KeywordCount {
+		return a.KeywordCount > b.KeywordCount
+	}
+	return dewey.Compare(a.ID, b.ID) < 0
 }
 
 // PostingLists resolves every query keyword to its posting list (phrase

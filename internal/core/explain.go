@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -84,7 +85,7 @@ func (e *Engine) Explain(q Query, s int) (*Explanation, error) {
 	})
 	ex.LCPNodes = len(lcp)
 
-	resp, cands, slAgain, err := e.collectCandidates(q, s)
+	resp, cands, slAgain, err := e.collectCandidates(context.Background(), q, s)
 	if err != nil {
 		return nil, err
 	}

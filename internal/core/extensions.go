@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // Extensions beyond the paper's §4 pipeline: best-effort thresholding and
 // top-k retrieval with rank-bound pruning. Both build on the same
@@ -14,11 +17,29 @@ import "sort"
 // the data supports, which is exactly how the paper motivates relaxing
 // AND-semantics for imperfect queries (§1.1).
 func (e *Engine) SearchBestEffort(q Query) (*Response, error) {
+	return e.SearchBestEffortCtx(context.Background(), q)
+}
+
+// SearchBestEffortCtx is SearchBestEffort honoring ctx; each probe search
+// of the binary scan is individually cancellable.
+func (e *Engine) SearchBestEffortCtx(ctx context.Context, q Query) (*Response, error) {
+	return BestEffort(ctx, q, func(ctx context.Context, s int) (*Response, error) {
+		return e.SearchCtx(ctx, q, s)
+	})
+}
+
+// BestEffort runs the best-effort threshold scan over any search function:
+// it finds the largest s ∈ [1, |Q|] for which search(s) returns a
+// non-empty response, by binary search (non-emptiness is monotone in s,
+// Lemma 2). It is shared between the single-index engine and the sharded
+// scatter-gather searcher so both implement identical best-effort
+// semantics.
+func BestEffort(ctx context.Context, q Query, search func(ctx context.Context, s int) (*Response, error)) (*Response, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	lo, hi := 1, q.Len() // invariant: R(lo) known non-empty or lo==1 untested
-	best, err := e.Search(q, lo)
+	best, err := search(ctx, lo)
 	if err != nil {
 		return nil, err
 	}
@@ -27,7 +48,7 @@ func (e *Engine) SearchBestEffort(q Query) (*Response, error) {
 	}
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		resp, err := e.Search(q, mid)
+		resp, err := search(ctx, mid)
 		if err != nil {
 			return nil, err
 		}
@@ -49,13 +70,21 @@ func (e *Engine) SearchBestEffort(q Query) (*Response, error) {
 // For selective queries this skips the expensive per-candidate terminal
 // scan for the long tail of 1-keyword candidates.
 func (e *Engine) SearchTopK(q Query, s, k int) (*Response, error) {
-	resp, cands, sl, err := e.collectCandidates(q, s)
+	return e.SearchTopKCtx(context.Background(), q, s, k)
+}
+
+// SearchTopKCtx is SearchTopK honoring ctx.
+func (e *Engine) SearchTopKCtx(ctx context.Context, q Query, s, k int) (*Response, error) {
+	resp, cands, sl, err := e.collectCandidates(ctx, q, s)
 	if err != nil || len(cands) == 0 {
 		return resp, err
 	}
 	if k <= 0 || k >= len(cands) {
 		// No pruning opportunity: rank everything.
-		for _, c := range cands {
+		for i, c := range cands {
+			if i&rankCheckMask == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			resp.Results = append(resp.Results, e.rankCandidate(c, sl))
 		}
 		sortResults(resp.Results)
@@ -72,7 +101,10 @@ func (e *Engine) SearchTopK(q Query, s, k int) (*Response, error) {
 		return popcount64(order[i].mask) > popcount64(order[j].mask)
 	})
 	var kthRank float64
-	for _, c := range order {
+	for i, c := range order {
+		if i&rankCheckMask == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		upper := float64(popcount64(c.mask))
 		if len(resp.Results) >= k && upper < kthRank {
 			break // no remaining candidate can enter the top k

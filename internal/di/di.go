@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dewey"
+	"repro/internal/index"
 	"repro/internal/textproc"
 )
 
@@ -60,6 +61,17 @@ func New(eng *core.Engine) *Analyzer { return &Analyzer{eng: eng} }
 // returns every insight. The response must come from the analyzer's engine.
 func (a *Analyzer) Discover(resp *core.Response, m int) []Insight {
 	ix := a.eng.Index()
+	return DiscoverIndexed(func(core.Result) *index.Index { return ix }, resp, m)
+}
+
+// DiscoverIndexed is the engine-agnostic core of DI discovery: ixOf maps
+// each response node to the index holding it (and interpreting its Ord).
+// A single-index system always resolves to its one index; the sharded
+// searcher resolves each result to the shard owning the result's
+// document, which makes sharded DI byte-identical to single-index DI —
+// results are visited in the same (global rank) order, so the weight sums
+// accumulate in the same floating-point order.
+func DiscoverIndexed(ixOf func(core.Result) *index.Index, resp *core.Response, m int) []Insight {
 	queryTokens := resp.Query.TokenSet()
 	type key struct {
 		path  string
@@ -70,6 +82,7 @@ func (a *Analyzer) Discover(resp *core.Response, m int) []Insight {
 		if !r.IsEntity {
 			continue
 		}
+		ix := ixOf(r)
 		for _, attr := range ix.ValueNodesUnder(r.Ord) {
 			info := ix.Info(attr)
 			if containsQueryToken(info.Value, queryTokens) {
@@ -97,7 +110,15 @@ func (a *Analyzer) Discover(resp *core.Response, m int) []Insight {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
 		}
-		return out[i].Value < out[j].Value
+		if out[i].Value != out[j].Value {
+			return out[i].Value < out[j].Value
+		}
+		// Full tiebreak down to the path keeps the order deterministic:
+		// the accumulator map iterates randomly, and sort.Slice is not
+		// stable, so any comparator tie would make equal inputs produce
+		// differently ordered insights across runs (and across the
+		// sharded/single-index implementations).
+		return strings.Join(out[i].Path, "/") < strings.Join(out[j].Path, "/")
 	})
 	if m > 0 && len(out) > m {
 		out = out[:m]

@@ -37,6 +37,19 @@ type TypeScore struct {
 // query's target type. topK <= 0 returns all labels with non-zero score,
 // plus — when no label covers every keyword — the best partial covers.
 func InferResultTypes(eng *core.Engine, q core.Query, topK int) []TypeScore {
+	if q.Len() == 0 {
+		return nil
+	}
+	return ScoreTypes(TypeFrequencies(eng, q), q.Len(), topK)
+}
+
+// TypeFrequencies computes f_{k,T} for one engine: the returned table maps
+// each entity label T to a per-keyword slice (length q.Len()) counting the
+// distinct T-labeled entity nodes whose subtree holds keyword k. Keying by
+// label string — not label ID — lets frequency tables from independently
+// built indexes (shards with disjoint label interning) be summed with
+// MergeTypeFrequencies before scoring.
+func TypeFrequencies(eng *core.Engine, q core.Query) map[string][]int {
 	ix := eng.Index()
 	lists := eng.PostingLists(q)
 	n := len(lists)
@@ -44,9 +57,7 @@ func InferResultTypes(eng *core.Engine, q core.Query, topK int) []TypeScore {
 		return nil
 	}
 
-	// freq[label][k] = count of distinct entity nodes labeled `label`
-	// containing keyword k.
-	freq := make(map[int32][]int)
+	freq := make(map[string][]int)
 	type nodeKw struct {
 		ord int32
 		kw  int
@@ -63,7 +74,7 @@ func InferResultTypes(eng *core.Engine, q core.Query, topK int) []TypeScore {
 					continue
 				}
 				counted[key] = true
-				label := ix.Nodes[cur].Label
+				label := ix.Labels[ix.Nodes[cur].Label]
 				f := freq[label]
 				if f == nil {
 					f = make([]int, n)
@@ -73,10 +84,39 @@ func InferResultTypes(eng *core.Engine, q core.Query, topK int) []TypeScore {
 			}
 		}
 	}
+	return freq
+}
 
+// MergeTypeFrequencies sums per-keyword counts into dst. Entity nodes are
+// wholly contained in one document, so summing per-shard tables of a
+// document-partitioned repository reproduces the single-index table
+// exactly.
+func MergeTypeFrequencies(dst, src map[string][]int) map[string][]int {
+	if dst == nil {
+		dst = make(map[string][]int, len(src))
+	}
+	for label, f := range src {
+		d := dst[label]
+		if d == nil {
+			d = make([]int, len(f))
+			dst[label] = d
+		}
+		for k, c := range f {
+			d[k] += c
+		}
+	}
+	return dst
+}
+
+// ScoreTypes turns a frequency table (n = query keyword count) into ranked
+// TypeScores using the XReal-style confidence above.
+func ScoreTypes(freq map[string][]int, n, topK int) []TypeScore {
+	if n == 0 || len(freq) == 0 {
+		return nil
+	}
 	out := make([]TypeScore, 0, len(freq))
 	for label, f := range freq {
-		ts := TypeScore{Label: ix.Labels[label], PerKeyword: f}
+		ts := TypeScore{Label: label, PerKeyword: f}
 		full := true
 		score := 0.0
 		for _, c := range f {

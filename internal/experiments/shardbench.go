@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/shard"
+	"repro/internal/xmltree"
+)
+
+// Shard bench: build-time and search-latency comparison between one index
+// over a multi-document corpus and the same corpus partitioned into N
+// shards built through shard.Build's worker pool. Even on a single CPU the
+// sharded build wins, because partitioning feeds the builders size
+// information a monolithic build never has: each shard is pre-sized from
+// its group's exact node count and from the first finished shard's
+// observed term/posting stats (index.SizeHint), eliminating most of the
+// node-table re-growth, posting-list reallocation, and map rehashing —
+// and the resulting garbage — that an unhinted build pays for. The
+// bounded worker pool adds true parallelism on multi-core machines on
+// top of that. Search compares the scatter-gather fan-out cost against
+// the single-index pipeline on the same queries.
+
+// ShardBuildRow is one sharding configuration's measurements.
+type ShardBuildRow struct {
+	// Shards is the configured shard count (actual count may be lower if
+	// hashing left a shard empty; Actual records it).
+	Shards int
+	Actual int
+	// BuildTime is the fastest wall-clock shard.Build over the corpus.
+	BuildTime time.Duration
+	// BuildSpeedup is single-index build time / BuildTime.
+	BuildSpeedup float64
+	// SearchTime is the mean best-of-reps scatter-gather latency over the
+	// workload queries.
+	SearchTime time.Duration
+}
+
+// ShardBenchResult aggregates the experiment for reporting and the
+// BENCH_shard.json artifact.
+type ShardBenchResult struct {
+	// Documents and DataBytes describe the corpus.
+	Documents int
+	DataBytes int64
+	// SingleBuild is the fastest single-index build over the corpus.
+	SingleBuild time.Duration
+	// SingleSearch is the mean single-index search latency on the workload.
+	SingleSearch time.Duration
+	Rows         []ShardBuildRow
+}
+
+// shardCorpus generates the multi-document corpus: distinct bibliography
+// documents (distinct seeds, so vocabularies overlap but do not
+// coincide), sized so index build dominates measurement noise.
+func shardCorpus(scale int) []*xmltree.Document {
+	if scale < 1 {
+		scale = 1
+	}
+	docs := make([]*xmltree.Document, 16)
+	for i := range docs {
+		docs[i] = datagen.DBLP(datagen.BibConfig{
+			Config:  datagen.Config{Seed: int64(i + 1)},
+			Entries: 150 * scale,
+		})
+		docs[i].Name = fmt.Sprintf("%s#%d", docs[i].Name, i)
+	}
+	return docs
+}
+
+// shardBenchQueries is the fixed search workload for the latency columns.
+func shardBenchQueries() []core.Query {
+	return []core.Query{
+		core.NewQuery("keyword", "search", "data"),
+		core.NewQuery("efficient", "indexing"),
+		core.NewQuery("ranking", "queries", "streams", "adaptive"),
+	}
+}
+
+// ShardBench measures single-index vs sharded build and search for each
+// shard count. reps > 1 keeps the fastest run of each measurement.
+func ShardBench(scale int, shardCounts []int, reps int) (*ShardBenchResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	docs := shardCorpus(scale)
+	var dataBytes int64
+	for _, doc := range docs {
+		n, err := xmltree.XMLSize(doc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sizing shard corpus: %w", err)
+		}
+		dataBytes += n
+	}
+	res := &ShardBenchResult{Documents: len(docs), DataBytes: dataBytes}
+
+	// Methodology:
+	//
+	//   - Each timed region starts from a collected heap: without this,
+	//     the garbage of the previous build is collected inside the next
+	//     timed build and the comparison measures GC scheduling, not
+	//     indexing.
+	//   - Both timed paths start from bare parsed documents and include
+	//     the Dewey numbering pass — Repository.Add for the single index,
+	//     shard.Build's global renumbering for the sharded one — exactly
+	//     the work `gks index` does from files in each mode.
+	//   - Configurations are interleaved within each repetition (single,
+	//     then every shard count) so environmental drift — a noisy
+	//     neighbor, CPU frequency changes — lands on all configurations
+	//     alike instead of biasing whichever happened to run last; the
+	//     reported time is the best over repetitions per configuration.
+	var single *index.Index
+	bests := make([]time.Duration, len(shardCounts))
+	actual := make([]int, len(shardCounts))
+	for r := 0; r < reps; r++ {
+		single = nil
+		runtime.GC()
+		start := time.Now()
+		repo := &xmltree.Repository{}
+		for _, d := range docs {
+			repo.Add(d)
+		}
+		ix, err := index.Build(repo, index.DefaultOptions())
+		el := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: single build: %w", err)
+		}
+		if r == 0 || el < res.SingleBuild {
+			res.SingleBuild = el
+		}
+		single = ix
+
+		for c, n := range shardCounts {
+			runtime.GC()
+			start := time.Now()
+			s, err := shard.Build(docs, shard.DefaultOptions(n))
+			el := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %d-shard build: %w", n, err)
+			}
+			if r == 0 || el < bests[c] {
+				bests[c] = el
+			}
+			actual[c] = s.NumShards()
+		}
+	}
+
+	eng := core.NewEngine(single)
+	queries := shardBenchQueries()
+	var total time.Duration
+	runtime.GC()
+	for _, q := range queries {
+		el, _, err := timeSearch(eng, q, 1, reps)
+		if err != nil {
+			return nil, err
+		}
+		total += el
+	}
+	res.SingleSearch = total / time.Duration(len(queries))
+	single, eng = nil, nil
+
+	for c, n := range shardCounts {
+		row := ShardBuildRow{
+			Shards:       n,
+			Actual:       actual[c],
+			BuildTime:    bests[c],
+			BuildSpeedup: float64(res.SingleBuild) / float64(bests[c]),
+		}
+		runtime.GC()
+		s, err := shard.Build(docs, shard.DefaultOptions(n))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %d-shard build: %w", n, err)
+		}
+		var total time.Duration
+		for _, q := range queries {
+			var qBest time.Duration
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				if _, err := s.SearchQuery(q, 1); err != nil {
+					return nil, err
+				}
+				if el := time.Since(start); r == 0 || el < qBest {
+					qBest = el
+				}
+			}
+			total += qBest
+		}
+		row.SearchTime = total / time.Duration(len(queries))
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// PrintShardBench renders the experiment for the gksbench text report.
+func PrintShardBench(w io.Writer, r *ShardBenchResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "corpus\t%d documents\t%.1f MB\n", r.Documents, float64(r.DataBytes)/(1<<20))
+	fmt.Fprintf(tw, "single index\tbuild %s\tsearch %s\n", r.SingleBuild.Round(time.Millisecond), r.SingleSearch.Round(time.Microsecond))
+	fmt.Fprintln(tw, "shards\tbuild\tspeedup\tsearch")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d (%d used)\t%s\t%.2fx\t%s\n",
+			row.Shards, row.Actual, row.BuildTime.Round(time.Millisecond),
+			row.BuildSpeedup, row.SearchTime.Round(time.Microsecond))
+	}
+	tw.Flush()
+}

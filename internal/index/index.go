@@ -126,6 +126,26 @@ type Options struct {
 	// inverted index as keywords. The paper's Example 3 queries element
 	// names ("student"), so this defaults to on.
 	IndexElementNames bool
+	// Hint pre-sizes the builder's structures. Zero fields mean unknown
+	// and fall back to growth on demand. Hints affect only allocation,
+	// never the built index: a misestimate costs memory or reallocation,
+	// not correctness. shard.Build supplies hints from the partition's
+	// node counts and from already-built shards' observed stats.
+	Hint SizeHint
+}
+
+// SizeHint carries expected sizes for Build's backing structures.
+type SizeHint struct {
+	// Nodes is the expected element-node count (capacity of Index.Nodes —
+	// NodeInfo is large, so avoiding re-growth of this table is the
+	// biggest single saving).
+	Nodes int
+	// Terms is the expected number of distinct keywords (initial size of
+	// the postings map).
+	Terms int
+	// Postings is the expected total posting count; Postings/Terms seeds
+	// the capacity of each new posting list.
+	Postings int
 }
 
 // DefaultOptions returns the configuration used by the paper's system.
@@ -137,10 +157,16 @@ func Build(repo *xmltree.Repository, opts Options) (*Index, error) {
 		return nil, fmt.Errorf("index: empty repository")
 	}
 	ix := &Index{
-		Postings: make(map[string][]int32),
+		Postings: make(map[string][]int32, opts.Hint.Terms),
 		labelIDs: make(map[string]int32),
 	}
+	if opts.Hint.Nodes > 0 {
+		ix.Nodes = make([]NodeInfo, 0, opts.Hint.Nodes)
+	}
 	b := builder{ix: ix, opts: opts}
+	if opts.Hint.Terms > 0 && opts.Hint.Postings > opts.Hint.Terms {
+		b.listCap = opts.Hint.Postings / opts.Hint.Terms
+	}
 	for _, doc := range repo.Docs {
 		if doc.Root == nil {
 			return nil, fmt.Errorf("index: document %q has no root", doc.Name)
@@ -163,6 +189,9 @@ func BuildDocument(doc *xmltree.Document, opts Options) (*Index, error) {
 type builder struct {
 	ix   *Index
 	opts Options
+	// listCap seeds the capacity of new posting lists (average postings
+	// per term from Options.Hint), 0 to grow on demand.
+	listCap int
 }
 
 // walk classifies n, appends its NodeInfo, indexes its keywords and returns
@@ -328,7 +357,11 @@ func (b *builder) labelID(label string) int32 {
 }
 
 func (b *builder) post(keyword string, ord int32) {
-	b.ix.Postings[keyword] = append(b.ix.Postings[keyword], ord)
+	list, ok := b.ix.Postings[keyword]
+	if !ok && b.listCap > 0 {
+		list = make([]int32, 0, b.listCap)
+	}
+	b.ix.Postings[keyword] = append(list, ord)
 }
 
 func (ix *Index) finalizeStats() {

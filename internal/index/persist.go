@@ -114,7 +114,7 @@ func loadGob(r io.Reader) (ix *Index, err error) {
 // is fsynced and renamed over path, so a crash, full disk, or failed write
 // mid-save never destroys a previous snapshot at path.
 func (ix *Index) SaveFile(path string) error {
-	return writeFileAtomic(path, ix.SaveSnapshot)
+	return WriteFileAtomic(path, ix.SaveSnapshot)
 }
 
 // LoadFile reads an index from path (any format; see Load). Decode

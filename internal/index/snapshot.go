@@ -141,11 +141,13 @@ func loadSnapshotAfterMagic(br *bufio.Reader) (*Index, error) {
 // test uses to prove a failed save never destroys the previous snapshot.
 var testInterceptWriter func(io.Writer) io.Writer
 
-// writeFileAtomic writes via a temp file in path's directory, fsyncs, and
+// WriteFileAtomic writes via a temp file in path's directory, fsyncs, and
 // renames over path, so the destination always holds either the previous
 // complete file or the new complete file — never a truncated mix. The
 // directory is fsynced after the rename so the new name itself is durable.
-func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
+// Exported so sibling persistence formats (the shard-set manifest) share
+// the same crash-safety discipline.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
 	if err != nil {

@@ -76,6 +76,10 @@ type Registry struct {
 	snapshotGen    int64
 	lastReloadUnix int64
 
+	shardCount    int64
+	shardPartials int64
+	shardSearch   map[int]*Histogram // per-shard fan-out latency
+
 	cacheStats func() (hits, misses int64)
 }
 
@@ -161,6 +165,45 @@ func (r *Registry) ObserveReload(ok bool, gen int64) {
 	} else {
 		r.reloadFail++
 	}
+}
+
+// SetShardCount records the number of index shards serving (1 for a
+// single-index system); cmd/gksd sets it at boot and after every reload.
+func (r *Registry) SetShardCount(n int) {
+	r.mu.Lock()
+	r.shardCount = int64(n)
+	r.mu.Unlock()
+}
+
+// ObserveShardSearch records one shard's portion of a scatter-gather
+// search fan-out. It satisfies shard.Metrics.
+func (r *Registry) ObserveShardSearch(shard int, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shardSearch == nil {
+		r.shardSearch = make(map[int]*Histogram)
+	}
+	h, ok := r.shardSearch[shard]
+	if !ok {
+		h = newHistogram(r.buckets)
+		r.shardSearch[shard] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// IncShardPartial counts one search answered with partial results because
+// at least one shard failed. It satisfies shard.Metrics.
+func (r *Registry) IncShardPartial() {
+	r.mu.Lock()
+	r.shardPartials++
+	r.mu.Unlock()
+}
+
+// ShardStats returns the shard gauges/counters for tests.
+func (r *Registry) ShardStats() (count, partials int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shardCount, r.shardPartials
 }
 
 // ReloadStats returns the reload counters and generation gauge for tests.
@@ -256,6 +299,36 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP gks_snapshot_last_reload_timestamp_seconds Unix time of the last successful reload (0 = never reloaded).")
 	fmt.Fprintln(w, "# TYPE gks_snapshot_last_reload_timestamp_seconds gauge")
 	fmt.Fprintf(w, "gks_snapshot_last_reload_timestamp_seconds %d\n", r.lastReloadUnix)
+
+	fmt.Fprintln(w, "# HELP gks_shard_count Index shards serving (1 = unsharded).")
+	fmt.Fprintln(w, "# TYPE gks_shard_count gauge")
+	fmt.Fprintf(w, "gks_shard_count %d\n", r.shardCount)
+
+	fmt.Fprintln(w, "# HELP gks_shard_partial_results_total Searches answered with partial results because a shard failed.")
+	fmt.Fprintln(w, "# TYPE gks_shard_partial_results_total counter")
+	fmt.Fprintf(w, "gks_shard_partial_results_total %d\n", r.shardPartials)
+
+	if len(r.shardSearch) > 0 {
+		shardIDs := make([]int, 0, len(r.shardSearch))
+		for id := range r.shardSearch {
+			shardIDs = append(shardIDs, id)
+		}
+		sort.Ints(shardIDs)
+		fmt.Fprintln(w, "# HELP gks_shard_search_duration_seconds Per-shard search latency within scatter-gather fan-outs.")
+		fmt.Fprintln(w, "# TYPE gks_shard_search_duration_seconds histogram")
+		for _, id := range shardIDs {
+			h := r.shardSearch[id]
+			cum := int64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i]
+				fmt.Fprintf(w, "gks_shard_search_duration_seconds_bucket{shard=\"%d\",le=%q} %d\n",
+					id, fmtFloat(bound), cum)
+			}
+			fmt.Fprintf(w, "gks_shard_search_duration_seconds_bucket{shard=\"%d\",le=\"+Inf\"} %d\n", id, h.count)
+			fmt.Fprintf(w, "gks_shard_search_duration_seconds_sum{shard=\"%d\"} %s\n", id, fmtFloat(h.sum))
+			fmt.Fprintf(w, "gks_shard_search_duration_seconds_count{shard=\"%d\"} %d\n", id, h.count)
+		}
+	}
 
 	if r.cacheStats != nil {
 		hits, misses := r.cacheStats()

@@ -27,43 +27,71 @@ type edge struct {
 
 // Summary is an inferred structural schema: which parent→child element
 // edges are repeating (maxOccurs > 1 observed anywhere in the data).
+// Labels are interned per summary, so a summary may span several
+// independently built indexes with disjoint label tables.
 type Summary struct {
-	labels  []string
-	repeats map[edge]bool
+	labels   []string
+	labelIDs map[string]int32
+	repeats  map[edge]bool
 	// edgeSeen tracks all observed edges, repeating or not.
 	edgeSeen map[edge]bool
 }
 
 // Infer scans a built index and returns its schema summary. It needs only
 // the node table (labels + parent pointers), not the original documents.
-func Infer(ix *index.Index) *Summary {
+func Infer(ix *index.Index) *Summary { return InferIndexes(ix) }
+
+// InferIndexes infers one schema summary across several indexes — e.g. the
+// shards of a partitioned repository. Edges are unioned by label string: a
+// child repeating under any parent instance in any index marks the edge
+// repeating, which is exactly the summary Infer would compute on a single
+// index holding all the documents.
+func InferIndexes(ixs ...*index.Index) *Summary {
 	s := &Summary{
-		labels:   append([]string(nil), ix.Labels...),
+		labelIDs: make(map[string]int32),
 		repeats:  make(map[edge]bool),
 		edgeSeen: make(map[edge]bool),
 	}
-	// Count same-label element children per parent. Children of a parent
-	// are contiguous in no particular grouping, so count with a map keyed
-	// by (parent ordinal, label).
-	type pk struct {
-		parent int32
-		label  int32
-	}
-	counts := make(map[pk]int)
-	for i := range ix.Nodes {
-		n := &ix.Nodes[i]
-		if n.Parent < 0 {
-			continue
+	for _, ix := range ixs {
+		local := make([]int32, len(ix.Labels))
+		for i, l := range ix.Labels {
+			local[i] = s.intern(l)
 		}
-		p := &ix.Nodes[n.Parent]
-		s.edgeSeen[edge{p.Label, n.Label}] = true
-		k := pk{n.Parent, n.Label}
-		counts[k]++
-		if counts[k] == 2 {
-			s.repeats[edge{p.Label, n.Label}] = true
+		// Count same-label element children per parent. Children of a
+		// parent are contiguous in no particular grouping, so count with a
+		// map keyed by (parent ordinal, label). Ordinals collide across
+		// indexes, so the counter map is per index.
+		type pk struct {
+			parent int32
+			label  int32
+		}
+		counts := make(map[pk]int)
+		for i := range ix.Nodes {
+			n := &ix.Nodes[i]
+			if n.Parent < 0 {
+				continue
+			}
+			p := &ix.Nodes[n.Parent]
+			e := edge{local[p.Label], local[n.Label]}
+			s.edgeSeen[e] = true
+			k := pk{n.Parent, n.Label}
+			counts[k]++
+			if counts[k] == 2 {
+				s.repeats[e] = true
+			}
 		}
 	}
 	return s
+}
+
+func (s *Summary) intern(label string) int32 {
+	if id, ok := s.labelIDs[label]; ok {
+		return id
+	}
+	id := int32(len(s.labels))
+	s.labels = append(s.labels, label)
+	s.labelIDs[label] = id
+	return id
 }
 
 // Repeats reports whether child elements with label childLabel may repeat
@@ -108,12 +136,8 @@ type Edge struct {
 }
 
 func (s *Summary) labelID(label string) (int32, bool) {
-	for i, l := range s.labels {
-		if l == label {
-			return int32(i), true
-		}
-	}
-	return 0, false
+	id, ok := s.labelIDs[label]
+	return id, ok
 }
 
 // Categorize computes schema-level categories for every node of the index
@@ -131,12 +155,26 @@ func (s *Summary) Categorize(ix *index.Index) []index.Category {
 	repC := make([]int, n)
 	bothC := make([]int, n)
 
+	// Translate the index's label IDs into the summary's interning — the
+	// summary may have been inferred from other indexes (or several).
+	local := make([]int32, len(ix.Labels))
+	for i, l := range ix.Labels {
+		if id, ok := s.labelIDs[l]; ok {
+			local[i] = id
+		} else {
+			local[i] = -1 // label unknown to the schema: never repeating
+		}
+	}
 	isRep := func(i int32) bool {
 		node := &ix.Nodes[i]
 		if node.Parent < 0 {
 			return false
 		}
-		return s.repeats[edge{ix.Nodes[node.Parent].Label, node.Label}]
+		pl, cl := local[ix.Nodes[node.Parent].Label], local[node.Label]
+		if pl < 0 || cl < 0 {
+			return false
+		}
+		return s.repeats[edge{pl, cl}]
 	}
 
 	for i := n - 1; i >= 0; i-- {

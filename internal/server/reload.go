@@ -23,16 +23,18 @@ import (
 type Reloader struct {
 	mu     sync.Mutex
 	h      *Handler
-	load   func() (*gks.System, error)
+	load   func() (gks.Searcher, error)
 	reg    *obs.Registry // optional; reload counters and generation gauge
 	logger *log.Logger   // optional
 }
 
 // NewReloader builds a Reloader for h. load produces the candidate system —
-// typically gks.LoadIndexFile on the same path the daemon booted from, so
-// an operator can drop a new snapshot in place and reload. reg and logger
+// typically gks.LoadIndexFile (or gks.LoadShardSet for a sharded daemon)
+// on the same path the daemon booted from, so an operator can drop a new
+// snapshot in place and reload. A shard-set load is all-or-nothing, so a
+// reload can never swap in a mix of old and new shards. reg and logger
 // may be nil.
-func NewReloader(h *Handler, load func() (*gks.System, error), reg *obs.Registry, logger *log.Logger) *Reloader {
+func NewReloader(h *Handler, load func() (gks.Searcher, error), reg *obs.Registry, logger *log.Logger) *Reloader {
 	return &Reloader{h: h, load: load, reg: reg, logger: logger}
 }
 
@@ -94,7 +96,7 @@ func (rl *Reloader) AdminHandler() http.Handler {
 			})
 			return
 		}
-		st := rl.h.System().Stats()
+		st := rl.h.Searcher().Stats()
 		writeJSON(w, map[string]any{
 			"generation": gen,
 			"documents":  st.Documents,

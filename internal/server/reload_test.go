@@ -89,7 +89,7 @@ func TestReloadUnderTraffic(t *testing.T) {
 	api := NewWithCache(bootSys, 64)
 	reg.SetCacheStats(api.CacheStats)
 	reg.SetSnapshotGeneration(api.Generation())
-	rl := NewReloader(api, func() (*gks.System, error) {
+	rl := NewReloader(api, func() (gks.Searcher, error) {
 		return gks.LoadIndexFile(loadPath.Load().(string))
 	}, reg, logger)
 
@@ -280,7 +280,7 @@ func TestSwapInvalidatesCache(t *testing.T) {
 
 func TestAdminReloadRequiresPOST(t *testing.T) {
 	h := testHandler(t)
-	rl := NewReloader(h, func() (*gks.System, error) {
+	rl := NewReloader(h, func() (gks.Searcher, error) {
 		t.Fatal("reload must not run for non-POST")
 		return nil, nil
 	}, nil, nil)
@@ -300,7 +300,7 @@ func TestAdminReloadRequiresPOST(t *testing.T) {
 // structural invariants must be rejected before the swap.
 func TestReloadValidationRejectsDamagedSystem(t *testing.T) {
 	h := testHandler(t)
-	rl := NewReloader(h, func() (*gks.System, error) {
+	rl := NewReloader(h, func() (gks.Searcher, error) {
 		return nil, errors.New("load failed deliberately")
 	}, nil, nil)
 	gen, err := rl.Reload()

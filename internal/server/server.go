@@ -59,13 +59,20 @@ func Endpoints() []string {
 	}
 }
 
-// Handler routes the JSON API for one system. The system lives behind an
-// atomic pointer so a reload (Swap) can replace the whole index with zero
-// downtime: each request loads the pointer once and serves a consistent
-// view, while in-flight requests on the previous system finish against the
-// immutable index they started with.
+// searcherBox wraps the served Searcher in a concrete type so it can live
+// behind an atomic.Pointer — the interface itself cannot (atomic.Value
+// would additionally panic when a reload swaps between concrete types,
+// e.g. a single-index System replaced by a ShardedSystem).
+type searcherBox struct{ s gks.Searcher }
+
+// Handler routes the JSON API for one system — a single-index System or a
+// sharded set; anything satisfying gks.Searcher. The searcher lives behind
+// an atomic pointer so a reload (Swap) can replace the whole index with
+// zero downtime: each request loads the pointer once and serves a
+// consistent view, while in-flight requests on the previous system finish
+// against the immutable index they started with.
 type Handler struct {
-	sys atomic.Pointer[gks.System]
+	sys atomic.Pointer[searcherBox]
 	// gen counts snapshot generations, starting at 1 for the boot system
 	// and incrementing on every Swap. It is baked into every response-cache
 	// key, so entries computed against an old system can never serve a
@@ -78,7 +85,7 @@ type Handler struct {
 }
 
 // New builds the HTTP handler for sys.
-func New(sys *gks.System) *Handler { return NewWithCache(sys, 0) }
+func New(sys gks.Searcher) *Handler { return NewWithCache(sys, 0) }
 
 // NewWithCache builds the handler with an LRU memoizing /search responses
 // for up to capacity distinct (q, s, top) triples. Search is deterministic
@@ -87,9 +94,9 @@ func New(sys *gks.System) *Handler { return NewWithCache(sys, 0) }
 // disables the cache. Concurrent identical cache misses are coalesced
 // through a singleflight group so a popular query cannot stampede the
 // engine.
-func NewWithCache(sys *gks.System, capacity int) *Handler {
+func NewWithCache(sys gks.Searcher, capacity int) *Handler {
 	h := &Handler{mux: http.NewServeMux()}
-	h.sys.Store(sys)
+	h.sys.Store(&searcherBox{s: sys})
 	h.gen.Store(1)
 	if capacity > 0 {
 		h.respCache = cache.New[string, searchJSON](capacity)
@@ -129,8 +136,8 @@ func (h *Handler) CacheStats() (hits, misses int64) {
 	return h.respCache.Stats()
 }
 
-// System returns the currently served system.
-func (h *Handler) System() *gks.System { return h.sys.Load() }
+// Searcher returns the currently served system.
+func (h *Handler) Searcher() gks.Searcher { return h.sys.Load().s }
 
 // Generation returns the snapshot generation being served (1 at boot,
 // +1 per successful Swap).
@@ -142,8 +149,8 @@ func (h *Handler) Generation() int64 { return h.gen.Load() }
 // subsequent request sees the new one. The caller is responsible for
 // validating sys before swapping — Swap itself cannot fail, which is what
 // gives the reload path its rollback-by-default semantics.
-func (h *Handler) Swap(sys *gks.System) int64 {
-	h.sys.Store(sys)
+func (h *Handler) Swap(sys gks.Searcher) int64 {
+	h.sys.Store(&searcherBox{s: sys})
 	gen := h.gen.Add(1)
 	if h.respCache != nil {
 		h.respCache.Purge()
@@ -188,7 +195,7 @@ func cacheKey(gen int64, q string, s, top int) string {
 // requests best-effort thresholding. Engine errors (empty query, too many
 // keywords) are client errors; context expiry passes through for the 504
 // path.
-func search(ctx context.Context, sys *gks.System, q string, s int) (*gks.Response, error) {
+func search(ctx context.Context, sys gks.Searcher, q string, s int) (*gks.Response, error) {
 	var resp *gks.Response
 	var err error
 	if s <= 0 {
@@ -246,7 +253,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	sys := h.sys.Load()
+	sys := h.Searcher()
 	key := cacheKey(h.gen.Load(), q, s, top)
 	if h.respCache != nil {
 		if out, ok := h.respCache.Get(key); ok {
@@ -285,7 +292,7 @@ func (h *Handler) handleInsights(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	sys := h.sys.Load()
+	sys := h.Searcher()
 	resp, err := search(r.Context(), sys, q, s)
 	if err != nil {
 		writeError(w, err)
@@ -311,7 +318,7 @@ func (h *Handler) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	sys := h.sys.Load()
+	sys := h.Searcher()
 	resp, err := search(r.Context(), sys, q, s)
 	if err != nil {
 		writeError(w, err)
@@ -333,7 +340,7 @@ func (h *Handler) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if s <= 0 {
 		s = 1
 	}
-	ex, err := h.sys.Load().ExplainContext(r.Context(), q, s)
+	ex, err := h.Searcher().ExplainContext(r.Context(), q, s)
 	if err != nil {
 		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 			err = badRequest(err)
@@ -364,7 +371,7 @@ func (h *Handler) handleBaselines(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := gks.ParseQuery(raw)
-	sys := h.sys.Load()
+	sys := h.Searcher()
 	writeJSON(w, map[string]interface{}{
 		"query": q.String(),
 		"slca":  orEmpty(sys.SLCA(q)),
@@ -385,7 +392,7 @@ func (h *Handler) handleTypes(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, map[string]interface{}{
 		"query": q,
-		"types": h.sys.Load().InferResultTypes(q, top),
+		"types": h.Searcher().InferResultTypes(q, top),
 	})
 }
 
@@ -405,7 +412,7 @@ func (h *Handler) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	sys := h.sys.Load()
+	sys := h.Searcher()
 	writeJSON(w, map[string]interface{}{
 		"keyword":     kw,
 		"hasMatches":  sys.HasMatches(kw),
@@ -414,11 +421,11 @@ func (h *Handler) handleSuggest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleSchema(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, h.sys.Load().Schema())
+	writeJSON(w, h.Searcher().Schema())
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, h.sys.Load().Stats())
+	writeJSON(w, h.Searcher().Stats())
 }
 
 func (h *Handler) handleNotFound(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/index"
+)
+
+// A shard set persists as one GKSM1 manifest plus one GKS3 snapshot file
+// per shard, all in the same directory. The manifest is the unit of
+// atomicity: it is written last (atomically, via the same
+// temp+fsync+rename discipline as snapshots) and names every shard file
+// together with its CRC32 and size, so a loader either sees a complete,
+// mutually consistent set or fails — there is no mixed-generation state.
+//
+// Layout (all integers uvarint unless noted):
+//
+//	magic "GKSM1"
+//	generation
+//	shard count
+//	per shard: name length, name bytes, file CRC32, file size
+//	CRC32 of everything above (4 bytes little-endian)
+//
+// Shard file names are stored relative to the manifest's directory; the
+// manifest never references files outside it.
+const manifestMagic = "GKSM1"
+
+// maxManifestShards bounds the shard count a loader will accept — far
+// above any sane deployment, it keeps a corrupt count field from driving
+// allocation or file probing into the millions.
+const maxManifestShards = 1 << 12
+
+// ShardFileName returns the file name of shard i for the manifest at
+// path: "<manifest base name>.s000", "….s001", … in the same directory.
+func ShardFileName(path string, i int) string {
+	return fmt.Sprintf("%s.s%03d", filepath.Base(path), i)
+}
+
+// SaveManifest persists the set: every shard index is written as a GKS3
+// snapshot next to the manifest (each write individually atomic), then
+// the manifest itself is written atomically. A crash at any point leaves
+// the previous manifest — and therefore the previous complete set —
+// intact and loadable.
+func (s *Set) SaveManifest(path string) error {
+	dir := filepath.Dir(path)
+	var buf bytes.Buffer
+	buf.WriteString(manifestMagic)
+	buf.Write(binary.AppendUvarint(nil, s.Generation))
+	buf.Write(binary.AppendUvarint(nil, uint64(len(s.shards))))
+	for i, ix := range s.shards {
+		name := ShardFileName(path, i)
+		full := filepath.Join(dir, name)
+		if err := ix.SaveFile(full); err != nil {
+			return fmt.Errorf("shard: save shard %d: %w", i, err)
+		}
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return fmt.Errorf("shard: save shard %d: %w", i, err)
+		}
+		buf.Write(binary.AppendUvarint(nil, uint64(len(name))))
+		buf.WriteString(name)
+		buf.Write(binary.AppendUvarint(nil, uint64(crc32.ChecksumIEEE(data))))
+		buf.Write(binary.AppendUvarint(nil, uint64(len(data))))
+	}
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], sum)
+	buf.Write(trailer[:])
+	return index.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(buf.Bytes())
+		return err
+	})
+}
+
+// manifestEntry is one shard reference parsed from a manifest.
+type manifestEntry struct {
+	Name string
+	CRC  uint32
+	Size int64
+}
+
+// readManifest parses and checksums a manifest file.
+func readManifest(path string) (gen uint64, entries []manifestEntry, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	corrupt := func(format string, args ...any) (uint64, []manifestEntry, error) {
+		return 0, nil, fmt.Errorf("shard: manifest %s: "+format+": %w",
+			append(append([]any{path}, args...), index.ErrCorrupt)...)
+	}
+	if len(data) < len(manifestMagic)+4 || string(data[:len(manifestMagic)]) != manifestMagic {
+		return corrupt("bad magic")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return corrupt("checksum mismatch")
+	}
+	r := bytes.NewReader(body[len(manifestMagic):])
+	gen, err = binary.ReadUvarint(r)
+	if err != nil {
+		return corrupt("truncated generation")
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return corrupt("truncated shard count")
+	}
+	if count == 0 || count > maxManifestShards {
+		return corrupt("implausible shard count %d", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := binary.ReadUvarint(r)
+		if err != nil || nameLen == 0 || nameLen > 4096 {
+			return corrupt("shard %d: bad name length", i)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return corrupt("shard %d: truncated name", i)
+		}
+		if filepath.Base(string(name)) != string(name) {
+			// A path-traversing name would let a tampered manifest read
+			// files outside its own directory.
+			return corrupt("shard %d: name %q is not a plain file name", i, name)
+		}
+		crc, err := binary.ReadUvarint(r)
+		if err != nil || crc > 0xFFFFFFFF {
+			return corrupt("shard %d: bad crc", i)
+		}
+		size, err := binary.ReadUvarint(r)
+		if err != nil || size > 1<<62 {
+			return corrupt("shard %d: bad size", i)
+		}
+		entries = append(entries, manifestEntry{Name: string(name), CRC: uint32(crc), Size: int64(size)})
+	}
+	if r.Len() != 0 {
+		return corrupt("%d trailing bytes", r.Len())
+	}
+	return gen, entries, nil
+}
+
+// LoadManifest restores a shard set from a manifest written by
+// SaveManifest. Loading is all-or-nothing: every shard file must exist,
+// match its manifest CRC and size, parse as a valid snapshot, and the
+// documents must partition cleanly across shards — any failure fails the
+// whole load, which is what lets the server's reload path keep serving
+// the previous complete set.
+func LoadManifest(path string) (*Set, error) {
+	gen, entries, err := readManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	shards := make([]*index.Index, len(entries))
+	for i, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name))
+		if err != nil {
+			return nil, fmt.Errorf("shard: manifest %s: shard %d: %w", path, i, err)
+		}
+		if int64(len(data)) != e.Size || crc32.ChecksumIEEE(data) != e.CRC {
+			return nil, fmt.Errorf("shard: manifest %s: shard file %s does not match manifest: %w",
+				path, e.Name, index.ErrCorrupt)
+		}
+		ix, err := index.Load(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("shard: manifest %s: shard file %s: %w", path, e.Name, err)
+		}
+		shards[i] = ix
+	}
+	set, err := newSet(shards, false)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", err, index.ErrCorrupt)
+	}
+	set.Generation = gen
+	return set, nil
+}

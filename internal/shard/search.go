@@ -1,0 +1,253 @@
+package shard
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Search parses the query string and runs a scatter-gather GKS search with
+// threshold s, mirroring gks.System.Search.
+func (s *Set) Search(query string, threshold int) (*core.Response, error) {
+	return s.SearchQueryCtx(context.Background(), core.ParseQuery(query), threshold)
+}
+
+// SearchContext is Search honoring ctx: the fan-out propagates ctx to
+// every shard, and each shard's engine polls it cooperatively.
+func (s *Set) SearchContext(ctx context.Context, query string, threshold int) (*core.Response, error) {
+	return s.SearchQueryCtx(ctx, core.ParseQuery(query), threshold)
+}
+
+// SearchQuery runs a scatter-gather search for an already-built query.
+func (s *Set) SearchQuery(q core.Query, threshold int) (*core.Response, error) {
+	return s.SearchQueryCtx(context.Background(), q, threshold)
+}
+
+// SearchQueryCtx fans the search out to every shard in parallel and merges
+// the per-shard ranked lists into one globally ordered response.
+func (s *Set) SearchQueryCtx(ctx context.Context, q core.Query, threshold int) (*core.Response, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	resps, partial, err := s.scatter(ctx, func(ctx context.Context, eng *core.Engine) (*core.Response, error) {
+		return eng.SearchCtx(ctx, q, threshold)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.gather(q, resps, partial, 0), nil
+}
+
+// SearchBestEffort finds the largest threshold with a non-empty response —
+// the binary scan runs at the set level, over merged responses, so the
+// effective s is decided by the whole corpus exactly as on a single index
+// (a per-shard best effort could settle on different thresholds per shard).
+func (s *Set) SearchBestEffort(query string) (*core.Response, error) {
+	return s.SearchBestEffortContext(context.Background(), query)
+}
+
+// SearchBestEffortContext is SearchBestEffort honoring ctx.
+func (s *Set) SearchBestEffortContext(ctx context.Context, query string) (*core.Response, error) {
+	q := core.ParseQuery(query)
+	return core.BestEffort(ctx, q, func(ctx context.Context, threshold int) (*core.Response, error) {
+		return s.SearchQueryCtx(ctx, q, threshold)
+	})
+}
+
+// SearchTopK returns the k highest-ranked response nodes. Each shard
+// computes its own top k with rank-bound pruning; the global top k is a
+// prefix of the merge of per-shard top-k lists, because every global
+// top-k result is by definition within the top k of its own shard.
+func (s *Set) SearchTopK(query string, threshold, k int) (*core.Response, error) {
+	return s.SearchTopKContext(context.Background(), query, threshold, k)
+}
+
+// SearchTopKContext is SearchTopK honoring ctx.
+func (s *Set) SearchTopKContext(ctx context.Context, query string, threshold, k int) (*core.Response, error) {
+	q := core.ParseQuery(query)
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	resps, partial, err := s.scatter(ctx, func(ctx context.Context, eng *core.Engine) (*core.Response, error) {
+		return eng.SearchTopKCtx(ctx, q, threshold, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.gather(q, resps, partial, k), nil
+}
+
+// scatter runs one search function against every shard engine
+// concurrently. Without AllowPartial the first shard error cancels the
+// remaining shards and fails the search; with it, failed shards are
+// dropped and the response is flagged partial (unless every shard failed,
+// which is still an error). The returned slice has one entry per shard;
+// failed shards are nil.
+func (s *Set) scatter(ctx context.Context, run func(ctx context.Context, eng *core.Engine) (*core.Response, error)) ([]*core.Response, bool, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resps := make([]*core.Response, len(s.engines))
+	errs := make([]error, len(s.engines))
+	var wg sync.WaitGroup
+	for i := range s.engines {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := run(ctx, s.engines[i])
+			if s.metrics != nil {
+				s.metrics.ObserveShardSearch(i, time.Since(start))
+			}
+			if err != nil {
+				errs[i] = err
+				if !s.allowPartial {
+					cancel() // first error wins: stop the other shards
+				}
+				return
+			}
+			resps[i] = resp
+		}(i)
+	}
+	wg.Wait()
+
+	failed := 0
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		failed++
+		// Prefer the root-cause error over the context.Canceled the other
+		// shards observe after the first failure cancels the fan-out.
+		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			firstErr = err
+		}
+	}
+	if failed == 0 {
+		return resps, false, nil
+	}
+	if !s.allowPartial || failed == len(s.engines) {
+		return nil, false, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		// The caller's context expired mid-fan-out: that is a cancelled
+		// request, not a degraded shard — don't dress it up as partial.
+		return nil, false, err
+	}
+	if s.metrics != nil {
+		s.metrics.IncShardPartial()
+	}
+	return resps, true, nil
+}
+
+// gather merges per-shard responses into one response in global order:
+// rank desc, keyword count desc, Dewey order — exactly the single-index
+// sort. k > 0 truncates the merged list. SLSize sums (S_L is partitioned
+// by document, like everything else).
+func (s *Set) gather(q core.Query, resps []*core.Response, partial bool, k int) *core.Response {
+	out := &core.Response{Query: q, Partial: partial}
+	h := make(resultHeap, 0, len(resps))
+	total := 0
+	for _, r := range resps {
+		if r == nil {
+			continue
+		}
+		out.S = r.S
+		out.SLSize += r.SLSize
+		total += len(r.Results)
+		if len(r.Results) > 0 {
+			h = append(h, cursor{list: r.Results})
+		}
+	}
+	if k > 0 && total > k {
+		total = k
+	}
+	out.Results = make([]core.Result, 0, total)
+	heap.Init(&h)
+	for h.Len() > 0 && (k <= 0 || len(out.Results) < k) {
+		c := &h[0]
+		out.Results = append(out.Results, c.list[c.pos])
+		c.pos++
+		if c.pos == len(c.list) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+// cursor walks one shard's ranked result list during the k-way merge.
+type cursor struct {
+	list []core.Result
+	pos  int
+}
+
+// resultHeap is a min-heap of shard cursors ordered by the global response
+// comparator, so the heap root is always the next result to emit.
+type resultHeap []cursor
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	return core.ResultBefore(h[i].list[h[i].pos], h[j].list[h[j].pos])
+}
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(cursor)) }
+func (h *resultHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Explain runs the query on every shard while recording pipeline
+// statistics, and aggregates them: counters and stage times sum across
+// shards, and the embedded response is the scatter-gather merge.
+func (s *Set) Explain(query string, threshold int) (*core.Explanation, error) {
+	return s.ExplainContext(context.Background(), query, threshold)
+}
+
+// ExplainContext is Explain honoring ctx; shards are explained in turn
+// with a cancellation check between shards (Explain itself has no
+// cooperative ctx path).
+func (s *Set) ExplainContext(ctx context.Context, query string, threshold int) (*core.Explanation, error) {
+	q := core.ParseQuery(query)
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	out := &core.Explanation{Query: q}
+	resps := make([]*core.Response, len(s.engines))
+	for i, eng := range s.engines {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ex, err := eng.Explain(q, threshold)
+		if err != nil {
+			return nil, err
+		}
+		if out.PostingSizes == nil {
+			out.PostingSizes = make([]int, len(ex.PostingSizes))
+		}
+		for k, n := range ex.PostingSizes {
+			out.PostingSizes[k] += n
+		}
+		out.S = ex.S
+		out.SLSize += ex.SLSize
+		out.Blocks += ex.Blocks
+		out.LCPNodes += ex.LCPNodes
+		out.Candidates += ex.Candidates
+		out.EntityCandidates += ex.EntityCandidates
+		out.Survivors += ex.Survivors
+		out.MergeTime += ex.MergeTime
+		out.ScanTime += ex.ScanTime
+		out.RankTime += ex.RankTime
+		resps[i] = ex.Response
+	}
+	out.Response = s.gather(q, resps, false, 0)
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package gks
+
+import (
+	"context"
+
+	"repro/internal/shard"
+	"repro/internal/xmltree"
+)
+
+// Searcher is the serving surface shared by a single-index System and a
+// sharded index set: everything the HTTP layer needs to search, analyze
+// and introspect, independent of how the index is physically laid out.
+// Both *System and *ShardedSystem satisfy it.
+type Searcher interface {
+	Search(query string, threshold int) (*Response, error)
+	SearchContext(ctx context.Context, query string, threshold int) (*Response, error)
+	SearchBestEffort(query string) (*Response, error)
+	SearchBestEffortContext(ctx context.Context, query string) (*Response, error)
+	SearchTopK(query string, threshold, k int) (*Response, error)
+	SearchTopKContext(ctx context.Context, query string, threshold, k int) (*Response, error)
+	Explain(query string, threshold int) (*Explanation, error)
+	ExplainContext(ctx context.Context, query string, threshold int) (*Explanation, error)
+	Insights(resp *Response, m int) []Insight
+	InsightsRecursive(q Query, threshold, m, rounds int) ([]InsightRound, error)
+	Refinements(resp *Response, topK int) []Query
+	Augmentations(q Query, insights []Insight, topK int) []Query
+	SLCA(q Query) []string
+	ELCA(q Query) []string
+	InferResultTypes(query string, topK int) []TypeScore
+	Suggest(keyword string, maxDist, topK int) []Suggestion
+	HasMatches(keyword string) bool
+	Schema() []SchemaEdge
+	ApplySchemaCategorization() int
+	Stats() IndexStats
+	ValidateIndex() error
+}
+
+var (
+	_ Searcher = (*System)(nil)
+	_ Searcher = (*ShardedSystem)(nil)
+)
+
+// ShardedSystem is a set of independent index shards searched with a
+// parallel scatter-gather whose merged responses are identical to a
+// single-index System over the same documents (see internal/shard). It
+// persists as a GKSM1 manifest plus one snapshot file per shard
+// (SaveManifest / LoadShardSet) and satisfies Searcher, so gksd can serve
+// and hot-reload it exactly like a single index.
+type ShardedSystem = shard.Set
+
+// ShardOptions configures sharded index builds.
+type ShardOptions = shard.Options
+
+// DefaultShardOptions returns the standard configuration for n shards:
+// document-hash partitioning, parallel build, fail-fast searches.
+func DefaultShardOptions(n int) ShardOptions { return shard.DefaultOptions(n) }
+
+// IndexDocumentsSharded partitions the documents into n shards and builds
+// them in parallel. Documents are renumbered globally, so responses carry
+// the same Dewey IDs as IndexDocuments over the same slice.
+func IndexDocumentsSharded(n int, docs ...*Document) (*ShardedSystem, error) {
+	return IndexDocumentsShardedOpts(shard.DefaultOptions(n), docs...)
+}
+
+// IndexDocumentsShardedOpts is IndexDocumentsSharded with full control
+// over partitioning, build concurrency and partial-result semantics.
+func IndexDocumentsShardedOpts(opts ShardOptions, docs ...*Document) (*ShardedSystem, error) {
+	return shard.Build(docs, opts)
+}
+
+// IndexFilesSharded parses the XML files and indexes them into n shards.
+func IndexFilesSharded(n int, paths ...string) (*ShardedSystem, error) {
+	docs := make([]*Document, 0, len(paths))
+	for _, p := range paths {
+		d, err := xmltree.ParseFile(p, 0)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, d)
+	}
+	return IndexDocumentsSharded(n, docs...)
+}
+
+// LoadShardSet restores a sharded system from a GKSM1 manifest written by
+// ShardedSystem.SaveManifest. The load is all-or-nothing: a missing,
+// truncated or bit-flipped shard file fails the whole set (wrapping
+// ErrCorruptIndex), never yielding a mixed-generation system.
+func LoadShardSet(path string) (*ShardedSystem, error) {
+	return shard.LoadManifest(path)
+}
