@@ -90,7 +90,9 @@ func New(sys gks.Searcher) *Handler { return NewWithCache(sys, 0) }
 // NewWithCache builds the handler with an LRU memoizing /search responses
 // for up to capacity distinct (q, s, top) triples. Search is deterministic
 // over an immutable index, so cached responses never go stale within one
-// snapshot generation, and Swap starts a new generation. capacity <= 0
+// snapshot generation, and Swap starts a new generation. Responses
+// flagged partial (a degraded scatter-gather) are never cached — they
+// reflect a transient failure, not the query's answer. capacity <= 0
 // disables the cache. Concurrent identical cache misses are coalesced
 // through a singleflight group so a popular query cannot stampede the
 // engine.
@@ -167,12 +169,15 @@ type resultJSON struct {
 	Entity   bool     `json:"entity"`
 }
 
-// searchJSON is the wire form of a response.
+// searchJSON is the wire form of a response. Partial is always emitted
+// (no omitempty) so clients of a degrade-to-partial deployment can tell a
+// complete answer from a degraded one without guessing at absent fields.
 type searchJSON struct {
 	Query   string       `json:"query"`
 	S       int          `json:"s"`
 	SLSize  int          `json:"slSize"`
 	Total   int          `json:"total"`
+	Partial bool         `json:"partial"`
 	Results []resultJSON `json:"results"`
 }
 
@@ -222,10 +227,11 @@ func searchParams(r *http.Request) (q string, s int, err error) {
 
 func buildSearchJSON(resp *gks.Response, top int) searchJSON {
 	out := searchJSON{
-		Query:  resp.Query.String(),
-		S:      resp.S,
-		SLSize: resp.SLSize,
-		Total:  len(resp.Results),
+		Query:   resp.Query.String(),
+		S:       resp.S,
+		SLSize:  resp.SLSize,
+		Total:   len(resp.Results),
+		Partial: resp.Partial,
 	}
 	for i, res := range resp.Results {
 		if i >= top {
@@ -269,7 +275,12 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return searchJSON{}, err
 		}
 		out := buildSearchJSON(resp, top)
-		if h.respCache != nil {
+		// A partial response reflects a transient shard failure, not the
+		// query's answer: caching it would keep serving degraded results
+		// for the rest of the snapshot generation, long after the shard
+		// recovers. (The singleflight group only coalesces concurrent
+		// callers, so it never outlives the degraded search itself.)
+		if h.respCache != nil && !resp.Partial {
 			h.respCache.Put(key, out)
 		}
 		return out, nil

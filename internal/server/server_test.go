@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	gks "repro"
@@ -460,5 +461,69 @@ func TestCachedSearch(t *testing.T) {
 	_, other := get(t, h, "/search?q=red&s=1&top=1")
 	if other == first {
 		t.Error("top parameter must key the cache")
+	}
+}
+
+// partialSearcher wraps a Searcher and, while degraded, marks every
+// search response partial — simulating a shard set degrading under a
+// transient shard failure with -partial-results.
+type partialSearcher struct {
+	gks.Searcher
+	degraded atomic.Bool
+}
+
+func (p *partialSearcher) SearchContext(ctx context.Context, q string, s int) (*gks.Response, error) {
+	resp, err := p.Searcher.SearchContext(ctx, q, s)
+	if err == nil && p.degraded.Load() {
+		c := *resp
+		c.Partial = true
+		resp = &c
+	}
+	return resp, err
+}
+
+// TestPartialResponsesFlaggedAndNotCached: a degraded response must carry
+// partial=true on the wire and must NOT enter the response cache — once
+// the failing shard recovers, the same query must come back complete.
+func TestPartialResponsesFlaggedAndNotCached(t *testing.T) {
+	ps := &partialSearcher{Searcher: testSystem(t)}
+	ps.degraded.Store(true)
+	h := NewWithCache(ps, 16)
+
+	var out struct {
+		Partial bool `json:"partial"`
+	}
+	code, body := get(t, h, "/search?q=karen&s=1")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if !out.Partial {
+		t.Fatalf("degraded response not flagged partial: %s", body)
+	}
+
+	ps.degraded.Store(false)
+	code, body = get(t, h, "/search?q=karen&s=1")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if out.Partial {
+		t.Fatalf("recovered search served the cached partial response: %s", body)
+	}
+	if hits, misses := h.CacheStats(); hits != 0 || misses != 2 {
+		t.Fatalf("cache stats after partial + complete search: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+
+	// The complete response IS cached.
+	if code, _ := get(t, h, "/search?q=karen&s=1"); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if hits, _ := h.CacheStats(); hits != 1 {
+		t.Fatalf("complete response not cached: hits=%d, want 1", hits)
 	}
 }

@@ -62,7 +62,13 @@ func TestShardSetReloadUnderTraffic(t *testing.T) {
 	// shard snapshot. The manifest itself is intact — only the per-shard
 	// CRC check can catch this, and it must fail the whole set.
 	pathC := manifestFile(t, dir, "c", "Xavier", 3)
-	corruptShard := filepath.Join(dir, "c.gksm.s001")
+	// Shard file names embed the manifest generation; glob rather than
+	// hard-code it.
+	matches, err := filepath.Glob(filepath.Join(dir, "c.gksm.g*.s001"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("locating shard file c.gksm.g*.s001: matches=%v err=%v", matches, err)
+	}
+	corruptShard := matches[0]
 	raw, err := os.ReadFile(corruptShard)
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +191,7 @@ func TestShardSetReloadUnderTraffic(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("corrupt reload status %d, want 500 (body %s)", resp.StatusCode, body)
 	}
-	if !strings.Contains(string(body), "c.gksm.s001") {
+	if !strings.Contains(string(body), filepath.Base(corruptShard)) {
 		t.Errorf("corrupt reload error should name the damaged shard file: %s", body)
 	}
 	if api.Generation() != 2 {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 
 	"repro/internal/index"
 )
@@ -28,7 +29,11 @@ import (
 //	CRC32 of everything above (4 bytes little-endian)
 //
 // Shard file names are stored relative to the manifest's directory; the
-// manifest never references files outside it.
+// manifest never references files outside it. Names embed the manifest
+// generation, which advances on every save: the new generation's shard
+// files never share a name with files the manifest currently at path
+// references, so a save never writes over bytes the loadable set depends
+// on.
 const manifestMagic = "GKSM1"
 
 // maxManifestShards bounds the shard count a loader will accept — far
@@ -36,25 +41,42 @@ const manifestMagic = "GKSM1"
 // allocation or file probing into the millions.
 const maxManifestShards = 1 << 12
 
-// ShardFileName returns the file name of shard i for the manifest at
-// path: "<manifest base name>.s000", "….s001", … in the same directory.
-func ShardFileName(path string, i int) string {
-	return fmt.Sprintf("%s.s%03d", filepath.Base(path), i)
+// ShardFileName returns the file name of shard i for generation gen of
+// the manifest at path: "<manifest base name>.g000002.s000", "….s001", …
+// in the same directory. The generation in the name is what keeps a save
+// from writing over files the live manifest references.
+func ShardFileName(path string, gen uint64, i int) string {
+	return fmt.Sprintf("%s.g%06d.s%03d", filepath.Base(path), gen, i)
 }
 
 // SaveManifest persists the set: every shard index is written as a GKS3
 // snapshot next to the manifest (each write individually atomic), then
-// the manifest itself is written atomically. A crash at any point leaves
-// the previous manifest — and therefore the previous complete set —
-// intact and loadable.
+// the manifest itself is written atomically, then shard files no manifest
+// references any more are removed. The save advances the set's
+// Generation and bakes it into the new shard file names, so it never
+// touches the files an existing manifest at path points to: a crash
+// before the final manifest rename leaves the previous manifest — and
+// therefore the previous complete set — intact and loadable, and a crash
+// after it leaves the new set loadable (stray files from the interrupted
+// cleanup are swept by the next save).
 func (s *Set) SaveManifest(path string) error {
 	dir := filepath.Dir(path)
+	gen := s.Generation + 1
+	if prevGen, _, err := readManifest(path); err == nil && prevGen >= gen {
+		// Overwriting a manifest this set was not loaded from (e.g.
+		// re-running `gks index -shards` over a served path, where the
+		// fresh build starts at generation 1): stay ahead of the existing
+		// manifest's generation too, or the new shard files would collide
+		// with the very set being replaced.
+		gen = prevGen + 1
+	}
 	var buf bytes.Buffer
 	buf.WriteString(manifestMagic)
-	buf.Write(binary.AppendUvarint(nil, s.Generation))
+	buf.Write(binary.AppendUvarint(nil, gen))
 	buf.Write(binary.AppendUvarint(nil, uint64(len(s.shards))))
+	live := make(map[string]bool, len(s.shards))
 	for i, ix := range s.shards {
-		name := ShardFileName(path, i)
+		name := ShardFileName(path, gen, i)
 		full := filepath.Join(dir, name)
 		if err := ix.SaveFile(full); err != nil {
 			return fmt.Errorf("shard: save shard %d: %w", i, err)
@@ -63,6 +85,7 @@ func (s *Set) SaveManifest(path string) error {
 		if err != nil {
 			return fmt.Errorf("shard: save shard %d: %w", i, err)
 		}
+		live[name] = true
 		buf.Write(binary.AppendUvarint(nil, uint64(len(name))))
 		buf.WriteString(name)
 		buf.Write(binary.AppendUvarint(nil, uint64(crc32.ChecksumIEEE(data))))
@@ -72,10 +95,43 @@ func (s *Set) SaveManifest(path string) error {
 	var trailer [4]byte
 	binary.LittleEndian.PutUint32(trailer[:], sum)
 	buf.Write(trailer[:])
-	return index.WriteFileAtomic(path, func(w io.Writer) error {
+	if err := index.WriteFileAtomic(path, func(w io.Writer) error {
 		_, err := w.Write(buf.Bytes())
 		return err
-	})
+	}); err != nil {
+		return err
+	}
+	s.Generation = gen
+	removeStaleShardFiles(path, live)
+	return nil
+}
+
+// shardFilePattern matches the shard file names SaveManifest generates
+// for path's manifest, current ("<base>.gNNNNNN.sNNN") and legacy
+// ("<base>.sNNN") forms alike — and nothing else, so the stale-file sweep
+// can never touch an unrelated file.
+func shardFilePattern(path string) *regexp.Regexp {
+	return regexp.MustCompile(`^` + regexp.QuoteMeta(filepath.Base(path)) + `\.(g\d+\.)?s\d{3}$`)
+}
+
+// removeStaleShardFiles deletes, best effort, every shard file of path's
+// manifest that is not in live: the generation the manifest rename just
+// superseded, plus any strays from an earlier interrupted save. It runs
+// strictly after the rename, so nothing it removes is referenced by a
+// loadable manifest.
+func removeStaleShardFiles(path string, live map[string]bool) {
+	dir := filepath.Dir(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	pat := shardFilePattern(path)
+	for _, e := range entries {
+		if e.IsDir() || live[e.Name()] || !pat.MatchString(e.Name()) {
+			continue
+		}
+		os.Remove(filepath.Join(dir, e.Name()))
+	}
 }
 
 // manifestEntry is one shard reference parsed from a manifest.

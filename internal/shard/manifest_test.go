@@ -32,13 +32,18 @@ func TestManifestRoundTrip(t *testing.T) {
 	if err := set.SaveManifest(path); err != nil {
 		t.Fatal(err)
 	}
+	// SaveManifest advances the generation (crash-safety depends on the
+	// advanced value naming the new shard files).
+	if set.Generation != 8 {
+		t.Fatalf("generation after save = %d, want 8", set.Generation)
+	}
 
 	loaded, err := LoadManifest(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Generation != 7 {
-		t.Fatalf("generation = %d, want 7", loaded.Generation)
+	if loaded.Generation != 8 {
+		t.Fatalf("generation = %d, want 8", loaded.Generation)
 	}
 	if loaded.NumShards() != set.NumShards() {
 		t.Fatalf("loaded %d shards, want %d", loaded.NumShards(), set.NumShards())
@@ -84,13 +89,13 @@ func TestManifestLoadAllOrNothing(t *testing.T) {
 		wantPlain bool // plain error acceptable (I/O, not corruption)
 	}{
 		{name: "bit flip in one shard file", damage: func(t *testing.T, dir, path string) {
-			flipByte(t, filepath.Join(dir, ShardFileName(path, 2)), 0x01)
+			flipByte(t, filepath.Join(dir, ShardFileName(path, set.Generation, 2)), 0x01)
 		}},
 		{name: "truncated shard file", damage: func(t *testing.T, dir, path string) {
-			truncateFile(t, filepath.Join(dir, ShardFileName(path, 1)))
+			truncateFile(t, filepath.Join(dir, ShardFileName(path, set.Generation, 1)))
 		}},
 		{name: "missing shard file", wantPlain: true, damage: func(t *testing.T, dir, path string) {
-			if err := os.Remove(filepath.Join(dir, ShardFileName(path, 0))); err != nil {
+			if err := os.Remove(filepath.Join(dir, ShardFileName(path, set.Generation, 0))); err != nil {
 				t.Fatal(err)
 			}
 		}},
@@ -126,6 +131,94 @@ func TestManifestLoadAllOrNothing(t *testing.T) {
 				t.Fatalf("error does not wrap ErrCorrupt: %v", err)
 			}
 		})
+	}
+}
+
+// TestManifestSaveCrashSafe pins the crash-safety contract of
+// SaveManifest: a save in progress writes only generation-unique file
+// names, so up to the instant of the final manifest rename the previous
+// set stays loadable, and after the rename the stale generation's files
+// are swept.
+func TestManifestSaveCrashSafe(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.gksm")
+	set := buildTestSet(t, 3)
+	if err := set.SaveManifest(path); err != nil {
+		t.Fatal(err)
+	}
+	genA := set.Generation
+	_, entriesA, err := readManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash window of a subsequent save: the next
+	// generation's shard files hit the disk, the manifest rename never
+	// does. The old manifest references only its own generation's files,
+	// so the set must still load intact.
+	for i, ix := range set.Indexes() {
+		if err := ix.SaveFile(filepath.Join(dir, ShardFileName(path, genA+1, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, err := LoadManifest(path)
+	if err != nil {
+		t.Fatalf("set unloadable after interrupted save: %v", err)
+	}
+	if loaded.Generation != genA {
+		t.Fatalf("interrupted save changed the loadable generation: %d, want %d", loaded.Generation, genA)
+	}
+
+	// Completing the save advances the generation, references only the
+	// new names (disjoint from the old), and sweeps the old files.
+	if err := set.SaveManifest(path); err != nil {
+		t.Fatal(err)
+	}
+	if set.Generation <= genA {
+		t.Fatalf("generation did not advance: %d after %d", set.Generation, genA)
+	}
+	_, entriesB, err := readManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldNames := make(map[string]bool, len(entriesA))
+	for _, e := range entriesA {
+		oldNames[e.Name] = true
+	}
+	for _, e := range entriesB {
+		if oldNames[e.Name] {
+			t.Fatalf("new manifest reuses shard file name %q from the previous generation", e.Name)
+		}
+	}
+	for _, e := range entriesA {
+		if _, err := os.Stat(filepath.Join(dir, e.Name)); !os.IsNotExist(err) {
+			t.Errorf("stale shard file %s not swept after save (err=%v)", e.Name, err)
+		}
+	}
+	if loaded, err = LoadManifest(path); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Generation != set.Generation {
+		t.Fatalf("loaded generation %d, want %d", loaded.Generation, set.Generation)
+	}
+}
+
+// TestShardFilePatternScope: the stale-file sweep must only ever match
+// names SaveManifest itself generates for this manifest base.
+func TestShardFilePatternScope(t *testing.T) {
+	pat := shardFilePattern("/data/corpus.gksm")
+	for _, name := range []string{"corpus.gksm.s000", "corpus.gksm.g000002.s013"} {
+		if !pat.MatchString(name) {
+			t.Errorf("pattern missed shard file %q", name)
+		}
+	}
+	for _, name := range []string{
+		"corpus.gksm", "corpus.gksm.bak", "corpus.gksm.s1", "corpus.gksm.snapshot",
+		"other.gksm.s000", "corpus.gksm.g2.s000x",
+	} {
+		if pat.MatchString(name) {
+			t.Errorf("pattern would sweep unrelated file %q", name)
+		}
 	}
 }
 

@@ -151,6 +151,51 @@ func TestScatterCancelledIsNotPartial(t *testing.T) {
 	}
 }
 
+// TestBestEffortPartialProbes: if ANY probe of the best-effort threshold
+// scan came back partial, the final response must be flagged partial —
+// a degraded probe can make a non-empty threshold look empty and steer
+// the scan to a lower s, so even a final probe that succeeded on every
+// shard is not a complete answer.
+func TestBestEffortPartialProbes(t *testing.T) {
+	q := core.NewQuery("apple", "pear", "plum")
+	mk := func(n int, partial bool) *core.Response {
+		r := &core.Response{Query: q, S: 1, Partial: partial}
+		for i := 0; i < n; i++ {
+			r.Results = append(r.Results, core.Result{})
+		}
+		return r
+	}
+
+	// The probe at threshold 2 is degraded and looks empty, so the scan
+	// settles on s=1 where every shard answered: still flagged partial.
+	resp, err := bestEffortPartialAware(context.Background(), q, func(_ context.Context, s int) (*core.Response, error) {
+		if s >= 2 {
+			return mk(0, true), nil
+		}
+		return mk(3, false), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Partial {
+		t.Fatal("best-effort scan with a partial probe returned an unflagged response")
+	}
+
+	// Every probe complete: the flag stays off.
+	resp, err = bestEffortPartialAware(context.Background(), q, func(_ context.Context, s int) (*core.Response, error) {
+		if s >= 2 {
+			return mk(0, false), nil
+		}
+		return mk(3, false), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Partial {
+		t.Fatal("healthy best-effort scan flagged partial")
+	}
+}
+
 func TestSearchContextCancelled(t *testing.T) {
 	set := buildTestSet(t, 3)
 	ctx, cancel := context.WithCancel(context.Background())

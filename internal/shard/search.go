@@ -53,9 +53,35 @@ func (s *Set) SearchBestEffort(query string) (*core.Response, error) {
 // SearchBestEffortContext is SearchBestEffort honoring ctx.
 func (s *Set) SearchBestEffortContext(ctx context.Context, query string) (*core.Response, error) {
 	q := core.ParseQuery(query)
-	return core.BestEffort(ctx, q, func(ctx context.Context, threshold int) (*core.Response, error) {
+	return bestEffortPartialAware(ctx, q, func(ctx context.Context, threshold int) (*core.Response, error) {
 		return s.SearchQueryCtx(ctx, q, threshold)
 	})
+}
+
+// bestEffortPartialAware runs the core.BestEffort threshold scan over
+// search, flagging the final response partial when any probe in the scan
+// was partial: under AllowPartial, a degraded probe can make a non-empty threshold
+// look empty and steer the scan to a lower s than a healthy set would
+// settle on — so even a final probe that succeeded on every shard is not
+// trustworthy as a complete answer.
+func bestEffortPartialAware(ctx context.Context, q core.Query, search func(context.Context, int) (*core.Response, error)) (*core.Response, error) {
+	anyPartial := false
+	resp, err := core.BestEffort(ctx, q, func(ctx context.Context, threshold int) (*core.Response, error) {
+		r, err := search(ctx, threshold)
+		if err == nil && r.Partial {
+			anyPartial = true
+		}
+		return r, err
+	})
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if anyPartial {
+		// Probe responses are freshly allocated per scatter-gather merge,
+		// so the flag can be set in place.
+		resp.Partial = true
+	}
+	return resp, nil
 }
 
 // SearchTopK returns the k highest-ranked response nodes. Each shard

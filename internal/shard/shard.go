@@ -76,7 +76,9 @@ type Set struct {
 	// docShard maps a global document ID to the shard holding it.
 	docShard []int32
 	// Generation is the manifest generation: 1 for a freshly built set,
-	// the persisted value for a set loaded from a manifest.
+	// the persisted value for a set loaded from a manifest. SaveManifest
+	// advances it — shard file names embed it, which is what makes saves
+	// crash-safe.
 	Generation uint64
 
 	allowPartial bool
@@ -209,7 +211,10 @@ func Partition(docs []*xmltree.Document, opts Options) [][]*xmltree.Document {
 		for _, d := range docs {
 			h := fnv.New32a()
 			h.Write([]byte(d.Name))
-			groups[int(h.Sum32())%n] = append(groups[int(h.Sum32())%n], d)
+			// Reduce in uint32: int(Sum32()) is negative for high hashes
+			// on 32-bit platforms, and a negative modulo would panic.
+			g := int(h.Sum32() % uint32(n))
+			groups[g] = append(groups[g], d)
 		}
 	}
 	out := groups[:0]
