@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke shard-race bench-smoke check
+.PHONY: build vet test race bench fuzz-smoke shard-race bench-smoke bench-query check
 
 build:
 	$(GO) build ./...
@@ -44,4 +44,15 @@ bench-smoke:
 	$(GO) run ./cmd/gksbench -exp shard -json-dir $$tmp > /dev/null && \
 	test -s $$tmp/BENCH_shard.json && echo "bench-smoke: BENCH_shard.json OK" && rm -rf $$tmp
 
-check: build vet race fuzz-smoke shard-race bench-smoke
+# One-shot query hot-path smoke: the merge and search benchmarks at
+# -benchtime=1x prove they still run, and the query experiment must emit
+# its JSON artifact (speedup/alloc numbers are only meaningful at
+# -scale 10 on a quiet machine; see BENCH_query.json for the recorded
+# run).
+bench-query:
+	$(GO) test -run '^$$' -bench 'BenchmarkMergeLoserTree|BenchmarkSearchHotPath|BenchmarkSearchTopK' -benchtime=1x ./internal/merge ./internal/core
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/gksbench -exp query -json-dir $$tmp > /dev/null && \
+	test -s $$tmp/BENCH_query.json && echo "bench-query: BENCH_query.json OK" && rm -rf $$tmp
+
+check: build vet race fuzz-smoke shard-race bench-smoke bench-query

@@ -9,7 +9,7 @@
 //
 // Experiments: table1, table4, table5, table7, table8, fig8, fig9, fig10,
 // fig8s, refine, feedback, hybrid, naive, schema, formats, meaning, fslca,
-// recursive, shard, or "all" (default).
+// recursive, shard, query, or "all" (default).
 //
 // With -json-dir every experiment additionally writes its typed rows as
 // BENCH_<name>.json into the directory — a machine-readable record of the
@@ -251,6 +251,16 @@ func main() {
 		fmt.Fprintln(out, "== Sharded index: parallel build and scatter-gather search ==")
 		emit("shard", r)
 		experiments.PrintShardBench(out, r)
+		fmt.Fprintln(out)
+	}
+	if run("query") {
+		r, err := s.QueryBench(5)
+		if err != nil {
+			fail("query", err)
+		}
+		fmt.Fprintln(out, "== Query hot path: seed pipeline vs loser-tree merge + query arena ==")
+		emit("query", r)
+		experiments.PrintQueryBench(out, r)
 		fmt.Fprintln(out)
 	}
 }

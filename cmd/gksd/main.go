@@ -126,6 +126,7 @@ func main() {
 
 	api := server.NewWithCache(sys, *cacheSize)
 	reg.SetCacheStats(api.CacheStats)
+	api.SetSearchObserver(reg)
 	reg.SetSnapshotGeneration(api.Generation())
 	reloader := server.NewReloader(api, loadSys, reg, logger)
 

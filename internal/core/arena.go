@@ -1,0 +1,76 @@
+package core
+
+import (
+	"repro/internal/merge"
+)
+
+// queryArena is the per-query scratch state of the search pipeline, pooled
+// on the engine so the steady-state hot path runs without per-query map or
+// slice allocations. The two flat tables are indexed by node ordinal —
+// they replace the seed pipeline's lcpCounts and byOrd maps — and are
+// cleared through the touched/candOrds lists, so a query pays O(its own
+// footprint) to reset them, not O(index size).
+//
+// An arena is engine-bound: the tables are sized to the engine's node
+// count, and the engine's index never changes shape in place (mutations
+// build a new Engine), so pooled arenas always fit.
+type queryArena struct {
+	// lists holds the per-keyword posting list headers for the merge.
+	lists [][]int32
+	// sl is the reusable S_L buffer filled by merge.MergeInto.
+	sl []merge.Entry
+	// lcpCount counts sliding-window blocks per LCP ordinal.
+	lcpCount []int32
+	// touched lists the ordinals with lcpCount != 0, in first-touch order.
+	touched []int32
+	// candIdx maps a lifted ordinal to its slot in cands, offset by one so
+	// the zero value means "no candidate yet".
+	candIdx []int32
+	// candOrds lists the ordinals with candIdx set.
+	candOrds []int32
+	// cands is the candidate slab: one entry per distinct lifted node,
+	// replacing the seed's per-candidate heap allocations. Pointers into
+	// the slab are taken only after the slab is fully built (ptrs), so
+	// append-time reallocation cannot invalidate them.
+	cands []candidate
+	// ptrs is the pre-order sorted view of cands that the mask sweep,
+	// witness filter and ranking loops walk.
+	ptrs []*candidate
+	// maskStack is the open-candidate stack of computeMasks.
+	maskStack []maskOpen
+	// witStack is the pending-candidate stack of the witness filter.
+	witStack []*candidate
+}
+
+// acquireArena returns a pooled arena, growing a fresh one on a cold pool.
+func (e *Engine) acquireArena() *queryArena {
+	if a, ok := e.arenas.Get().(*queryArena); ok {
+		return a
+	}
+	n := len(e.ix.Nodes)
+	return &queryArena{
+		lcpCount: make([]int32, n),
+		candIdx:  make([]int32, n),
+	}
+}
+
+// releaseArena resets a to a clean state and returns it to the pool. Reset
+// must go through here on every exit path (including cancellations), so
+// the flat tables are always zeroed before reuse.
+func (e *Engine) releaseArena(a *queryArena) {
+	for _, ord := range a.touched {
+		a.lcpCount[ord] = 0
+	}
+	for _, ord := range a.candOrds {
+		a.candIdx[ord] = 0
+	}
+	a.lists = a.lists[:0]
+	a.sl = a.sl[:0]
+	a.touched = a.touched[:0]
+	a.candOrds = a.candOrds[:0]
+	a.cands = a.cands[:0]
+	a.ptrs = a.ptrs[:0]
+	a.maskStack = a.maskStack[:0]
+	a.witStack = a.witStack[:0]
+	e.arenas.Put(a)
+}

@@ -3,7 +3,10 @@ package core
 import (
 	"context"
 	"math/bits"
+	"slices"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/dewey"
 	"repro/internal/index"
@@ -15,6 +18,9 @@ import (
 type Engine struct {
 	ix     *index.Index
 	scorer rank.Scorer
+	// arenas pools per-query scratch state (see queryArena); the engine's
+	// index is immutable, so pooled arenas always match its node count.
+	arenas sync.Pool
 }
 
 // NewEngine wraps ix in a search engine.
@@ -63,10 +69,38 @@ type Response struct {
 	// sharded scatter-gather search ran with some shards failing and
 	// degrade-to-partial enabled. Single-index searches never set it.
 	Partial bool
+	// Stages splits the wall-clock cost of producing this response across
+	// the pipeline stages. A sharded response sums its shards' stages, so
+	// the totals read as aggregate work, not critical-path latency.
+	Stages StageTimings
+}
 
-	// sl and masks are retained for the analysis engine (ranking already
-	// consumed them; DI re-uses the ranked results only).
-	sl []merge.Entry
+// StageTimings is the per-stage wall-clock breakdown of one search.
+type StageTimings struct {
+	// Merge covers posting-list resolution and the k-way merge into S_L.
+	Merge time.Duration
+	// Windows covers the sliding-window block scan and LCP resolution.
+	Windows time.Duration
+	// Lift covers candidate lifting, dedupe and subtree-mask computation.
+	Lift time.Duration
+	// Filter covers the independent-witness filter.
+	Filter time.Duration
+	// Rank covers candidate scoring and response ordering.
+	Rank time.Duration
+}
+
+// Total sums the stage times.
+func (t StageTimings) Total() time.Duration {
+	return t.Merge + t.Windows + t.Lift + t.Filter + t.Rank
+}
+
+// Add accumulates o into t (used when aggregating shard responses).
+func (t *StageTimings) Add(o StageTimings) {
+	t.Merge += o.Merge
+	t.Windows += o.Windows
+	t.Lift += o.Lift
+	t.Filter += o.Filter
+	t.Rank += o.Rank
 }
 
 // KeywordsOf lists the raw query keywords present in the result's subtree.
@@ -104,19 +138,23 @@ func (e *Engine) Search(q Query, s int) (*Response, error) {
 // next checkpoint instead of completing a doomed search on a detached
 // goroutine. A cancelled search returns ctx.Err() and no response.
 func (e *Engine) SearchCtx(ctx context.Context, q Query, s int) (*Response, error) {
-	resp, cands, sl, err := e.collectCandidates(ctx, q, s)
+	resp, cands, a, err := e.collectCandidates(ctx, q, s)
 	if err != nil || len(cands) == 0 {
 		return resp, err
 	}
+	defer e.releaseArena(a)
 	// Rank every survivor with the potential-flow model and order the
 	// response (§5).
+	start := time.Now()
+	resp.Results = make([]Result, 0, len(cands))
 	for i, c := range cands {
 		if i&rankCheckMask == 0 && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		resp.Results = append(resp.Results, e.rankCandidate(c, sl))
+		resp.Results = append(resp.Results, e.rankCandidate(c, a.sl))
 	}
 	sortResults(resp.Results)
+	resp.Stages.Rank = time.Since(start)
 	return resp, nil
 }
 
@@ -129,7 +167,12 @@ const rankCheckMask = 1<<8 - 1
 // lifting, witness filter) and returns the surviving candidates in
 // pre-order, unranked. ctx is polled at stage boundaries and periodically
 // inside the merge and window scans.
-func (e *Engine) collectCandidates(ctx context.Context, q Query, s int) (*Response, []*candidate, []merge.Entry, error) {
+//
+// All scratch state (including S_L, reachable as arena.sl) lives in the
+// returned arena; the caller must pass it to releaseArena once the
+// survivors have been consumed. On error or empty-survivor returns the
+// arena has already been released and comes back nil.
+func (e *Engine) collectCandidates(ctx context.Context, q Query, s int) (*Response, []*candidate, *queryArena, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -140,29 +183,41 @@ func (e *Engine) collectCandidates(ctx context.Context, q Query, s int) (*Respon
 		s = q.Len()
 	}
 	resp := &Response{Query: q, S: s}
+	a := e.acquireArena()
 
 	// 1. Fetch the inverted-index list S_i of every keyword and merge them
 	// into the Dewey-ordered list S_L (§4.1).
-	lists := make([][]int32, q.Len())
-	for i, kw := range q.Keywords {
-		lists[i] = e.postings(kw)
+	start := time.Now()
+	lists := a.lists
+	for _, kw := range q.Keywords {
+		lists = append(lists, e.postings(kw))
 	}
-	sl, err := merge.MergeCtx(ctx, lists)
+	a.lists = lists
+	sl, err := merge.MergeInto(ctx, lists, a.sl)
 	if err != nil {
+		e.releaseArena(a)
 		return nil, nil, nil, err
 	}
+	a.sl = sl
 	resp.SLSize = len(sl)
-	resp.sl = sl
+	resp.Stages.Merge = time.Since(start)
 	if len(sl) == 0 {
+		e.releaseArena(a)
 		return resp, nil, nil, nil
 	}
 
 	// 2. Slide the s-unique-keyword block over S_L and collect the longest
 	// common prefix of each block into the LCP candidate list (Lemma 6:
 	// for a Dewey-sorted block the common prefix of the first and last
-	// entries is the common prefix of the whole block).
-	lcpCounts := make(map[int32]int)
+	// entries is the common prefix of the whole block). The LCP of the
+	// previous block is memoized: S_L repeats ordinals across keywords, so
+	// adjacent windows frequently share the same (first, last) ordinal
+	// pair and skip the Dewey LCA + ordinal lookup entirely.
+	start = time.Now()
 	windows, cancelled := 0, false
+	memoA, memoB := int32(-1), int32(-1)
+	var memoOrd int32
+	var memoOK bool
 	merge.Windows(sl, s, func(l, r int) {
 		windows++
 		if cancelled {
@@ -172,21 +227,33 @@ func (e *Engine) collectCandidates(ctx context.Context, q Query, s int) (*Respon
 			cancelled = true // skip the per-window LCP work for the rest
 			return
 		}
-		if ord, ok := e.lcpNode(sl[l].Ord, sl[r].Ord); ok {
-			lcpCounts[ord]++
+		first, last := sl[l].Ord, sl[r].Ord
+		if first != memoA || last != memoB {
+			memoA, memoB = first, last
+			memoOrd, memoOK = e.lcpNode(first, last)
+		}
+		if memoOK {
+			if a.lcpCount[memoOrd] == 0 {
+				a.touched = append(a.touched, memoOrd)
+			}
+			a.lcpCount[memoOrd]++
 		}
 	})
 	if cancelled {
+		e.releaseArena(a)
 		return nil, nil, nil, ctx.Err()
 	}
+	resp.Stages.Windows = time.Since(start)
 
 	// 3. Lift candidates: attribute nodes resolve to their parent
 	// (Def 2.1.1: "the parent node of an attribute node is considered the
 	// lowest ancestor for keywords in its value"), then every candidate
 	// resolves to its lowest entity ancestor-or-self when one exists
-	// (§4.1); otherwise it stays a plain LCP node.
-	byOrd := make(map[int32]*candidate)
-	for ord, count := range lcpCounts {
+	// (§4.1); otherwise it stays a plain LCP node. Distinct lifted nodes
+	// dedupe through the flat candIdx table into the candidate slab.
+	start = time.Now()
+	for _, ord := range a.touched {
+		count := int(a.lcpCount[ord])
 		lifted := ord
 		for e.ix.Nodes[lifted].Cat&index.Attribute != 0 && e.ix.Nodes[lifted].Parent >= 0 {
 			lifted = e.ix.Nodes[lifted].Parent
@@ -208,26 +275,33 @@ func (e *Engine) collectCandidates(ctx context.Context, q Query, s int) (*Respon
 			// available to the user even in the absence of any query").
 			continue
 		}
-		c := byOrd[final]
-		if c == nil {
-			c = &candidate{ord: final, isEntity: isEntity}
-			byOrd[final] = c
+		idx := a.candIdx[final]
+		if idx == 0 {
+			a.cands = append(a.cands, candidate{ord: final, isEntity: isEntity})
+			idx = int32(len(a.cands))
+			a.candIdx[final] = idx
+			a.candOrds = append(a.candOrds, final)
 		}
-		c.lcp += count
+		a.cands[idx-1].lcp += count
 	}
 
-	cands := make([]*candidate, 0, len(byOrd))
-	for _, c := range byOrd {
-		cands = append(cands, c)
+	// Pointers into the slab are taken only now that it is fully built, so
+	// append growth above cannot have invalidated them.
+	cands := a.ptrs
+	for i := range a.cands {
+		cands = append(cands, &a.cands[i])
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].ord < cands[j].ord })
-	computeMasks(e.ix, cands, sl)
+	a.ptrs = cands
+	slices.SortFunc(cands, func(x, y *candidate) int { return int(x.ord - y.ord) })
+	a.maskStack = computeMasks(e.ix, cands, sl, a.maskStack)
+	resp.Stages.Lift = time.Since(start)
 
 	// 4. Independent-witness filter (Def 2.2.1, Lemmas 4–5): a candidate
 	// survives only if some query keyword in its subtree is not contained
 	// in any surviving candidate below it. Candidates are nested by
 	// pre-order, so a stack sweep resolves coverage bottom-up.
-	var stack []*candidate
+	start = time.Now()
+	stack := a.witStack
 	finalize := func(c *candidate) {
 		c.survives = c.mask&^c.covered != 0
 		if len(stack) > 0 {
@@ -252,6 +326,7 @@ func (e *Engine) collectCandidates(ctx context.Context, q Query, s int) (*Respon
 		stack = stack[:len(stack)-1]
 		finalize(top)
 	}
+	a.witStack = stack
 
 	survivors := cands[:0]
 	for _, c := range cands {
@@ -259,7 +334,19 @@ func (e *Engine) collectCandidates(ctx context.Context, q Query, s int) (*Respon
 			survivors = append(survivors, c)
 		}
 	}
-	return resp, survivors, sl, nil
+	resp.Stages.Filter = time.Since(start)
+	if len(survivors) == 0 {
+		e.releaseArena(a)
+		return resp, nil, nil, nil
+	}
+	return resp, survivors, a, nil
+}
+
+// maskOpen is one frame of the computeMasks sweep: an open candidate and
+// the exclusive end of its subtree range.
+type maskOpen struct {
+	c   *candidate
+	end int32
 }
 
 // computeMasks fills every candidate's distinct-keyword mask with one
@@ -267,13 +354,10 @@ func (e *Engine) collectCandidates(ctx context.Context, q Query, s int) (*Respon
 // nest, so a stack of "open" candidates (those whose range contains the
 // current entry) absorbs each entry's keyword bit in O(|S_L|·d + |C|)
 // total — cheaper and allocation-free compared to building a sparse
-// range-OR table per query.
-func computeMasks(ix *index.Index, cands []*candidate, sl []merge.Entry) {
-	type open struct {
-		c   *candidate
-		end int32
-	}
-	var stack []open
+// range-OR table per query. scratch (may be nil) seeds the sweep stack;
+// the stack is returned so pooled callers can keep its capacity.
+func computeMasks(ix *index.Index, cands []*candidate, sl []merge.Entry, scratch []maskOpen) []maskOpen {
+	stack := scratch[:0]
 	next := 0
 	for _, entry := range sl {
 		// Close candidates whose range ended before this entry.
@@ -296,7 +380,7 @@ func computeMasks(ix *index.Index, cands []*candidate, sl []merge.Entry) {
 			if end <= entry.Ord {
 				continue // defensive: no S_L entries left in this range
 			}
-			stack = append(stack, open{c: c, end: end})
+			stack = append(stack, maskOpen{c: c, end: end})
 		}
 		// The entry's keyword belongs to every open candidate; marking the
 		// innermost suffices because masks fold upward on close.
@@ -311,6 +395,7 @@ func computeMasks(ix *index.Index, cands []*candidate, sl []merge.Entry) {
 			stack[len(stack)-1].c.mask |= top.c.mask
 		}
 	}
+	return stack
 }
 
 // rankCandidate scores one surviving candidate (§5) and builds its Result.
@@ -411,7 +496,38 @@ func intersectSorted(a, b []int32) []int32 {
 // lcpNode maps the block's end ordinals to the node whose Dewey ID is their
 // longest common prefix. Blocks spanning two documents have no common
 // ancestor and produce no candidate.
+//
+// The longest common Dewey prefix of two nodes is their lowest common
+// ancestor in the tree, so instead of materializing a prefix ID and
+// binary-searching it back to an ordinal (which allocates the prefix path
+// on every block), the ancestor is found by walking the parent pointers of
+// the node table: equalize depths, then step both sides in lockstep. The
+// baseline pipeline retains the Dewey-prefix variant (lcpNodeDewey), so
+// the differential tests cross-check two independent LCA constructions.
 func (e *Engine) lcpNode(a, b int32) (int32, bool) {
+	nodes := e.ix.Nodes
+	da, db := len(nodes[a].ID.Path), len(nodes[b].ID.Path)
+	for da > db {
+		a = nodes[a].Parent
+		da--
+	}
+	for db > da {
+		b = nodes[b].Parent
+		db--
+	}
+	for a != b {
+		pa, pb := nodes[a].Parent, nodes[b].Parent
+		if pa < 0 || pb < 0 {
+			return 0, false // different documents: no common ancestor
+		}
+		a, b = pa, pb
+	}
+	return a, true
+}
+
+// lcpNodeDewey is the seed implementation of lcpNode: compute the longest
+// common Dewey prefix, then resolve it to an ordinal by binary search.
+func (e *Engine) lcpNodeDewey(a, b int32) (int32, bool) {
 	if a == b {
 		return a, true
 	}

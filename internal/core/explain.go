@@ -30,8 +30,12 @@ type Explanation struct {
 	EntityCandidates int
 	// Survivors is the response size after the independent-witness filter.
 	Survivors int
-	// MergeTime, ScanTime and RankTime split the wall-clock cost.
+	// MergeTime, ScanTime and RankTime split the wall-clock cost of the
+	// actual search pipeline (they are coarse views of Stages: ScanTime
+	// covers the window, lift and filter stages).
 	MergeTime, ScanTime, RankTime time.Duration
+	// Stages is the full per-stage timing breakdown of the search.
+	Stages StageTimings
 	// Response is the final ranked response.
 	Response *Response
 }
@@ -57,14 +61,15 @@ func (e *Engine) Explain(q Query, s int) (*Explanation, error) {
 	}
 	ex := &Explanation{Query: q}
 
-	start := time.Now()
+	// Diagnostic pre-pass: recompute the merged list, blocks and LCP set
+	// with maps to expose the intermediate counts the arena-based pipeline
+	// no longer materializes. Timings come from the real search below.
 	lists := make([][]int32, q.Len())
 	for i, kw := range q.Keywords {
 		lists[i] = e.postings(kw)
 		ex.PostingSizes = append(ex.PostingSizes, len(lists[i]))
 	}
 	sl := merge.Merge(lists)
-	ex.MergeTime = time.Since(start)
 	ex.SLSize = len(sl)
 
 	if s < 1 {
@@ -75,7 +80,6 @@ func (e *Engine) Explain(q Query, s int) (*Explanation, error) {
 	}
 	ex.S = s
 
-	start = time.Now()
 	lcp := map[int32]bool{}
 	merge.Windows(sl, s, func(l, r int) {
 		ex.Blocks++
@@ -85,11 +89,10 @@ func (e *Engine) Explain(q Query, s int) (*Explanation, error) {
 	})
 	ex.LCPNodes = len(lcp)
 
-	resp, cands, slAgain, err := e.collectCandidates(context.Background(), q, s)
+	resp, cands, arena, err := e.collectCandidates(context.Background(), q, s)
 	if err != nil {
 		return nil, err
 	}
-	ex.ScanTime = time.Since(start)
 	ex.Survivors = len(cands)
 	// Candidate statistics require the pre-filter view; recompute cheaply
 	// from the LCP set.
@@ -118,12 +121,20 @@ func (e *Engine) Explain(q Query, s int) (*Explanation, error) {
 		}
 	}
 
-	start = time.Now()
-	for _, c := range cands {
-		resp.Results = append(resp.Results, e.rankCandidate(c, slAgain))
+	if len(cands) > 0 {
+		start := time.Now()
+		resp.Results = make([]Result, 0, len(cands))
+		for _, c := range cands {
+			resp.Results = append(resp.Results, e.rankCandidate(c, arena.sl))
+		}
+		sortResults(resp.Results)
+		resp.Stages.Rank = time.Since(start)
+		e.releaseArena(arena)
 	}
-	sortResults(resp.Results)
-	ex.RankTime = time.Since(start)
+	ex.Stages = resp.Stages
+	ex.MergeTime = resp.Stages.Merge
+	ex.ScanTime = resp.Stages.Windows + resp.Stages.Lift + resp.Stages.Filter
+	ex.RankTime = resp.Stages.Rank
 	ex.Response = resp
 	return ex, nil
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"math/bits"
 	"sort"
+	"time"
 )
 
 // Extensions beyond the paper's §4 pipeline: best-effort thresholding and
@@ -75,12 +77,16 @@ func (e *Engine) SearchTopK(q Query, s, k int) (*Response, error) {
 
 // SearchTopKCtx is SearchTopK honoring ctx.
 func (e *Engine) SearchTopKCtx(ctx context.Context, q Query, s, k int) (*Response, error) {
-	resp, cands, sl, err := e.collectCandidates(ctx, q, s)
+	resp, cands, a, err := e.collectCandidates(ctx, q, s)
 	if err != nil || len(cands) == 0 {
 		return resp, err
 	}
+	defer e.releaseArena(a)
+	start := time.Now()
+	sl := a.sl
 	if k <= 0 || k >= len(cands) {
 		// No pruning opportunity: rank everything.
+		resp.Results = make([]Result, 0, len(cands))
 		for i, c := range cands {
 			if i&rankCheckMask == 0 && ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -91,6 +97,7 @@ func (e *Engine) SearchTopKCtx(ctx context.Context, q Query, s, k int) (*Respons
 		if k > 0 && len(resp.Results) > k {
 			resp.Results = resp.Results[:k]
 		}
+		resp.Stages.Rank = time.Since(start)
 		return resp, nil
 	}
 
@@ -98,33 +105,88 @@ func (e *Engine) SearchTopKCtx(ctx context.Context, q Query, s, k int) (*Respons
 	order := make([]*candidate, len(cands))
 	copy(order, cands)
 	sort.SliceStable(order, func(i, j int) bool {
-		return popcount64(order[i].mask) > popcount64(order[j].mask)
+		return bits.OnesCount64(order[i].mask) > bits.OnesCount64(order[j].mask)
 	})
+
+	// Maintain the running top k in a bounded min-heap whose root is the
+	// *worst* kept result under the response order: a full heap admits a
+	// newly ranked result only if it beats the root, and the pruning bound
+	// (the k-th rank) is the root's rank. O(n log k) maintenance versus
+	// the previous full re-sort after every accepted candidate
+	// (O(n·k log k)); the response order is total (ordinals are unique),
+	// so the kept set — and therefore the output — is byte-identical.
+	h := make([]Result, 0, k)
 	var kthRank float64
 	for i, c := range order {
 		if i&rankCheckMask == 0 && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		upper := float64(popcount64(c.mask))
-		if len(resp.Results) >= k && upper < kthRank {
+		upper := float64(bits.OnesCount64(c.mask))
+		if len(h) == k && upper < kthRank {
 			break // no remaining candidate can enter the top k
 		}
-		resp.Results = append(resp.Results, e.rankCandidate(c, sl))
-		sortResults(resp.Results)
-		if len(resp.Results) > k {
-			resp.Results = resp.Results[:k]
+		r := e.rankCandidate(c, sl)
+		if len(h) < k {
+			h = append(h, r)
+			topkSiftUp(h, len(h)-1)
+		} else if resultWorse(h[0], r) {
+			h[0] = r
+			topkSiftDown(h, 0)
 		}
-		if len(resp.Results) == k {
-			kthRank = resp.Results[k-1].Rank
+		if len(h) == k {
+			kthRank = h[0].Rank
 		}
 	}
+	// Heap-sort in place: popping the worst to the back leaves the heap
+	// best-first — exactly the sortResults order.
+	for n := len(h) - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		topkSiftDown(h[:n], 0)
+	}
+	resp.Results = h
+	resp.Stages.Rank = time.Since(start)
 	return resp, nil
 }
 
-func popcount64(x uint64) int {
-	c := 0
-	for ; x != 0; x &= x - 1 {
-		c++
+// resultWorse reports whether a orders after b in the response (rank asc,
+// keyword count asc, ordinal desc — the inverse of sortResults). It is a
+// total order because candidate ordinals are unique.
+func resultWorse(a, b Result) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
 	}
-	return c
+	if a.KeywordCount != b.KeywordCount {
+		return a.KeywordCount < b.KeywordCount
+	}
+	return a.Ord > b.Ord
+}
+
+// topkSiftUp restores the worst-at-root heap invariant after appending at i.
+func topkSiftUp(h []Result, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !resultWorse(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// topkSiftDown restores the worst-at-root heap invariant after replacing h[i].
+func topkSiftDown(h []Result, i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && resultWorse(h[l], h[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && resultWorse(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }

@@ -348,7 +348,7 @@ func TestComputeMasksMatchesMaskTable(t *testing.T) {
 				cands = append(cands, &candidate{ord: int32(ord)})
 			}
 		}
-		computeMasks(ix, cands, sl)
+		computeMasks(ix, cands, sl, nil)
 		mt := merge.NewMaskTable(sl)
 		for _, c := range cands {
 			start, end := ix.SubtreeRange(c.ord)

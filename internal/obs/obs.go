@@ -30,6 +30,21 @@ var DefaultBuckets = []float64{
 	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// StageBuckets are the upper bounds of the per-stage search histograms.
+// Stages run one to two orders of magnitude faster than whole requests, so
+// the scale starts at 10µs.
+var StageBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
+// SLEntryBuckets are the upper bounds of the S_L-size histogram: entry
+// counts in decade steps, covering a single-instance keyword through
+// production-scale merges.
+var SLEntryBuckets = []float64{
+	1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+}
+
 // Histogram is a fixed-bucket latency histogram. The zero value is unusable;
 // create instances with newHistogram. Guarded by the Registry mutex.
 type Histogram struct {
@@ -79,6 +94,9 @@ type Registry struct {
 	shardCount    int64
 	shardPartials int64
 	shardSearch   map[int]*Histogram // per-shard fan-out latency
+
+	searchStages map[string]*Histogram // per-pipeline-stage search time
+	slEntries    *Histogram            // |S_L| distribution across searches
 
 	cacheStats func() (hits, misses int64)
 }
@@ -197,6 +215,56 @@ func (r *Registry) IncShardPartial() {
 	r.mu.Lock()
 	r.shardPartials++
 	r.mu.Unlock()
+}
+
+// ObserveSearchStage records the wall-clock seconds one search spent in a
+// pipeline stage (merge, windows, lift, filter, rank). It satisfies the
+// server's SearchObserver.
+func (r *Registry) ObserveSearchStage(stage string, seconds float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.searchStages == nil {
+		r.searchStages = make(map[string]*Histogram)
+	}
+	h, ok := r.searchStages[stage]
+	if !ok {
+		h = newHistogram(StageBuckets)
+		r.searchStages[stage] = h
+	}
+	h.observe(seconds)
+}
+
+// ObserveSLSize records the merged-list length |S_L| of one search, so
+// operators can correlate latency with merge volume. It satisfies the
+// server's SearchObserver.
+func (r *Registry) ObserveSLSize(entries int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.slEntries == nil {
+		r.slEntries = newHistogram(SLEntryBuckets)
+	}
+	r.slEntries.observe(float64(entries))
+}
+
+// SearchStageStats returns per-stage observation counts for tests.
+func (r *Registry) SearchStageStats() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.searchStages))
+	for stage, h := range r.searchStages {
+		out[stage] = h.count
+	}
+	return out
+}
+
+// SLSizeCount returns the number of S_L-size observations for tests.
+func (r *Registry) SLSizeCount() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.slEntries == nil {
+		return 0
+	}
+	return r.slEntries.count
 }
 
 // ShardStats returns the shard gauges/counters for tests.
@@ -328,6 +396,42 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "gks_shard_search_duration_seconds_sum{shard=\"%d\"} %s\n", id, fmtFloat(h.sum))
 			fmt.Fprintf(w, "gks_shard_search_duration_seconds_count{shard=\"%d\"} %d\n", id, h.count)
 		}
+	}
+
+	if len(r.searchStages) > 0 {
+		stages := make([]string, 0, len(r.searchStages))
+		for stage := range r.searchStages {
+			stages = append(stages, stage)
+		}
+		sort.Strings(stages)
+		fmt.Fprintln(w, "# HELP gks_search_stage_seconds Wall-clock time per search pipeline stage (merge, windows, lift, filter, rank).")
+		fmt.Fprintln(w, "# TYPE gks_search_stage_seconds histogram")
+		for _, stage := range stages {
+			h := r.searchStages[stage]
+			cum := int64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i]
+				fmt.Fprintf(w, "gks_search_stage_seconds_bucket{stage=%q,le=%q} %d\n",
+					stage, fmtFloat(bound), cum)
+			}
+			fmt.Fprintf(w, "gks_search_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, h.count)
+			fmt.Fprintf(w, "gks_search_stage_seconds_sum{stage=%q} %s\n", stage, fmtFloat(h.sum))
+			fmt.Fprintf(w, "gks_search_stage_seconds_count{stage=%q} %d\n", stage, h.count)
+		}
+	}
+
+	if r.slEntries != nil {
+		h := r.slEntries
+		fmt.Fprintln(w, "# HELP gks_search_sl_entries Merged keyword-instance list size |S_L| per search.")
+		fmt.Fprintln(w, "# TYPE gks_search_sl_entries histogram")
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "gks_search_sl_entries_bucket{le=%q} %d\n", fmtFloat(bound), cum)
+		}
+		fmt.Fprintf(w, "gks_search_sl_entries_bucket{le=\"+Inf\"} %d\n", h.count)
+		fmt.Fprintf(w, "gks_search_sl_entries_sum %s\n", fmtFloat(h.sum))
+		fmt.Fprintf(w, "gks_search_sl_entries_count %d\n", h.count)
 	}
 
 	if r.cacheStats != nil {

@@ -82,7 +82,22 @@ type Handler struct {
 	mux       *http.ServeMux
 	respCache *cache.LRU[string, searchJSON]
 	flight    cache.Group[string, searchJSON]
+	searchObs SearchObserver
 }
+
+// SearchObserver receives per-search pipeline measurements from the search
+// handlers: one stage observation per pipeline stage plus the merged-list
+// size. obs.Registry satisfies it (gks_search_stage_seconds and
+// gks_search_sl_entries).
+type SearchObserver interface {
+	ObserveSearchStage(stage string, seconds float64)
+	ObserveSLSize(entries int)
+}
+
+// SetSearchObserver wires o into every handler that runs a search. Call it
+// before the handler starts serving traffic; cached responses are not
+// re-observed (no engine work happens on a cache hit).
+func (h *Handler) SetSearchObserver(o SearchObserver) { h.searchObs = o }
 
 // New builds the HTTP handler for sys.
 func New(sys gks.Searcher) *Handler { return NewWithCache(sys, 0) }
@@ -199,8 +214,9 @@ func cacheKey(gen int64, q string, s, top int) string {
 // search runs one query against sys with ctx-aware cancellation: s <= 0
 // requests best-effort thresholding. Engine errors (empty query, too many
 // keywords) are client errors; context expiry passes through for the 504
-// path.
-func search(ctx context.Context, sys gks.Searcher, q string, s int) (*gks.Response, error) {
+// path. Successful engine runs report their per-stage timings and |S_L| to
+// the handler's SearchObserver (cache hits never reach here).
+func (h *Handler) search(ctx context.Context, sys gks.Searcher, q string, s int) (*gks.Response, error) {
 	var resp *gks.Response
 	var err error
 	if s <= 0 {
@@ -210,6 +226,14 @@ func search(ctx context.Context, sys gks.Searcher, q string, s int) (*gks.Respon
 	}
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 		err = badRequest(err)
+	}
+	if err == nil && resp != nil && h.searchObs != nil {
+		h.searchObs.ObserveSearchStage("merge", resp.Stages.Merge.Seconds())
+		h.searchObs.ObserveSearchStage("windows", resp.Stages.Windows.Seconds())
+		h.searchObs.ObserveSearchStage("lift", resp.Stages.Lift.Seconds())
+		h.searchObs.ObserveSearchStage("filter", resp.Stages.Filter.Seconds())
+		h.searchObs.ObserveSearchStage("rank", resp.Stages.Rank.Seconds())
+		h.searchObs.ObserveSLSize(resp.SLSize)
 	}
 	return resp, err
 }
@@ -270,7 +294,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// Coalesce identical concurrent misses: one engine search serves them
 	// all, and exactly one goroutine populates the cache.
 	out, _, err := h.flight.Do(r.Context(), key, func() (searchJSON, error) {
-		resp, err := search(r.Context(), sys, q, s)
+		resp, err := h.search(r.Context(), sys, q, s)
 		if err != nil {
 			return searchJSON{}, err
 		}
@@ -304,7 +328,7 @@ func (h *Handler) handleInsights(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sys := h.Searcher()
-	resp, err := search(r.Context(), sys, q, s)
+	resp, err := h.search(r.Context(), sys, q, s)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -330,7 +354,7 @@ func (h *Handler) handleRefine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sys := h.Searcher()
-	resp, err := search(r.Context(), sys, q, s)
+	resp, err := h.search(r.Context(), sys, q, s)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -372,6 +396,13 @@ func (h *Handler) handleExplain(w http.ResponseWriter, r *http.Request) {
 		"mergeMicros":      ex.MergeTime.Microseconds(),
 		"scanMicros":       ex.ScanTime.Microseconds(),
 		"rankMicros":       ex.RankTime.Microseconds(),
+		"stages": map[string]interface{}{
+			"mergeMicros":   ex.Stages.Merge.Microseconds(),
+			"windowsMicros": ex.Stages.Windows.Microseconds(),
+			"liftMicros":    ex.Stages.Lift.Microseconds(),
+			"filterMicros":  ex.Stages.Filter.Microseconds(),
+			"rankMicros":    ex.Stages.Rank.Microseconds(),
+		},
 	})
 }
 

@@ -184,6 +184,7 @@ func (s *Set) gather(q core.Query, resps []*core.Response, partial bool, k int) 
 		}
 		out.S = r.S
 		out.SLSize += r.SLSize
+		out.Stages.Add(r.Stages)
 		total += len(r.Results)
 		if len(r.Results) > 0 {
 			h = append(h, cursor{list: r.Results})
@@ -221,8 +222,8 @@ func (h resultHeap) Len() int { return len(h) }
 func (h resultHeap) Less(i, j int) bool {
 	return core.ResultBefore(h[i].list[h[i].pos], h[j].list[h[j].pos])
 }
-func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x any)        { *h = append(*h, x.(cursor)) }
+func (h resultHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)   { *h = append(*h, x.(cursor)) }
 func (h *resultHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -272,6 +273,7 @@ func (s *Set) ExplainContext(ctx context.Context, query string, threshold int) (
 		out.MergeTime += ex.MergeTime
 		out.ScanTime += ex.ScanTime
 		out.RankTime += ex.RankTime
+		out.Stages.Add(ex.Stages)
 		resps[i] = ex.Response
 	}
 	out.Response = s.gather(q, resps, false, 0)
