@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke shard-race bench-smoke bench-query check
+.PHONY: build vet test race bench fuzz-smoke shard-race ingest-smoke bench-smoke bench-query check
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,14 @@ bench:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s ./internal/index
 	$(GO) test -run '^$$' -fuzz FuzzLoadManifest -fuzztime 10s ./internal/shard
+	$(GO) test -run '^$$' -fuzz FuzzAdminDocs -fuzztime 10s ./internal/server
+
+# Live-ingestion smoke: the full HTTP mutation lifecycle (add → replace →
+# delete, persistence round-trips, durability failure modes, metrics) in
+# one focused run — the fastest signal that /admin/docs still honours
+# persist-before-acknowledge.
+ingest-smoke:
+	$(GO) test -run 'TestIngest' -count=1 ./internal/server
 
 # The scatter-gather fan-out and the build worker pool are the most
 # concurrency-sensitive code in the tree; the shard suite includes
@@ -55,4 +63,4 @@ bench-query:
 	$(GO) run ./cmd/gksbench -exp query -json-dir $$tmp > /dev/null && \
 	test -s $$tmp/BENCH_query.json && echo "bench-query: BENCH_query.json OK" && rm -rf $$tmp
 
-check: build vet race fuzz-smoke shard-race bench-smoke bench-query
+check: build vet race fuzz-smoke shard-race ingest-smoke bench-smoke bench-query

@@ -6,9 +6,16 @@
 // Usage:
 //
 //	gks index  -out repo.gksidx file.xml [file.xml ...]
+//	gks add    -index repo.gksidx file.xml [file.xml ...]
+//	gks remove -index repo.gksidx docname [docname ...]
 //	gks search [-index repo.gksidx | -files a.xml,b.xml] [-s N] [-top K]
 //	           [-di M] [-baselines] [-chunks] "query terms"
 //	gks stats  -index repo.gksidx
+//
+// add and remove mutate a saved index (or shard manifest) in place without
+// a rebuild: add upserts each document by name (replacing a same-named one)
+// and remove deletes by document name; the updated snapshot is written back
+// crash-safely before the command reports success.
 //
 // Query strings support double-quoted phrases, e.g.
 //
@@ -31,6 +38,10 @@ func main() {
 	switch os.Args[1] {
 	case "index":
 		cmdIndex(os.Args[2:])
+	case "add":
+		cmdAdd(os.Args[2:])
+	case "remove":
+		cmdRemove(os.Args[2:])
 	case "search":
 		cmdSearch(os.Args[2:])
 	case "stats":
@@ -45,8 +56,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gks {index|search|stats|repl|xpath} [flags] ...")
+	fmt.Fprintln(os.Stderr, "usage: gks {index|add|remove|search|stats|repl|xpath} [flags] ...")
 	fmt.Fprintln(os.Stderr, "  gks index  -out repo.gksidx [-stream] [-lenient] [-shards N] file.xml ...")
+	fmt.Fprintln(os.Stderr, "  gks add    -index repo.gksidx file.xml ...   (add or replace documents in place)")
+	fmt.Fprintln(os.Stderr, "  gks remove -index repo.gksidx docname ...    (delete documents in place)")
 	fmt.Fprintln(os.Stderr, `  gks search [-index repo.gksidx | -files a.xml,b.xml] [-s N] [-top K] [-di M] [-baselines] [-chunks] "query"`)
 	fmt.Fprintln(os.Stderr, "  gks stats  -index repo.gksidx")
 	fmt.Fprintln(os.Stderr, "  gks repl   [-index repo.gksidx | -files a.xml,b.xml]")
@@ -132,6 +145,92 @@ func cmdIndexSharded(out string, n int, byTokens, lenient bool, paths []string) 
 	st := set.Stats()
 	fmt.Printf("indexed %d document(s) into %d shard(s): %d elements, %d entity nodes, %d distinct keywords -> %s\n",
 		st.Documents, set.NumShards(), st.ElementNodes, st.EntityNodes, st.DistinctKeywords, out)
+}
+
+// cmdAdd upserts XML files into a saved index: each document is added by
+// name, replacing a live same-named one, and the mutated snapshot (single
+// index or shard manifest — sniffed from the file) is written back
+// crash-safely. All documents are applied before the single save, so a
+// multi-file add is atomic on disk.
+func cmdAdd(args []string) {
+	fs := flag.NewFlagSet("add", flag.ExitOnError)
+	indexPath := fs.String("index", "", "saved index file or shard manifest to mutate in place")
+	fs.Parse(args)
+	if *indexPath == "" {
+		fatal(fmt.Errorf("gks add requires -index"))
+	}
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("no input files"))
+	}
+	sys, err := loadSystem(*indexPath, "")
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range fs.Args() {
+		doc, err := gks.ParseDocumentFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		next, replaced, err := gks.Upsert(sys, doc)
+		if err != nil {
+			fatal(err)
+		}
+		sys = next
+		verb := "added"
+		if replaced {
+			verb = "replaced"
+		}
+		fmt.Printf("%s %q\n", verb, doc.Name)
+	}
+	saveSystem(sys, *indexPath)
+}
+
+// cmdRemove deletes documents by name from a saved index and writes the
+// mutated snapshot back. Deleting every document is rejected — an index
+// always holds at least one.
+func cmdRemove(args []string) {
+	fs := flag.NewFlagSet("remove", flag.ExitOnError)
+	indexPath := fs.String("index", "", "saved index file or shard manifest to mutate in place")
+	fs.Parse(args)
+	if *indexPath == "" {
+		fatal(fmt.Errorf("gks remove requires -index"))
+	}
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("no document names"))
+	}
+	sys, err := loadSystem(*indexPath, "")
+	if err != nil {
+		fatal(err)
+	}
+	for _, name := range fs.Args() {
+		next, err := gks.Remove(sys, name)
+		if err != nil {
+			fatal(err)
+		}
+		sys = next
+		fmt.Printf("removed %q\n", name)
+	}
+	saveSystem(sys, *indexPath)
+}
+
+// saveSystem persists a mutated system back to the path it was loaded
+// from, dispatching on its physical layout.
+func saveSystem(sys gks.Searcher, path string) {
+	var err error
+	switch v := sys.(type) {
+	case *gks.System:
+		err = v.SaveIndexFile(path)
+	case *gks.ShardedSystem:
+		err = v.SaveManifest(path)
+	default:
+		err = fmt.Errorf("cannot persist %T", sys)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("index now holds %d document(s): %d elements, %d distinct keywords -> %s\n",
+		st.Documents, st.ElementNodes, st.DistinctKeywords, path)
 }
 
 func loadSystem(indexPath, files string) (gks.Searcher, error) {

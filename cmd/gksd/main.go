@@ -25,6 +25,15 @@
 // in. If the new snapshot is corrupt or unreadable, the old index keeps
 // serving and the error is surfaced in the reload response, the logs, and
 // the gks_snapshot_reloads_total{result="failure"} counter.
+//
+// Live ingestion (POST /admin/docs, DELETE /admin/docs/{name}) adds,
+// replaces and deletes single documents without a rebuild or restart. When
+// the daemon booted from -index or -index-manifest, every mutation is
+// persisted to that same path (crash-safe atomic write) before it is
+// acknowledged or served, so ingested documents survive both a restart and
+// a reload. When it booted from -files, mutations are served from memory
+// only — a reload re-parses the original file list and discards them; the
+// mutation response says "persisted": false so callers know.
 package main
 
 import (
@@ -116,6 +125,7 @@ func main() {
 		} else {
 			reg.SetShardCount(1)
 		}
+		reg.SetDocs(sys.Stats().Documents)
 		return sys, nil
 	}
 
@@ -129,6 +139,39 @@ func main() {
 	api.SetSearchObserver(reg)
 	reg.SetSnapshotGeneration(api.Generation())
 	reloader := server.NewReloader(api, loadSys, reg, logger)
+
+	// persist writes each live mutation durably to the boot source before
+	// it serves; nil with -files, where mutations are in-memory by design
+	// (a reload re-parses the original inputs).
+	var persist func(gks.Searcher) error
+	switch {
+	case *files != "":
+		// boot source is raw XML: nothing durable to write back
+	case *manifestPath != "":
+		persist = func(sys gks.Searcher) error {
+			set, ok := sys.(*gks.ShardedSystem)
+			if !ok {
+				return fmt.Errorf("cannot persist %T to shard manifest %s", sys, *manifestPath)
+			}
+			return set.SaveManifest(*manifestPath)
+		}
+	case *indexPath != "":
+		persist = func(sys gks.Searcher) error {
+			single, ok := sys.(*gks.System)
+			if !ok {
+				return fmt.Errorf("cannot persist %T to single-index snapshot %s", sys, *indexPath)
+			}
+			return single.SaveIndexFile(*indexPath)
+		}
+	}
+	ingester := server.NewIngester(reloader, persist, reg, logger)
+	if *schemaCats {
+		// Ingested documents are categorized by the schema inferred at
+		// build time, not re-inferred per mutation (re-applying would race
+		// in-flight searches on the shared node table). POST /admin/reload
+		// re-runs -schema categorization over the full corpus.
+		logger.Print("note: -schema categorization is not re-applied on /admin/docs mutations; trigger /admin/reload to re-categorize")
+	}
 
 	mw := []server.Middleware{server.WithMetrics(reg)}
 	if !*quiet {
@@ -147,6 +190,8 @@ func main() {
 	root.Handle("/", server.Chain(api, mw...))
 	root.Handle("/metrics", server.Chain(reg.Handler(), server.WithRecovery(reg, logger)))
 	root.Handle("/admin/reload", server.Chain(reloader.AdminHandler(), server.WithRecovery(reg, logger)))
+	root.Handle("/admin/docs", server.Chain(ingester.Handler(), server.WithRecovery(reg, logger)))
+	root.Handle("/admin/docs/", server.Chain(ingester.Handler(), server.WithRecovery(reg, logger)))
 	root.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ok generation=%d\n", api.Generation())

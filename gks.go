@@ -298,34 +298,6 @@ func (s *System) SearchTopK(query string, threshold, k int) (*Response, error) {
 	return s.engine.SearchTopK(ParseQuery(query), threshold, k)
 }
 
-// underCtx runs fn on its own goroutine and returns early with ctx.Err()
-// if ctx is done first. It remains only for operations without a
-// ctx-aware engine path (Explain); the search entry points call the
-// engine's cooperative SearchCtx variants, which stop the pipeline at the
-// next cancellation checkpoint instead of finishing on a detached
-// goroutine.
-func underCtx[T any](ctx context.Context, fn func() (T, error)) (T, error) {
-	var zero T
-	if err := ctx.Err(); err != nil {
-		return zero, err
-	}
-	type outcome struct {
-		v   T
-		err error
-	}
-	ch := make(chan outcome, 1)
-	go func() {
-		v, err := fn()
-		ch <- outcome{v, err}
-	}()
-	select {
-	case out := <-ch:
-		return out.v, out.err
-	case <-ctx.Done():
-		return zero, ctx.Err()
-	}
-}
-
 // SearchContext is Search honoring cancellation and deadlines from ctx.
 // Cancellation is cooperative: the engine polls ctx inside the S_L merge,
 // the window scan and the ranking loop, so a timed-out request frees its
@@ -344,9 +316,11 @@ func (s *System) SearchTopKContext(ctx context.Context, query string, threshold,
 	return s.engine.SearchTopKCtx(ctx, ParseQuery(query), threshold, k)
 }
 
-// ExplainContext is Explain honoring ctx.
+// ExplainContext is Explain honoring ctx. Cancellation is cooperative
+// like the search paths: the engine polls ctx between pipeline stages, so
+// a timed-out explain frees its CPU instead of finishing detached.
 func (s *System) ExplainContext(ctx context.Context, query string, threshold int) (*Explanation, error) {
-	return underCtx(ctx, func() (*Explanation, error) { return s.Explain(query, threshold) })
+	return s.engine.ExplainCtx(ctx, ParseQuery(query), threshold)
 }
 
 // Explanation traces a search through the GKS pipeline (posting sizes,
@@ -515,9 +489,9 @@ type Suggestion = textproc.Suggestion
 func (s *System) Suggest(keyword string, maxDist, topK int) []Suggestion {
 	s.vocabOnce.Do(func() {
 		s.vocab = make(map[string]int, len(s.ix.Postings))
-		for kw, list := range s.ix.Postings {
-			s.vocab[kw] = len(list)
-		}
+		s.ix.ForEachKeyword(func(kw string, live int) {
+			s.vocab[kw] = live
+		})
 	})
 	return textproc.Suggest(keyword, s.vocab, maxDist, topK)
 }

@@ -1,0 +1,151 @@
+package gks
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// Live document ingestion: online add, replace and delete without a full
+// rebuild. All mutations are copy-on-write — they return a NEW system and
+// leave the receiver untouched, so a server can keep answering queries on
+// the old system until the new one is atomically swapped in (see
+// internal/server's /admin/docs endpoints). A delete is a tombstone mask
+// over the shared immutable index, compacted away by the next save or
+// append; an add is a partial-index merge.
+
+// ErrDocNotFound reports a mutation against a document name the system
+// does not hold (match with errors.Is).
+var ErrDocNotFound = index.ErrNotFound
+
+// ErrLastDocument reports a delete that would leave the system empty — an
+// index always holds at least one document (match with errors.Is).
+var ErrLastDocument = index.ErrLastDocument
+
+// ErrNoLiveIngestion reports an Upsert/Remove against a Searcher
+// implementation that has no mutation surface — a deployment problem, not
+// a bad request (match with errors.Is).
+var ErrNoLiveIngestion = errors.New("does not support live ingestion")
+
+// ContainsDoc reports whether the system holds a live document named name.
+func (s *System) ContainsDoc(name string) bool { return s.ix.ContainsDoc(name) }
+
+// DocNames returns the live document names in index order.
+func (s *System) DocNames() []string { return s.ix.LiveDocs() }
+
+// UpsertDocument returns a new system with doc added, replacing any
+// existing document of the same name (replaced reports whether one
+// existed); the receiver is unchanged and safe to keep searching. The
+// document is renumbered to the system's next free document id; on
+// failure the caller's document is left exactly as passed in.
+func (s *System) UpsertDocument(doc *Document) (*System, bool, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, false, fmt.Errorf("gks: upsert of empty document")
+	}
+	ix := s.ix
+	replaced := false
+	if ix.ContainsDoc(doc.Name) {
+		next, err := ix.DeleteDoc(doc.Name)
+		switch {
+		case err == nil:
+			ix = next
+		case errors.Is(err, index.ErrLastDocument):
+			// Replacing the only document: nothing survives to merge onto,
+			// so build a fresh one-document index from scratch.
+			fresh, err := index.BuildDocumentAs(doc, 0, index.DefaultOptions())
+			if err != nil {
+				return nil, false, err
+			}
+			return newSystem(fresh, s.repoAfterUpsert(doc)), true, nil
+		default:
+			return nil, false, err
+		}
+		replaced = true
+	}
+	next, err := index.AppendAs(ix, doc, ix.NextDocID(), index.DefaultOptions())
+	if err != nil {
+		return nil, false, err
+	}
+	return newSystem(next, s.repoAfterUpsert(doc)), replaced, nil
+}
+
+// WithoutDocument returns a new system with the named document removed;
+// the receiver is unchanged. It fails with ErrDocNotFound when the name is
+// not held and ErrLastDocument when the delete would empty the system.
+func (s *System) WithoutDocument(name string) (*System, error) {
+	next, err := s.ix.DeleteDoc(name)
+	if err != nil {
+		return nil, err
+	}
+	var repo *xmltree.Repository
+	if s.repo != nil {
+		repo = &xmltree.Repository{Docs: docsWithout(s.repo.Docs, name)}
+	}
+	return newSystem(next, repo), nil
+}
+
+// repoAfterUpsert carries the retained document trees (chunks, snippets,
+// XPath) across an upsert: same-name documents drop out, the new one
+// appends. A system without documents (loaded from a snapshot) stays
+// document-free — searches work either way.
+func (s *System) repoAfterUpsert(doc *Document) *xmltree.Repository {
+	if s.repo == nil {
+		return nil
+	}
+	return &xmltree.Repository{Docs: append(docsWithout(s.repo.Docs, doc.Name), doc)}
+}
+
+func docsWithout(docs []*xmltree.Document, name string) []*xmltree.Document {
+	out := make([]*xmltree.Document, 0, len(docs))
+	for _, d := range docs {
+		if d.Name != name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Upsert adds or replaces a document on any Searcher that supports live
+// ingestion (System and ShardedSystem) and returns the mutated successor;
+// sys itself is unchanged, so the caller controls when (and whether) to
+// swap the result into service.
+func Upsert(sys Searcher, doc *Document) (Searcher, bool, error) {
+	switch v := sys.(type) {
+	case *System:
+		next, replaced, err := v.UpsertDocument(doc)
+		if err != nil {
+			return nil, false, err
+		}
+		return next, replaced, nil
+	case *ShardedSystem:
+		next, replaced, err := v.WithDocument(doc)
+		if err != nil {
+			return nil, false, err
+		}
+		return next, replaced, nil
+	}
+	return nil, false, fmt.Errorf("gks: %T %w", sys, ErrNoLiveIngestion)
+}
+
+// Remove deletes a document by name on any Searcher that supports live
+// ingestion and returns the mutated successor; sys itself is unchanged.
+// ErrDocNotFound and ErrLastDocument surface via errors.Is.
+func Remove(sys Searcher, name string) (Searcher, error) {
+	switch v := sys.(type) {
+	case *System:
+		next, err := v.WithoutDocument(name)
+		if err != nil {
+			return nil, err
+		}
+		return next, nil
+	case *ShardedSystem:
+		next, err := v.WithoutDocument(name)
+		if err != nil {
+			return nil, err
+		}
+		return next, nil
+	}
+	return nil, fmt.Errorf("gks: %T %w", sys, ErrNoLiveIngestion)
+}

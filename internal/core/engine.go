@@ -465,9 +465,9 @@ func (e *Engine) postings(kw Keyword) []int32 {
 	if len(kw.Tokens) == 0 {
 		return nil
 	}
-	list := e.ix.Postings[kw.Tokens[0]]
+	list := e.ix.PostingsFor(kw.Tokens[0])
 	for _, tok := range kw.Tokens[1:] {
-		list = intersectSorted(list, e.ix.Postings[tok])
+		list = intersectSorted(list, e.ix.PostingsFor(tok))
 		if len(list) == 0 {
 			return nil
 		}

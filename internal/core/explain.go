@@ -56,7 +56,19 @@ func (ex *Explanation) String() string {
 // Explain runs the search while recording pipeline statistics. The
 // response in the result is identical to Search(q, s).
 func (e *Engine) Explain(q Query, s int) (*Explanation, error) {
+	return e.ExplainCtx(context.Background(), q, s)
+}
+
+// ExplainCtx is Explain honoring ctx: the diagnostic pre-pass checks for
+// cancellation between stages, and the embedded real search propagates
+// ctx into the candidate pipeline exactly like SearchCtx. The shard
+// scatter-gather relies on this to cancel sibling explains when one
+// shard fails.
+func (e *Engine) ExplainCtx(ctx context.Context, q Query, s int) (*Explanation, error) {
 	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	ex := &Explanation{Query: q}
@@ -71,6 +83,9 @@ func (e *Engine) Explain(q Query, s int) (*Explanation, error) {
 	}
 	sl := merge.Merge(lists)
 	ex.SLSize = len(sl)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	if s < 1 {
 		s = 1
@@ -88,8 +103,11 @@ func (e *Engine) Explain(q Query, s int) (*Explanation, error) {
 		}
 	})
 	ex.LCPNodes = len(lcp)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	resp, cands, arena, err := e.collectCandidates(context.Background(), q, s)
+	resp, cands, arena, err := e.collectCandidates(ctx, q, s)
 	if err != nil {
 		return nil, err
 	}

@@ -9,25 +9,38 @@ import (
 // Append indexes doc as the next document of the repository behind ix and
 // returns a new merged index; ix itself is not modified (indexes are
 // immutable once built, which is what makes concurrent searches safe).
-// The document is renumbered to the next free document id.
+// The document is renumbered to the next free live document id.
 //
 // Because documents are independent subtrees under distinct Dewey document
 // numbers, appending reduces to the same partial-index merge used by the
 // parallel builder: the new document's ordinals all sort after the
 // existing ones, so posting lists stay sorted and subtree ranges stay
 // contiguous.
+//
+// On failure the caller's document is left exactly as it was passed in,
+// so it can be retried against another index.
 func Append(ix *Index, doc *xmltree.Document, opts Options) (*Index, error) {
 	if ix == nil {
 		return nil, fmt.Errorf("index: append to nil index")
 	}
-	if doc == nil || doc.Root == nil {
-		return nil, fmt.Errorf("index: append of empty document")
+	return AppendAs(ix, doc, ix.NextDocID(), opts)
+}
+
+// AppendAs is Append with an explicit Dewey document number. The number
+// must sort at or after every live document of ix, or the merged node
+// table would fall out of Dewey order; callers that don't care should use
+// Append, which picks the next free id. A tombstoned base is compacted
+// first, so the result is always a plain immutable index.
+func AppendAs(ix *Index, doc *xmltree.Document, docID int32, opts Options) (*Index, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("index: append to nil index")
 	}
-	doc.DocID = int32(len(ix.DocNames))
-	doc.AssignIDs()
-	partial, err := Build(&xmltree.Repository{Docs: []*xmltree.Document{doc}}, opts)
+	// Validation (and any Build failure) happens before the base is
+	// touched and restores doc on error; only a fully built partial index
+	// reaches the merge, which cannot fail on well-formed parts.
+	partial, err := BuildDocumentAs(doc, docID, opts)
 	if err != nil {
 		return nil, err
 	}
-	return mergePartials([]*Index{ix, partial})
+	return mergePartials([]*Index{ix.Compacted(), partial})
 }

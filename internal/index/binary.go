@@ -34,8 +34,11 @@ const binaryMagic = "GKSI"
 
 const binaryVersion = 2
 
-// SaveBinary writes the index in the compact binary format.
+// SaveBinary writes the index in the compact binary format. A tombstoned
+// index is compacted first — the on-disk formats have no notion of a
+// delete mask.
 func (ix *Index) SaveBinary(w io.Writer) error {
+	ix = ix.Compacted()
 	bw := bufio.NewWriter(w)
 	var scratch []byte
 	writeUvarint := func(v uint64) {

@@ -16,9 +16,9 @@ type KeywordFreq struct {
 // descending; ties break alphabetically. k <= 0 returns all keywords.
 func (ix *Index) TopKeywords(k int) []KeywordFreq {
 	out := make([]KeywordFreq, 0, len(ix.Postings))
-	for kw, list := range ix.Postings {
-		out = append(out, KeywordFreq{Keyword: kw, Count: len(list)})
-	}
+	ix.ForEachKeyword(func(kw string, live int) {
+		out = append(out, KeywordFreq{Keyword: kw, Count: live})
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
@@ -48,21 +48,23 @@ func (ix *Index) LabelHistogram() []LabelCount {
 	for i, l := range ix.Labels {
 		counts[i].Label = l
 	}
-	for i := range ix.Nodes {
-		n := &ix.Nodes[i]
-		lc := &counts[n.Label]
-		lc.Count++
-		if n.Cat&Attribute != 0 {
-			lc.PerCategory[0]++
-		}
-		if n.Cat&Repeating != 0 {
-			lc.PerCategory[1]++
-		}
-		if n.Cat&Entity != 0 {
-			lc.PerCategory[2]++
-		}
-		if n.Cat&Connecting != 0 {
-			lc.PerCategory[3]++
+	for _, sp := range ix.LiveSpans() {
+		for ord := sp[0]; ord < sp[1]; ord++ {
+			n := &ix.Nodes[ord]
+			lc := &counts[n.Label]
+			lc.Count++
+			if n.Cat&Attribute != 0 {
+				lc.PerCategory[0]++
+			}
+			if n.Cat&Repeating != 0 {
+				lc.PerCategory[1]++
+			}
+			if n.Cat&Entity != 0 {
+				lc.PerCategory[2]++
+			}
+			if n.Cat&Connecting != 0 {
+				lc.PerCategory[3]++
+			}
 		}
 	}
 	sort.Slice(counts, func(i, j int) bool {
@@ -78,12 +80,14 @@ func (ix *Index) LabelHistogram() []LabelCount {
 // (index 0 = document roots).
 func (ix *Index) DepthHistogram() []int {
 	var hist []int
-	for i := range ix.Nodes {
-		d := len(ix.Nodes[i].ID.Path) - 1
-		for len(hist) <= d {
-			hist = append(hist, 0)
+	for _, sp := range ix.LiveSpans() {
+		for ord := sp[0]; ord < sp[1]; ord++ {
+			d := len(ix.Nodes[ord].ID.Path) - 1
+			for len(hist) <= d {
+				hist = append(hist, 0)
+			}
+			hist[d]++
 		}
-		hist[d]++
 	}
 	return hist
 }
@@ -93,9 +97,9 @@ func (ix *Index) DepthHistogram() []int {
 // longest list.
 func (ix *Index) PostingPercentiles(percentiles ...int) []int {
 	lengths := make([]int, 0, len(ix.Postings))
-	for _, list := range ix.Postings {
-		lengths = append(lengths, len(list))
-	}
+	ix.ForEachKeyword(func(_ string, live int) {
+		lengths = append(lengths, live)
+	})
 	sort.Ints(lengths)
 	out := make([]int, len(percentiles))
 	if len(lengths) == 0 {

@@ -100,10 +100,16 @@ type Index struct {
 	Postings map[string][]int32
 	// DocNames records the name of each indexed document, by document id.
 	DocNames []string
-	// Stats summarizes the build (Tables 4 and 5 of the paper).
+	// Stats summarizes the build (Tables 4 and 5 of the paper); on a
+	// tombstoned index it reflects only the live documents.
 	Stats Stats
 
 	labelIDs map[string]int32
+
+	// tomb is the delete mask of a mutated index, nil on a freshly built
+	// or compacted one. It is never persisted: save paths compact first.
+	// See mutate.go.
+	tomb *tombstones
 }
 
 // Stats aggregates the counters reported in the paper's §7.1–7.2.
@@ -377,36 +383,40 @@ func (ix *Index) finalizeStats() {
 }
 
 // RefreshCategoryStats recomputes the category counters after an external
-// re-categorization (e.g. internal/schema's schema-level pass).
+// re-categorization (e.g. internal/schema's schema-level pass). Only live
+// nodes are counted, so a tombstoned index reports the statistics of its
+// surviving documents.
 func (ix *Index) RefreshCategoryStats() {
 	s := &ix.Stats
 	s.AttributeNodes, s.RepeatingNodes, s.EntityNodes, s.ConnectingNodes = 0, 0, 0, 0
-	for i := range ix.Nodes {
-		c := ix.Nodes[i].Cat
-		if c&Attribute != 0 {
-			s.AttributeNodes++
-		}
-		if c&Repeating != 0 {
-			s.RepeatingNodes++
-		}
-		if c&Entity != 0 {
-			s.EntityNodes++
-		}
-		if c&Connecting != 0 {
-			s.ConnectingNodes++
+	for _, sp := range ix.LiveSpans() {
+		for ord := sp[0]; ord < sp[1]; ord++ {
+			c := ix.Nodes[ord].Cat
+			if c&Attribute != 0 {
+				s.AttributeNodes++
+			}
+			if c&Repeating != 0 {
+				s.RepeatingNodes++
+			}
+			if c&Entity != 0 {
+				s.EntityNodes++
+			}
+			if c&Connecting != 0 {
+				s.ConnectingNodes++
+			}
 		}
 	}
 }
 
-// Lookup returns the posting list for a raw keyword after normalization
-// (lower-case + stem), or nil if absent. The returned slice must not be
-// modified.
+// Lookup returns the live posting list for a raw keyword after
+// normalization (lower-case + stem), or nil if absent. The returned slice
+// must not be modified.
 func (ix *Index) Lookup(raw string) []int32 {
 	key := textproc.NormalizeKeyword(raw)
 	if key == "" {
 		return nil
 	}
-	return ix.Postings[key]
+	return ix.PostingsFor(key)
 }
 
 // LabelOf returns the element label of the node at ord.
@@ -435,12 +445,12 @@ func (ix *Index) IsElement(ord int32) int32 {
 }
 
 // OrdinalOf locates the element with the given Dewey ID by binary search
-// over the pre-order node table.
+// over the pre-order node table. Tombstoned nodes are not found.
 func (ix *Index) OrdinalOf(id dewey.ID) (int32, bool) {
 	i := sort.Search(len(ix.Nodes), func(i int) bool {
 		return dewey.Compare(ix.Nodes[i].ID, id) >= 0
 	})
-	if i < len(ix.Nodes) && dewey.Equal(ix.Nodes[i].ID, id) {
+	if i < len(ix.Nodes) && dewey.Equal(ix.Nodes[i].ID, id) && ix.LiveOrd(int32(i)) {
 		return int32(i), true
 	}
 	return 0, false

@@ -1,0 +1,422 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Online mutation: delete and replace without a full rebuild.
+//
+// The index is immutable once built — that is what makes concurrent
+// searches safe — so deletion is copy-on-write: DeleteDoc returns a new
+// *Index that shares the node table, postings and label table with its
+// predecessor and carries a tombstone mask marking the dead document's
+// ordinal range. Search-facing accessors (PostingsFor, Lookup, OrdinalOf,
+// LiveSpans) filter against the mask, so a tombstoned index answers
+// queries exactly as if the dead documents had never been indexed.
+// Tombstones are never persisted: Save/SaveBinary/SaveSnapshot compact
+// first, and Append merges onto a compacted base, so the mask lives only
+// between a delete and the next save or append.
+
+// ErrNotFound reports a mutation against a document name that is not live
+// in the index.
+var ErrNotFound = errors.New("index: document not found")
+
+// ErrLastDocument reports a delete that would leave the index empty; an
+// Index always holds at least one document (Build rejects empty
+// repositories), so the caller must rebuild from scratch instead.
+var ErrLastDocument = errors.New("index: cannot delete the last live document")
+
+// tombstones is the per-document delete mask carried by a mutated index.
+// All ranges are half-open ordinal intervals, sorted and disjoint.
+type tombstones struct {
+	// dead holds the coalesced ordinal ranges of deleted documents.
+	dead [][2]int32
+	// live is the complement of dead within [0, len(Nodes)).
+	live [][2]int32
+	// deadPosts counts dead entries per posting list; only keys with at
+	// least one dead entry are present, so the zero lookup keeps the
+	// untouched-list fast path allocation-free.
+	deadPosts map[string]int32
+	// deadDocs is the number of tombstoned documents.
+	deadDocs int
+}
+
+// Tombstoned reports whether the index carries a tombstone mask (i.e. has
+// live deletes that a Save or Append would compact away).
+func (ix *Index) Tombstoned() bool { return ix.tomb != nil }
+
+// LiveSpans returns the sorted, disjoint, half-open ordinal ranges of the
+// nodes that are not tombstoned. Iterating these spans visits exactly the
+// live node table; without tombstones that is the whole table.
+func (ix *Index) LiveSpans() [][2]int32 {
+	if ix.tomb == nil {
+		if len(ix.Nodes) == 0 {
+			return nil
+		}
+		return [][2]int32{{0, int32(len(ix.Nodes))}}
+	}
+	return ix.tomb.live
+}
+
+// LiveOrd reports whether the node at ord is live (not tombstoned).
+func (ix *Index) LiveOrd(ord int32) bool {
+	if ix.tomb == nil {
+		return true
+	}
+	dead := ix.tomb.dead
+	i := sort.Search(len(dead), func(i int) bool { return dead[i][1] > ord })
+	return i == len(dead) || ord < dead[i][0]
+}
+
+// PostingsFor returns the live posting list for a normalized keyword. When
+// the list has no tombstoned entries the original slice is returned
+// (allocation-free, the common case); otherwise a filtered copy. A fully
+// dead list returns nil, indistinguishable from an absent keyword. The
+// returned slice must not be modified.
+func (ix *Index) PostingsFor(key string) []int32 {
+	list := ix.Postings[key]
+	if ix.tomb == nil {
+		return list
+	}
+	deadCount := ix.tomb.deadPosts[key]
+	if deadCount == 0 {
+		return list
+	}
+	if int(deadCount) >= len(list) {
+		return nil
+	}
+	out := make([]int32, 0, len(list)-int(deadCount))
+	dead := ix.tomb.dead
+	ri := 0
+	for _, ord := range list {
+		for ri < len(dead) && ord >= dead[ri][1] {
+			ri++
+		}
+		if ri < len(dead) && ord >= dead[ri][0] {
+			continue
+		}
+		out = append(out, ord)
+	}
+	return out
+}
+
+// ForEachKeyword calls f once per keyword with at least one live posting,
+// passing the live posting count. Iteration order is unspecified (map
+// order), matching a range over Postings on an untombstoned index.
+func (ix *Index) ForEachKeyword(f func(keyword string, live int)) {
+	if ix.tomb == nil {
+		for kw, list := range ix.Postings {
+			f(kw, len(list))
+		}
+		return
+	}
+	for kw, list := range ix.Postings {
+		live := len(list) - int(ix.tomb.deadPosts[kw])
+		if live > 0 {
+			f(kw, live)
+		}
+	}
+}
+
+// DocSpan describes one live document's slice of the node table.
+type DocSpan struct {
+	// Name is the document's repository name.
+	Name string
+	// Doc is the Dewey document number (sparse after deletes).
+	Doc int32
+	// Start and End bound the document's half-open ordinal range.
+	Start, End int32
+}
+
+// LiveDocSpans returns the live documents in node-table (Dewey) order.
+// The k-th root node of the table corresponds to DocNames[k], dead or
+// alive; tombstoned documents are skipped.
+func (ix *Index) LiveDocSpans() []DocSpan {
+	out := make([]DocSpan, 0, ix.LiveDocCount())
+	k := 0
+	for ord, n := int32(0), int32(len(ix.Nodes)); ord < n && k < len(ix.DocNames); k++ {
+		size := ix.Nodes[ord].Subtree
+		if size <= 0 {
+			break // corrupt table; Validate reports this properly
+		}
+		if ix.LiveOrd(ord) {
+			out = append(out, DocSpan{
+				Name:  ix.DocNames[k],
+				Doc:   ix.Nodes[ord].ID.Doc,
+				Start: ord,
+				End:   ord + size,
+			})
+		}
+		ord += size
+	}
+	return out
+}
+
+// LiveDocCount returns the number of live documents.
+func (ix *Index) LiveDocCount() int {
+	if ix.tomb == nil {
+		return len(ix.DocNames)
+	}
+	return len(ix.DocNames) - ix.tomb.deadDocs
+}
+
+// LiveDocs returns the live document names in node-table order.
+func (ix *Index) LiveDocs() []string {
+	spans := ix.LiveDocSpans()
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// ContainsDoc reports whether a live document with the given name exists.
+func (ix *Index) ContainsDoc(name string) bool {
+	for _, sp := range ix.LiveDocSpans() {
+		if sp.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// NextDocID returns the Dewey document number the next appended document
+// should take: one past the highest live document number. Appending at
+// the maximum keeps the node table Dewey-sorted even when earlier deletes
+// left holes in the numbering, which is what lets Append remain a cheap
+// suffix merge.
+func (ix *Index) NextDocID() int32 {
+	max := int32(-1)
+	for _, sp := range ix.LiveDocSpans() {
+		if sp.Doc > max {
+			max = sp.Doc
+		}
+	}
+	return max + 1
+}
+
+// DeleteDoc removes the live document(s) named name and returns a new
+// tombstoned index; ix itself is unchanged and keeps serving. The new
+// index shares the node table, postings, labels and document names with
+// ix — only the tombstone mask and the statistics are fresh. It fails
+// with ErrNotFound when no live document has the name and with
+// ErrLastDocument when the delete would empty the index.
+func (ix *Index) DeleteDoc(name string) (*Index, error) {
+	spans := ix.LiveDocSpans()
+	var doomed [][2]int32
+	for _, sp := range spans {
+		if sp.Name == name {
+			doomed = append(doomed, [2]int32{sp.Start, sp.End})
+		}
+	}
+	if len(doomed) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if len(doomed) == len(spans) {
+		return nil, fmt.Errorf("%w: %q", ErrLastDocument, name)
+	}
+
+	tomb := &tombstones{deadDocs: len(doomed)}
+	if ix.tomb != nil {
+		tomb.deadDocs += ix.tomb.deadDocs
+		doomed = append(doomed, ix.tomb.dead...)
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i][0] < doomed[j][0] })
+	// Coalesce adjacent ranges; document ranges never overlap, so touching
+	// ends are the only merge case.
+	for _, r := range doomed {
+		if n := len(tomb.dead); n > 0 && tomb.dead[n-1][1] == r[0] {
+			tomb.dead[n-1][1] = r[1]
+			continue
+		}
+		tomb.dead = append(tomb.dead, r)
+	}
+
+	// Live complement.
+	cur := int32(0)
+	for _, r := range tomb.dead {
+		if r[0] > cur {
+			tomb.live = append(tomb.live, [2]int32{cur, r[0]})
+		}
+		cur = r[1]
+	}
+	if n := int32(len(ix.Nodes)); cur < n {
+		tomb.live = append(tomb.live, [2]int32{cur, n})
+	}
+
+	// Per-keyword dead counts, recomputed from scratch against the merged
+	// mask (a two-pointer sweep per list; posting lists are sorted).
+	tomb.deadPosts = make(map[string]int32)
+	for kw, list := range ix.Postings {
+		dead := int32(0)
+		ri := 0
+		for _, ord := range list {
+			for ri < len(tomb.dead) && ord >= tomb.dead[ri][1] {
+				ri++
+			}
+			if ri < len(tomb.dead) && ord >= tomb.dead[ri][0] {
+				dead++
+			}
+		}
+		if dead > 0 {
+			tomb.deadPosts[kw] = dead
+		}
+	}
+
+	out := &Index{
+		Labels:   ix.Labels,
+		Nodes:    ix.Nodes,
+		Postings: ix.Postings,
+		DocNames: ix.DocNames,
+		labelIDs: ix.labelIDs,
+		tomb:     tomb,
+	}
+	out.recomputeLiveStats()
+	return out, nil
+}
+
+// recomputeLiveStats rebuilds Stats from the live spans and live posting
+// counts, so a tombstoned index reports exactly the statistics a cold
+// rebuild from the surviving documents would.
+func (ix *Index) recomputeLiveStats() {
+	var st Stats
+	for _, sp := range ix.LiveSpans() {
+		var childSum, roots int32
+		for ord := sp[0]; ord < sp[1]; ord++ {
+			n := &ix.Nodes[ord]
+			st.ElementNodes++
+			childSum += n.ChildCount
+			if n.Parent < 0 {
+				roots++
+			}
+			if d := n.ID.Depth(); d > st.MaxDepth {
+				st.MaxDepth = d
+			}
+			c := n.Cat
+			if c&Attribute != 0 {
+				st.AttributeNodes++
+			}
+			if c&Repeating != 0 {
+				st.RepeatingNodes++
+			}
+			if c&Entity != 0 {
+				st.EntityNodes++
+			}
+			if c&Connecting != 0 {
+				st.ConnectingNodes++
+			}
+		}
+		// ChildCount counts element and text children alike; every element
+		// in the span except its document roots is somebody's child, so the
+		// remainder is the span's text-node count (spans align to document
+		// boundaries, so no parent/child edge crosses a span edge).
+		st.TextNodes += int(childSum - (sp[1] - sp[0] - roots))
+		st.Documents += int(roots)
+	}
+	ix.ForEachKeyword(func(_ string, live int) {
+		st.DistinctKeywords++
+		st.PostingEntries += live
+	})
+	ix.Stats = st
+}
+
+// Compacted returns an index with the tombstoned documents physically
+// removed: live nodes are re-packed contiguously (ordinals shift down,
+// Dewey IDs — including sparse document numbers — are preserved), posting
+// lists are filtered and re-based, and dead document names are dropped.
+// Without tombstones it returns ix itself. The result is a plain
+// immutable index, byte-identical in nodes and postings to a cold rebuild
+// from the surviving documents; only the label table may retain interned
+// labels that no surviving document uses.
+func (ix *Index) Compacted() *Index {
+	if ix.tomb == nil {
+		return ix
+	}
+	out := &Index{
+		Labels:   ix.Labels,
+		labelIDs: ix.labelIDs,
+		Postings: make(map[string][]int32, len(ix.Postings)),
+		Stats:    ix.Stats,
+	}
+	out.Nodes = make([]NodeInfo, 0, ix.Stats.ElementNodes)
+	for _, sp := range ix.tomb.live {
+		// Nodes before this span shifted down by the dead mass before it.
+		shift := sp[0] - int32(len(out.Nodes))
+		for ord := sp[0]; ord < sp[1]; ord++ {
+			n := ix.Nodes[ord] // copy
+			if n.Parent >= 0 {
+				// A non-root's parent is in the same document, hence the
+				// same live span and the same shift.
+				n.Parent -= shift
+			}
+			out.Nodes = append(out.Nodes, n)
+		}
+	}
+
+	dead := ix.tomb.dead
+	for kw, list := range ix.Postings {
+		live := len(list) - int(ix.tomb.deadPosts[kw])
+		if live <= 0 {
+			continue
+		}
+		dst := make([]int32, 0, live)
+		ri := 0
+		shift := int32(0)
+		for _, ord := range list {
+			for ri < len(dead) && ord >= dead[ri][1] {
+				shift += dead[ri][1] - dead[ri][0]
+				ri++
+			}
+			if ri < len(dead) && ord >= dead[ri][0] {
+				continue
+			}
+			dst = append(dst, ord-shift)
+		}
+		out.Postings[kw] = dst
+	}
+
+	out.DocNames = make([]string, 0, ix.LiveDocCount())
+	k := 0
+	for ord, n := int32(0), int32(len(ix.Nodes)); ord < n && k < len(ix.DocNames); k++ {
+		size := ix.Nodes[ord].Subtree
+		if size <= 0 {
+			break
+		}
+		if ix.LiveOrd(ord) {
+			out.DocNames = append(out.DocNames, ix.DocNames[k])
+		}
+		ord += size
+	}
+	return out
+}
+
+// BuildDocumentAs indexes a single document under an explicit Dewey
+// document number. Unlike the old Append it validates everything that can
+// fail before touching the caller's tree, and restores the document's
+// prior numbering if the build fails anyway — a failed build must leave
+// the caller's document usable for a retry elsewhere.
+func BuildDocumentAs(doc *xmltree.Document, docID int32, opts Options) (*Index, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, fmt.Errorf("index: build of empty document")
+	}
+	if !doc.Root.IsElement() {
+		return nil, fmt.Errorf("index: document %q root is not an element", doc.Name)
+	}
+	if docID < 0 {
+		return nil, fmt.Errorf("index: document %q: negative document id %d", doc.Name, docID)
+	}
+	oldID := doc.DocID
+	doc.DocID = docID
+	doc.AssignIDs()
+	ix, err := BuildDocument(doc, opts)
+	if err != nil {
+		doc.DocID = oldID
+		doc.AssignIDs()
+		return nil, err
+	}
+	return ix, nil
+}

@@ -26,7 +26,10 @@ const formatVersion = 1
 
 // Save writes the index to w in gob format (v1, legacy). New snapshots
 // should prefer SaveSnapshot / SaveFile, which add checksummed framing.
+// A tombstoned index is compacted first: deletes never reach disk as
+// masks, so every load yields a plain immutable index.
 func (ix *Index) Save(w io.Writer) error {
+	ix = ix.Compacted()
 	enc := gob.NewEncoder(w)
 	p := persisted{
 		Version:  formatVersion,

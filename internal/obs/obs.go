@@ -98,6 +98,11 @@ type Registry struct {
 	searchStages map[string]*Histogram // per-pipeline-stage search time
 	slEntries    *Histogram            // |S_L| distribution across searches
 
+	ingestOK   map[string]int64 // live-ingestion successes by op (upsert, delete)
+	ingestFail map[string]int64 // live-ingestion failures by op
+	ingestLat  *Histogram       // end-to-end mutation latency, persist included
+	docs       int64            // live documents serving
+
 	cacheStats func() (hits, misses int64)
 }
 
@@ -246,6 +251,52 @@ func (r *Registry) ObserveSLSize(entries int) {
 	r.slEntries.observe(float64(entries))
 }
 
+// ObserveIngest records one live document mutation (/admin/docs or a
+// programmatic upsert/delete): the op/result counter and — successes and
+// failures alike — the end-to-end latency, which includes the crash-safe
+// persist that precedes the serving swap.
+func (r *Registry) ObserveIngest(op string, ok bool, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ok {
+		if r.ingestOK == nil {
+			r.ingestOK = make(map[string]int64)
+		}
+		r.ingestOK[op]++
+	} else {
+		if r.ingestFail == nil {
+			r.ingestFail = make(map[string]int64)
+		}
+		r.ingestFail[op]++
+	}
+	if r.ingestLat == nil {
+		r.ingestLat = newHistogram(r.buckets)
+	}
+	r.ingestLat.observe(d.Seconds())
+}
+
+// SetDocs records the number of live documents currently serving; cmd/gksd
+// seeds it at boot and every successful ingest or reload moves it.
+func (r *Registry) SetDocs(n int) {
+	r.mu.Lock()
+	r.docs = int64(n)
+	r.mu.Unlock()
+}
+
+// IngestStats returns the aggregate ingest counters and the live-document
+// gauge for tests.
+func (r *Registry) IngestStats() (ok, fail, docs int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.ingestOK {
+		ok += n
+	}
+	for _, n := range r.ingestFail {
+		fail += n
+	}
+	return ok, fail, r.docs
+}
+
 // SearchStageStats returns per-stage observation counts for tests.
 func (r *Registry) SearchStageStats() map[string]int64 {
 	r.mu.Lock()
@@ -375,6 +426,45 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP gks_shard_partial_results_total Searches answered with partial results because a shard failed.")
 	fmt.Fprintln(w, "# TYPE gks_shard_partial_results_total counter")
 	fmt.Fprintf(w, "gks_shard_partial_results_total %d\n", r.shardPartials)
+
+	fmt.Fprintln(w, "# HELP gks_docs Live documents currently serving.")
+	fmt.Fprintln(w, "# TYPE gks_docs gauge")
+	fmt.Fprintf(w, "gks_docs %d\n", r.docs)
+
+	if len(r.ingestOK) > 0 || len(r.ingestFail) > 0 {
+		ops := make(map[string]bool)
+		for op := range r.ingestOK {
+			ops[op] = true
+		}
+		for op := range r.ingestFail {
+			ops[op] = true
+		}
+		sorted := make([]string, 0, len(ops))
+		for op := range ops {
+			sorted = append(sorted, op)
+		}
+		sort.Strings(sorted)
+		fmt.Fprintln(w, "# HELP gks_ingest_total Live document mutations by op and result.")
+		fmt.Fprintln(w, "# TYPE gks_ingest_total counter")
+		for _, op := range sorted {
+			fmt.Fprintf(w, "gks_ingest_total{op=%q,result=\"success\"} %d\n", op, r.ingestOK[op])
+			fmt.Fprintf(w, "gks_ingest_total{op=%q,result=\"failure\"} %d\n", op, r.ingestFail[op])
+		}
+	}
+
+	if r.ingestLat != nil {
+		h := r.ingestLat
+		fmt.Fprintln(w, "# HELP gks_ingest_duration_seconds Live document mutation latency, crash-safe persist included.")
+		fmt.Fprintln(w, "# TYPE gks_ingest_duration_seconds histogram")
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "gks_ingest_duration_seconds_bucket{le=%q} %d\n", fmtFloat(bound), cum)
+		}
+		fmt.Fprintf(w, "gks_ingest_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.count)
+		fmt.Fprintf(w, "gks_ingest_duration_seconds_sum %s\n", fmtFloat(h.sum))
+		fmt.Fprintf(w, "gks_ingest_duration_seconds_count %d\n", h.count)
+	}
 
 	if len(r.shardSearch) > 0 {
 		shardIDs := make([]int, 0, len(r.shardSearch))

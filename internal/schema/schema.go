@@ -66,18 +66,23 @@ func InferIndexes(ixs ...*index.Index) *Summary {
 			label  int32
 		}
 		counts := make(map[pk]int)
-		for i := range ix.Nodes {
-			n := &ix.Nodes[i]
-			if n.Parent < 0 {
-				continue
-			}
-			p := &ix.Nodes[n.Parent]
-			e := edge{local[p.Label], local[n.Label]}
-			s.edgeSeen[e] = true
-			k := pk{n.Parent, n.Label}
-			counts[k]++
-			if counts[k] == 2 {
-				s.repeats[e] = true
+		// Only live nodes contribute: an edge exhibited solely by a
+		// tombstoned document must not shape the schema the survivors are
+		// categorized against.
+		for _, sp := range ix.LiveSpans() {
+			for ord := sp[0]; ord < sp[1]; ord++ {
+				n := &ix.Nodes[ord]
+				if n.Parent < 0 {
+					continue
+				}
+				p := &ix.Nodes[n.Parent]
+				e := edge{local[p.Label], local[n.Label]}
+				s.edgeSeen[e] = true
+				k := pk{n.Parent, n.Label}
+				counts[k]++
+				if counts[k] == 2 {
+					s.repeats[e] = true
+				}
 			}
 		}
 	}
@@ -247,10 +252,16 @@ func entityTest(attr, rep, both int) bool {
 // immediately (LCE lifting reads ix.Nodes[i].Cat).
 func Apply(ix *index.Index, cats []index.Category) int {
 	changed := 0
-	for i := range ix.Nodes {
-		if ix.Nodes[i].Cat != cats[i] {
-			ix.Nodes[i].Cat = cats[i]
-			changed++
+	// Restrict writes and the changed count to live nodes: tombstoned
+	// documents are invisible to search and must not inflate the count,
+	// and leaving their categories untouched keeps a tombstoned index's
+	// shared node table byte-stable for readers of the predecessor.
+	for _, sp := range ix.LiveSpans() {
+		for ord := sp[0]; ord < sp[1]; ord++ {
+			if ix.Nodes[ord].Cat != cats[ord] {
+				ix.Nodes[ord].Cat = cats[ord]
+				changed++
+			}
 		}
 	}
 	ix.RefreshCategoryStats()

@@ -339,7 +339,14 @@ func (h *Handler) handleInsights(w http.ResponseWriter, r *http.Request) {
 			Value: in.Value, Path: in.Path, Weight: in.Weight, Count: in.Count,
 		})
 	}
-	writeJSON(w, map[string]interface{}{"query": resp.Query.String(), "insights": out})
+	// Insights over a partial response cover only the shards that answered;
+	// surface the flag so clients can tell (this payload is never cached, so
+	// the degraded result dies with the request).
+	writeJSON(w, map[string]interface{}{
+		"query":    resp.Query.String(),
+		"partial":  resp.Partial,
+		"insights": out,
+	})
 }
 
 func (h *Handler) handleRefine(w http.ResponseWriter, r *http.Request) {
@@ -363,7 +370,13 @@ func (h *Handler) handleRefine(w http.ResponseWriter, r *http.Request) {
 	for _, rq := range sys.Refinements(resp, top) {
 		out = append(out, rq.String())
 	}
-	writeJSON(w, map[string]interface{}{"query": resp.Query.String(), "refinements": out})
+	// Same partial-visibility contract as /insights: refinements derived
+	// from a degraded response are flagged, never cached.
+	writeJSON(w, map[string]interface{}{
+		"query":       resp.Query.String(),
+		"partial":     resp.Partial,
+		"refinements": out,
+	})
 }
 
 func (h *Handler) handleExplain(w http.ResponseWriter, r *http.Request) {

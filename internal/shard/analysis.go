@@ -121,9 +121,9 @@ func (s *Set) Suggest(keyword string, maxDist, topK int) []textproc.Suggestion {
 	s.vocabOnce.Do(func() {
 		s.vocab = make(map[string]int)
 		for _, ix := range s.shards {
-			for kw, list := range ix.Postings {
-				s.vocab[kw] += len(list)
-			}
+			ix.ForEachKeyword(func(kw string, live int) {
+				s.vocab[kw] += live
+			})
 		}
 	})
 	return textproc.Suggest(keyword, s.vocab, maxDist, topK)

@@ -1,0 +1,265 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/di"
+	"repro/internal/index"
+	"repro/internal/lca"
+	"repro/internal/xmltree"
+)
+
+// referenceIndex builds the cold-rebuild reference for a mutated set: one
+// index over the surviving documents with their document ids preserved
+// exactly (Repository.Add would renumber; live mutation must not).
+func referenceIndex(t *testing.T, docs []*xmltree.Document) (*index.Index, *core.Engine) {
+	t.Helper()
+	sorted := append([]*xmltree.Document(nil), docs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].DocID < sorted[j].DocID })
+	ix, err := index.Build(&xmltree.Repository{Docs: sorted}, index.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, core.NewEngine(ix)
+}
+
+func TestRouteShardMatchesPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	docs := make([]*xmltree.Document, 20)
+	for i := range docs {
+		docs[i] = randomDoc(rng, fmt.Sprintf("route-%03d.xml", i), false)
+	}
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		groups := Partition(docs, DefaultOptions(n))
+		for shard, group := range groups {
+			for _, d := range group {
+				if got := RouteShard(d.Name, n); got != shard {
+					t.Fatalf("RouteShard(%q, %d) = %d, but Partition placed it in shard %d",
+						d.Name, n, got, shard)
+				}
+			}
+		}
+	}
+}
+
+// TestLiveMutationEquivalence is the correctness anchor of live ingestion:
+// after ANY random interleaving of adds, replaces and deletes, the sharded
+// set must be observationally identical — responses with exact rank floats,
+// insights, baselines, stats, schema — to a single index cold-rebuilt from
+// the surviving documents.
+func TestLiveMutationEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1723))
+	for trial := 0; trial < 12; trial++ {
+		docs := randomCorpus(rng)
+		set, err := Build(docs, DefaultOptions(1+rng.Intn(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := make(map[string]*xmltree.Document, len(docs))
+		for _, d := range docs {
+			live[d.Name] = d
+		}
+		next := len(docs)
+
+		for step := 0; step < 10; step++ {
+			names := make([]string, 0, len(live))
+			for n := range live {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			switch op := rng.Intn(3); {
+			case op == 0 || len(live) == 1: // add
+				name := fmt.Sprintf("doc-%03d.xml", next)
+				next++
+				doc := randomDoc(rng, name, rng.Intn(2) == 0)
+				out, replaced, err := set.WithDocument(doc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if replaced {
+					t.Fatalf("add of fresh name %q reported replaced", name)
+				}
+				set, live[name] = out, doc
+			case op == 1: // replace
+				name := names[rng.Intn(len(names))]
+				doc := randomDoc(rng, name, rng.Intn(2) == 0)
+				out, replaced, err := set.WithDocument(doc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !replaced {
+					t.Fatalf("replace of live name %q not reported as replaced", name)
+				}
+				set, live[name] = out, doc
+			default: // delete
+				name := names[rng.Intn(len(names))]
+				out, err := set.WithoutDocument(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				set = out
+				delete(live, name)
+			}
+
+			survivors := make([]*xmltree.Document, 0, len(live))
+			for _, d := range live {
+				survivors = append(survivors, d)
+			}
+			ix, eng := referenceIndex(t, survivors)
+			label := fmt.Sprintf("trial %d step %d (shards=%d, docs=%d)",
+				trial, step, set.NumShards(), len(live))
+
+			terms := append([]string(nil), corpusWords...)
+			rng.Shuffle(len(terms), func(i, j int) { terms[i], terms[j] = terms[j], terms[i] })
+			q := core.NewQuery(terms[:2+rng.Intn(2)]...)
+			for s := 1; s <= q.Len(); s++ {
+				want, err := eng.Search(q, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := set.SearchQuery(q, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResponse(t, fmt.Sprintf("%s s=%d", label, s), want, got)
+				sameInsights(t, fmt.Sprintf("%s s=%d insights", label, s),
+					di.DiscoverIndexed(func(core.Result) *index.Index { return ix }, want, 5),
+					set.Insights(got, 5))
+			}
+			sameStrings(t, label+" SLCA", singleBaseline(ix, eng, q, lca.SLCA), set.SLCA(q))
+			sameStrings(t, label+" ELCA", singleBaseline(ix, eng, q, lca.ELCA), set.ELCA(q))
+			if want, got := ix.Stats, set.Stats(); want != got {
+				t.Fatalf("%s: stats %+v, want %+v", label, got, want)
+			}
+			wantEdges, gotEdges := singleSchemaEdges(ix), set.Schema()
+			if len(wantEdges) != len(gotEdges) {
+				t.Fatalf("%s: %d schema edges, want %d", label, len(gotEdges), len(wantEdges))
+			}
+			for i := range wantEdges {
+				if wantEdges[i] != gotEdges[i] {
+					t.Fatalf("%s: schema edge %d = %+v, want %+v", label, i, gotEdges[i], wantEdges[i])
+				}
+			}
+			if err := set.ValidateIndex(); err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+		}
+	}
+}
+
+// TestMutationsAreCopyOnWrite: every mutation leaves the receiver serving
+// its old corpus, and shards the mutation never touched share their engine
+// (and its warmed arenas) with the successor.
+func TestMutationsAreCopyOnWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	docs := make([]*xmltree.Document, 6)
+	for i := range docs {
+		docs[i] = randomDoc(rng, fmt.Sprintf("cow-%d.xml", i), false)
+	}
+	set, err := Build(docs, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsBefore := set.Stats()
+	docBefore := set.NumShards()
+
+	doc := randomDoc(rng, "cow-new.xml", false)
+	next, _, err := set.WithDocument(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Stats() != statsBefore || set.NumShards() != docBefore || set.ContainsDoc("cow-new.xml") {
+		t.Fatal("WithDocument mutated the receiver")
+	}
+	target := RouteShard("cow-new.xml", set.NumShards())
+	for i := range set.shards {
+		if i == target {
+			if next.engines[i] == set.engines[i] {
+				t.Fatalf("target shard %d kept its old engine", i)
+			}
+			continue
+		}
+		if next.shards[i] != set.shards[i] || next.engines[i] != set.engines[i] {
+			t.Fatalf("untouched shard %d was rebuilt", i)
+		}
+	}
+
+	del, err := next.WithoutDocument("cow-new.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.ContainsDoc("cow-new.xml") {
+		t.Fatal("WithoutDocument mutated the receiver")
+	}
+	if del.ContainsDoc("cow-new.xml") {
+		t.Fatal("delete left the document live")
+	}
+}
+
+func TestWithoutDocumentErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	docs := []*xmltree.Document{
+		randomDoc(rng, "e-0.xml", false),
+		randomDoc(rng, "e-1.xml", false),
+	}
+	set, err := Build(docs, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.WithoutDocument("missing.xml"); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("unknown name: err = %v, want index.ErrNotFound", err)
+	}
+	one, err := set.WithoutDocument("e-0.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := one.WithoutDocument("e-1.xml"); !errors.Is(err, index.ErrLastDocument) {
+		t.Fatalf("deleting the last document: err = %v, want index.ErrLastDocument", err)
+	}
+}
+
+// TestExplainContextEquivalence: the parallel scatter-based explain must
+// produce the same merged response as the single-index engine and record a
+// per-shard latency for every shard, like any other fan-out.
+func TestExplainContextEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	docs := randomCorpus(rng)
+	set, err := Build(docs, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &recordingMetrics{}
+	set.SetMetrics(m)
+	_, eng := referenceIndex(t, docs)
+
+	want, err := eng.Explain(core.NewQuery("apple", "pear"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := set.ExplainContext(context.Background(), "apple pear", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResponse(t, "explain", want.Response, got.Response)
+	if got.SLSize != want.SLSize {
+		t.Fatalf("explain SLSize = %d, want %d", got.SLSize, want.SLSize)
+	}
+	if len(m.observed) != set.NumShards() {
+		t.Fatalf("explain observed %d shard latencies, want %d", len(m.observed), set.NumShards())
+	}
+
+	// A caller-cancelled explain is an error, never a partial result — even
+	// on a set configured to degrade on shard failure.
+	set.SetAllowPartial(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := set.ExplainContext(ctx, "apple pear", 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled explain returned %v, want context.Canceled", err)
+	}
+}

@@ -228,7 +228,7 @@ func LoadManifest(path string) (*Set, error) {
 		}
 		shards[i] = ix
 	}
-	set, err := newSet(shards, false)
+	set, err := newSet(shards, false, index.DefaultOptions())
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", err, index.ErrCorrupt)
 	}

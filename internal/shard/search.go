@@ -114,9 +114,19 @@ func (s *Set) SearchTopKContext(ctx context.Context, query string, threshold, k 
 // which is still an error). The returned slice has one entry per shard;
 // failed shards are nil.
 func (s *Set) scatter(ctx context.Context, run func(ctx context.Context, eng *core.Engine) (*core.Response, error)) ([]*core.Response, bool, error) {
+	return scatterShards(ctx, s, run)
+}
+
+// scatterShards is the generic scatter fan-out shared by searches and
+// explains (a free function because methods cannot carry type
+// parameters). It owns all the fan-out policy: per-shard latency
+// observation, first-error cancellation, degrade-to-partial under
+// AllowPartial with the all-shards-failed and caller-cancelled
+// exclusions. Failed shards leave the zero T in the result slice.
+func scatterShards[T any](ctx context.Context, s *Set, run func(ctx context.Context, eng *core.Engine) (T, error)) ([]T, bool, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	resps := make([]*core.Response, len(s.engines))
+	results := make([]T, len(s.engines))
 	errs := make([]error, len(s.engines))
 	var wg sync.WaitGroup
 	for i := range s.engines {
@@ -124,7 +134,7 @@ func (s *Set) scatter(ctx context.Context, run func(ctx context.Context, eng *co
 		go func(i int) {
 			defer wg.Done()
 			start := time.Now()
-			resp, err := run(ctx, s.engines[i])
+			res, err := run(ctx, s.engines[i])
 			if s.metrics != nil {
 				s.metrics.ObserveShardSearch(i, time.Since(start))
 			}
@@ -135,7 +145,7 @@ func (s *Set) scatter(ctx context.Context, run func(ctx context.Context, eng *co
 				}
 				return
 			}
-			resps[i] = resp
+			results[i] = res
 		}(i)
 	}
 	wg.Wait()
@@ -154,7 +164,7 @@ func (s *Set) scatter(ctx context.Context, run func(ctx context.Context, eng *co
 		}
 	}
 	if failed == 0 {
-		return resps, false, nil
+		return results, false, nil
 	}
 	if !s.allowPartial || failed == len(s.engines) {
 		return nil, false, firstErr
@@ -167,7 +177,7 @@ func (s *Set) scatter(ctx context.Context, run func(ctx context.Context, eng *co
 	if s.metrics != nil {
 		s.metrics.IncShardPartial()
 	}
-	return resps, true, nil
+	return results, true, nil
 }
 
 // gather merges per-shard responses into one response in global order:
@@ -239,23 +249,27 @@ func (s *Set) Explain(query string, threshold int) (*core.Explanation, error) {
 	return s.ExplainContext(context.Background(), query, threshold)
 }
 
-// ExplainContext is Explain honoring ctx; shards are explained in turn
-// with a cancellation check between shards (Explain itself has no
-// cooperative ctx path).
+// ExplainContext is Explain honoring ctx. Shards are explained through
+// the same scatter fan-out as searches: they run in parallel, per-shard
+// latency reaches the metrics sink, a failing shard cancels its siblings,
+// and under AllowPartial the trace degrades like a search would (failed
+// shards contribute nothing; the embedded response is flagged partial).
 func (s *Set) ExplainContext(ctx context.Context, query string, threshold int) (*core.Explanation, error) {
 	q := core.ParseQuery(query)
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	exs, partial, err := scatterShards(ctx, s, func(ctx context.Context, eng *core.Engine) (*core.Explanation, error) {
+		return eng.ExplainCtx(ctx, q, threshold)
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &core.Explanation{Query: q}
-	resps := make([]*core.Response, len(s.engines))
-	for i, eng := range s.engines {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		ex, err := eng.Explain(q, threshold)
-		if err != nil {
-			return nil, err
+	resps := make([]*core.Response, len(exs))
+	for i, ex := range exs {
+		if ex == nil {
+			continue // failed shard under AllowPartial
 		}
 		if out.PostingSizes == nil {
 			out.PostingSizes = make([]int, len(ex.PostingSizes))
@@ -276,6 +290,6 @@ func (s *Set) ExplainContext(ctx context.Context, query string, threshold int) (
 		out.Stages.Add(ex.Stages)
 		resps[i] = ex.Response
 	}
-	out.Response = s.gather(q, resps, false, 0)
+	out.Response = s.gather(q, resps, partial, 0)
 	return out, nil
 }

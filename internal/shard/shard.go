@@ -16,7 +16,6 @@ package shard
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
@@ -83,6 +82,10 @@ type Set struct {
 
 	allowPartial bool
 	metrics      Metrics
+	// ixOpts is the per-shard index build configuration, retained so live
+	// ingestion (WithDocument) builds partial indexes exactly like the
+	// original shards were built.
+	ixOpts index.Options
 
 	vocabOnce sync.Once
 	vocab     map[string]int
@@ -165,7 +168,7 @@ func Build(docs []*xmltree.Document, opts Options) (*Set, error) {
 			return nil, err
 		}
 	}
-	return newSet(shards, opts.AllowPartial)
+	return newSet(shards, opts.AllowPartial, opts.Index)
 }
 
 // Partition assigns documents to shard groups without building anything.
@@ -209,12 +212,7 @@ func Partition(docs []*xmltree.Document, opts Options) [][]*xmltree.Document {
 		}
 	} else {
 		for _, d := range docs {
-			h := fnv.New32a()
-			h.Write([]byte(d.Name))
-			// Reduce in uint32: int(Sum32()) is negative for high hashes
-			// on 32-bit platforms, and a negative modulo would panic.
-			g := int(h.Sum32() % uint32(n))
-			groups[g] = append(groups[g], d)
+			groups[RouteShard(d.Name, n)] = append(groups[RouteShard(d.Name, n)], d)
 		}
 	}
 	out := groups[:0]
@@ -254,7 +252,7 @@ func docTokens(d *xmltree.Document) int {
 }
 
 // newSet wraps built shard indexes, wiring engines and the doc→shard map.
-func newSet(shards []*index.Index, allowPartial bool) (*Set, error) {
+func newSet(shards []*index.Index, allowPartial bool, ixOpts index.Options) (*Set, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("shard: empty shard set")
 	}
@@ -263,39 +261,61 @@ func newSet(shards []*index.Index, allowPartial bool) (*Set, error) {
 		engines:      make([]*core.Engine, len(shards)),
 		Generation:   1,
 		allowPartial: allowPartial,
+		ixOpts:       ixOpts,
 	}
+	for i, ix := range shards {
+		s.engines[i] = core.NewEngine(ix)
+	}
+	docShard, err := computeDocShard(shards)
+	if err != nil {
+		return nil, err
+	}
+	s.docShard = docShard
+	return s, nil
+}
+
+// computeDocShard builds the global document-id → shard map. Tombstoned
+// documents are skipped: after a live delete their ids are free for the
+// next append, and indexOfResult only ever resolves ids that appear in
+// (live) search results.
+func computeDocShard(shards []*index.Index) ([]int32, error) {
 	// Document roots sit at ordinal 0 and every Subtree hop after it (the
 	// node table is pre-order), so both passes below visit O(documents)
 	// nodes, not O(nodes).
 	maxDoc := int32(-1)
 	for i, ix := range shards {
-		s.engines[i] = core.NewEngine(ix)
 		for ord := int32(0); ord < int32(len(ix.Nodes)); ord += ix.Nodes[ord].Subtree {
 			if ix.Nodes[ord].Subtree <= 0 {
 				return nil, fmt.Errorf("shard: shard %d has non-positive subtree at root %d", i, ord)
+			}
+			if !ix.LiveOrd(ord) {
+				continue
 			}
 			if ix.Nodes[ord].ID.Doc > maxDoc {
 				maxDoc = ix.Nodes[ord].ID.Doc
 			}
 		}
 	}
-	s.docShard = make([]int32, maxDoc+1)
-	for i := range s.docShard {
-		s.docShard[i] = -1
+	docShard := make([]int32, maxDoc+1)
+	for i := range docShard {
+		docShard[i] = -1
 	}
 	for i, ix := range shards {
 		for ord := int32(0); ord < int32(len(ix.Nodes)); ord += ix.Nodes[ord].Subtree {
+			if !ix.LiveOrd(ord) {
+				continue
+			}
 			doc := ix.Nodes[ord].ID.Doc
 			if doc < 0 {
 				return nil, fmt.Errorf("shard: shard %d holds negative document id %d", i, doc)
 			}
-			if s.docShard[doc] != -1 {
-				return nil, fmt.Errorf("shard: document %d present in shards %d and %d", doc, s.docShard[doc], i)
+			if docShard[doc] != -1 {
+				return nil, fmt.Errorf("shard: document %d present in shards %d and %d", doc, docShard[doc], i)
 			}
-			s.docShard[doc] = int32(i)
+			docShard[doc] = int32(i)
 		}
 	}
-	return s, nil
+	return docShard, nil
 }
 
 // SetMetrics installs the observability sink for scatter-gather searches.
@@ -350,9 +370,9 @@ func (s *Set) Stats() index.Stats {
 		if st.MaxDepth > out.MaxDepth {
 			out.MaxDepth = st.MaxDepth
 		}
-		for kw := range ix.Postings {
+		ix.ForEachKeyword(func(kw string, _ int) {
 			distinct[kw] = struct{}{}
-		}
+		})
 	}
 	out.DistinctKeywords = len(distinct)
 	return out
