@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke shard-race ingest-smoke bench-smoke bench-query check
+.PHONY: build vet test race bench fuzz-smoke shard-race ingest-smoke wal-smoke bench-smoke bench-query bench-ingest check
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,16 @@ fuzz-smoke:
 ingest-smoke:
 	$(GO) test -run 'TestIngest' -count=1 ./internal/server
 
+# Write-ahead-log smoke: a short fuzz pass over the segment scanner
+# (arbitrary bytes must parse cleanly, drop a torn tail, or fail with a
+# typed ErrCorrupt — never panic), plus the group-commit concurrency and
+# crash-replay suites under the race detector. Run with a longer
+# -fuzztime when touching the framing codec.
+wal-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
+	$(GO) test -race -count=1 ./internal/wal
+	$(GO) test -race -count=1 -run 'TestWALReplay|TestIngestWAL' . ./internal/server
+
 # The scatter-gather fan-out and the build worker pool are the most
 # concurrency-sensitive code in the tree; the shard suite includes
 # dedicated concurrent-search and reload-under-traffic tests that only
@@ -63,4 +73,12 @@ bench-query:
 	$(GO) run ./cmd/gksbench -exp query -json-dir $$tmp > /dev/null && \
 	test -s $$tmp/BENCH_query.json && echo "bench-query: BENCH_query.json OK" && rm -rf $$tmp
 
-check: build vet race fuzz-smoke shard-race ingest-smoke bench-smoke bench-query
+# One-shot ingest-throughput smoke: runs the snapshot-vs-WAL durability
+# experiment and checks it completes and emits the JSON artifact (the
+# recorded speedup lives in BENCH_ingest.json).
+bench-ingest:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/gksbench -exp ingest -json-dir $$tmp > /dev/null && \
+	test -s $$tmp/BENCH_ingest.json && echo "bench-ingest: BENCH_ingest.json OK" && rm -rf $$tmp
+
+check: build vet race fuzz-smoke wal-smoke shard-race ingest-smoke bench-smoke bench-query bench-ingest

@@ -17,6 +17,13 @@
 // and remove deletes by document name; the updated snapshot is written back
 // crash-safely before the command reports success.
 //
+// When a gksd write-ahead log sits next to the index (the daemon's default
+// is the boot path plus ".wal"), add, remove, search and stats fold the
+// log's surviving records into the loaded snapshot first, so offline
+// commands see every mutation the daemon acknowledged. add and remove then
+// truncate the log after their save — the fresh snapshot supersedes it.
+// Use -wal-dir to point at a log elsewhere, or -wal-dir=off to ignore one.
+//
 // Query strings support double-quoted phrases, e.g.
 //
 //	gks search -files dblp.xml -s 2 '"Peter Buneman" "Wenfei Fan" 2001'
@@ -29,6 +36,7 @@ import (
 	"strings"
 
 	gks "repro"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -155,6 +163,7 @@ func cmdIndexSharded(out string, n int, byTokens, lenient bool, paths []string) 
 func cmdAdd(args []string) {
 	fs := flag.NewFlagSet("add", flag.ExitOnError)
 	indexPath := fs.String("index", "", "saved index file or shard manifest to mutate in place")
+	walDir := fs.String("wal-dir", "", "gksd write-ahead log to fold in and truncate (default: -index path + \".wal\" when present; \"off\" ignores it)")
 	fs.Parse(args)
 	if *indexPath == "" {
 		fatal(fmt.Errorf("gks add requires -index"))
@@ -163,6 +172,10 @@ func cmdAdd(args []string) {
 		fatal(fmt.Errorf("no input files"))
 	}
 	sys, err := loadSystem(*indexPath, "")
+	if err != nil {
+		fatal(err)
+	}
+	sys, l, err := foldWALTail(sys, *indexPath, *walDir)
 	if err != nil {
 		fatal(err)
 	}
@@ -183,6 +196,7 @@ func cmdAdd(args []string) {
 		fmt.Printf("%s %q\n", verb, doc.Name)
 	}
 	saveSystem(sys, *indexPath)
+	truncateWAL(l)
 }
 
 // cmdRemove deletes documents by name from a saved index and writes the
@@ -191,6 +205,7 @@ func cmdAdd(args []string) {
 func cmdRemove(args []string) {
 	fs := flag.NewFlagSet("remove", flag.ExitOnError)
 	indexPath := fs.String("index", "", "saved index file or shard manifest to mutate in place")
+	walDir := fs.String("wal-dir", "", "gksd write-ahead log to fold in and truncate (default: -index path + \".wal\" when present; \"off\" ignores it)")
 	fs.Parse(args)
 	if *indexPath == "" {
 		fatal(fmt.Errorf("gks remove requires -index"))
@@ -199,6 +214,10 @@ func cmdRemove(args []string) {
 		fatal(fmt.Errorf("no document names"))
 	}
 	sys, err := loadSystem(*indexPath, "")
+	if err != nil {
+		fatal(err)
+	}
+	sys, l, err := foldWALTail(sys, *indexPath, *walDir)
 	if err != nil {
 		fatal(err)
 	}
@@ -211,6 +230,7 @@ func cmdRemove(args []string) {
 		fmt.Printf("removed %q\n", name)
 	}
 	saveSystem(sys, *indexPath)
+	truncateWAL(l)
 }
 
 // saveSystem persists a mutated system back to the path it was loaded
@@ -258,6 +278,52 @@ func loadSystemLenient(indexPath, files string, lenient bool) (gks.Searcher, err
 	return nil, fmt.Errorf("provide -index or -files")
 }
 
+// foldWALTail folds a gksd write-ahead log's surviving records into a
+// freshly loaded system, so offline commands operate on everything the
+// daemon acknowledged — not just the last checkpoint. walDir "" auto-
+// detects the daemon's default location (indexPath + ".wal") and is a
+// silent no-op when no log exists there; "off" skips explicitly. The
+// returned log is non-nil when one was folded in: mutating commands
+// truncate and close it after their save supersedes it, read-only
+// commands just close it.
+func foldWALTail(sys gks.Searcher, indexPath, walDir string) (gks.Searcher, *wal.Log, error) {
+	switch {
+	case indexPath == "" || walDir == "off":
+		return sys, nil, nil
+	case walDir == "":
+		walDir = indexPath + ".wal"
+		if fi, err := os.Stat(walDir); err != nil || !fi.IsDir() {
+			return sys, nil, nil
+		}
+	}
+	l, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal %s: %w", walDir, err)
+	}
+	recovered, n, err := gks.ReplayWAL(sys, l)
+	if err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "gks: replayed %d write-ahead-log record(s) from %s\n", n, walDir)
+	}
+	return recovered, l, nil
+}
+
+// truncateWAL drops every log record after a successful save: the snapshot
+// just written contains them all. Failure is a warning, not an error — the
+// log is merely redundant now, and replaying it again is idempotent.
+func truncateWAL(l *wal.Log) {
+	if l == nil {
+		return
+	}
+	if _, err := l.TruncateThrough(l.LastLSN()); err != nil {
+		fmt.Fprintf(os.Stderr, "gks: warning: truncating superseded write-ahead log: %v\n", err)
+	}
+	l.Close()
+}
+
 // isManifest sniffs the file's magic bytes so -index transparently accepts
 // both single-index snapshots and shard-set manifests.
 func isManifest(path string) bool {
@@ -286,6 +352,7 @@ func cmdSearch(args []string) {
 	snippets := fs.Bool("snippets", false, "print highlighted snippets (requires -files)")
 	pruned := fs.Bool("pruned", false, "print MaxMatch-style pruned chunks (requires -files)")
 	lenient := fs.Bool("lenient", false, "with -files: skip unparsable XML files instead of failing")
+	walDir := fs.String("wal-dir", "", "gksd write-ahead log to fold in before searching (default: -index path + \".wal\" when present; \"off\" ignores it)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fatal(fmt.Errorf("no query"))
@@ -293,6 +360,13 @@ func cmdSearch(args []string) {
 	sys, err := loadSystemLenient(*indexPath, *files, *lenient)
 	if err != nil {
 		fatal(err)
+	}
+	sys, l, err := foldWALTail(sys, *indexPath, *walDir)
+	if err != nil {
+		fatal(err)
+	}
+	if l != nil {
+		l.Close() // read-only: the log stays for the daemon's checkpointer
 	}
 	// Snippets, pruned chunks and full chunks read the parsed document
 	// trees, which only a single-index System built from -files retains.
@@ -400,10 +474,18 @@ func cmdStats(args []string) {
 	indexPath := fs.String("index", "", "saved index file")
 	files := fs.String("files", "", "comma-separated XML files to index on the fly")
 	top := fs.Int("top", 0, "also print the N most frequent keywords and labels")
+	walDir := fs.String("wal-dir", "", "gksd write-ahead log to fold in before reporting (default: -index path + \".wal\" when present; \"off\" ignores it)")
 	fs.Parse(args)
 	sys, err := loadSystem(*indexPath, *files)
 	if err != nil {
 		fatal(err)
+	}
+	sys, l, err := foldWALTail(sys, *indexPath, *walDir)
+	if err != nil {
+		fatal(err)
+	}
+	if l != nil {
+		l.Close() // read-only: the log stays for the daemon's checkpointer
 	}
 	st := sys.Stats()
 	fmt.Printf("documents:          %d\n", st.Documents)

@@ -9,7 +9,7 @@
 //
 // Experiments: table1, table4, table5, table7, table8, fig8, fig9, fig10,
 // fig8s, refine, feedback, hybrid, naive, schema, formats, meaning, fslca,
-// recursive, shard, query, or "all" (default).
+// recursive, shard, query, ingest, or "all" (default).
 //
 // With -json-dir every experiment additionally writes its typed rows as
 // BENCH_<name>.json into the directory — a machine-readable record of the
@@ -251,6 +251,16 @@ func main() {
 		fmt.Fprintln(out, "== Sharded index: parallel build and scatter-gather search ==")
 		emit("shard", r)
 		experiments.PrintShardBench(out, r)
+		fmt.Fprintln(out)
+	}
+	if run("ingest") {
+		r, err := experiments.IngestBench(*scale, []int{1, 4, 16}, 48)
+		if err != nil {
+			fail("ingest", err)
+		}
+		fmt.Fprintln(out, "== Live ingestion: snapshot-per-mutation vs WAL group commit ==")
+		emit("ingest", r)
+		experiments.PrintIngestBench(out, r)
 		fmt.Fprintln(out)
 	}
 	if run("query") {

@@ -28,12 +28,18 @@
 //
 // Live ingestion (POST /admin/docs, DELETE /admin/docs/{name}) adds,
 // replaces and deletes single documents without a rebuild or restart. When
-// the daemon booted from -index or -index-manifest, every mutation is
-// persisted to that same path (crash-safe atomic write) before it is
-// acknowledged or served, so ingested documents survive both a restart and
-// a reload. When it booted from -files, mutations are served from memory
-// only — a reload re-parses the original file list and discards them; the
-// mutation response says "persisted": false so callers know.
+// the daemon booted from -index or -index-manifest, mutations are durable
+// through a write-ahead log: each one is appended to the log (group
+// commit — concurrent writers share fsyncs) and acknowledged once its
+// record is on disk, while a background checkpointer folds the log into
+// the boot snapshot every -checkpoint-every mutations (and at shutdown)
+// and truncates the superseded segments. Boot and reload replay any
+// surviving log tail over the snapshot, so acknowledged mutations survive
+// a crash at any point. The log lives in -wal-dir (default: the boot path
+// plus ".wal"); -wal-dir=off restores the old snapshot-per-mutation
+// behavior. When the daemon booted from -files, mutations are served from
+// memory only — a reload re-parses the original file list and discards
+// them; the mutation response says "persisted": false so callers know.
 package main
 
 import (
@@ -51,6 +57,7 @@ import (
 	gks "repro"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -67,6 +74,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "concurrent request cap; excess load sheds with 503 (0 disables)")
 	grace := flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 	quiet := flag.Bool("quiet", false, "suppress per-request access log lines")
+	walDirFlag := flag.String("wal-dir", "", "write-ahead-log directory for live mutations (default: boot path + \".wal\"; \"off\" = snapshot per mutation; ignored with -files)")
+	checkpointEvery := flag.Int("checkpoint-every", 64, "durable mutations between background WAL checkpoints (0 = checkpoint only at shutdown)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "gksd ", log.LstdFlags)
@@ -129,6 +138,54 @@ func main() {
 		return sys, nil
 	}
 
+	// WAL mode (snapshot/manifest boots): open the mutation log and wrap
+	// the loader so boot AND every reload fold the log's surviving tail
+	// into the freshly loaded snapshot. Replay is idempotent across the
+	// snapshot/log overlap, so a reload right after a checkpoint — or a
+	// crash between append, checkpoint and truncate — always recovers to
+	// exactly the acknowledged state.
+	var walLog *wal.Log
+	walDir := *walDirFlag
+	switch {
+	case *files != "":
+		if walDir != "" && walDir != "off" {
+			logger.Print("note: -wal-dir is ignored with -files (mutations are in-memory by design)")
+		}
+		walDir = ""
+	case walDir == "off":
+		walDir = ""
+	case walDir == "":
+		if *manifestPath != "" {
+			walDir = *manifestPath + ".wal"
+		} else if *indexPath != "" {
+			walDir = *indexPath + ".wal"
+		}
+	}
+	if walDir != "" {
+		l, err := wal.Open(walDir, wal.Options{Metrics: reg})
+		if err != nil {
+			log.Fatal("gksd: wal: ", err)
+		}
+		walLog = l
+		base := loadSys
+		loadSys = func() (gks.Searcher, error) {
+			sys, err := base()
+			if err != nil {
+				return nil, err
+			}
+			recovered, n, err := gks.ReplayWAL(sys, walLog)
+			if err != nil {
+				return nil, err
+			}
+			reg.ObserveWALReplay(n)
+			if n > 0 {
+				logger.Printf("wal: replayed %d surviving record(s) from %s", n, walDir)
+				reg.SetDocs(recovered.Stats().Documents)
+			}
+			return recovered, nil
+		}
+	}
+
 	sys, err := loadSys()
 	if err != nil {
 		log.Fatal("gksd: ", err)
@@ -165,6 +222,27 @@ func main() {
 		}
 	}
 	ingester := server.NewIngester(reloader, persist, reg, logger)
+
+	// With a WAL, mutations acknowledge on log durability and the
+	// checkpointer owns the snapshot write: every -checkpoint-every durable
+	// mutations (and once at shutdown) it persists the serving state and
+	// truncates the log segments that snapshot supersedes.
+	ckptDone := make(chan struct{})
+	ckptStop := func() {}
+	if walLog != nil && persist != nil {
+		ckpt := server.NewCheckpointer(reloader, walLog, persist, *checkpointEvery, reg, logger)
+		ingester.EnableWAL(walLog, ckpt.Notify)
+		ckptCtx, cancel := context.WithCancel(context.Background())
+		ckptStop = cancel
+		go func() {
+			defer close(ckptDone)
+			ckpt.Run(ckptCtx)
+		}()
+		logger.Printf("wal: logging mutations to %s (checkpoint every %d)", walDir, *checkpointEvery)
+	} else {
+		close(ckptDone)
+	}
+
 	if *schemaCats {
 		// Ingested documents are categorized by the schema inferred at
 		// build time, not re-inferred per mutation (re-applying would race
@@ -218,6 +296,15 @@ func main() {
 	srv := server.NewHTTPServer(*addr, root, *timeout)
 	if err := server.Serve(ctx, srv, *grace); err != nil {
 		log.Fatal("gksd: ", err)
+	}
+	if walLog != nil {
+		// In-flight mutations have drained; the final checkpoint folds the
+		// log into the snapshot so the next boot replays (near) nothing.
+		ckptStop()
+		<-ckptDone
+		if err := walLog.Close(); err != nil {
+			logger.Printf("wal: close: %v", err)
+		}
 	}
 	log.Print("gksd: drained in-flight requests, shut down cleanly")
 }

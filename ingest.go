@@ -3,6 +3,7 @@ package gks
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/index"
 	"repro/internal/xmltree"
@@ -29,6 +30,29 @@ var ErrLastDocument = index.ErrLastDocument
 // a bad request (match with errors.Is).
 var ErrNoLiveIngestion = errors.New("does not support live ingestion")
 
+// ErrInvalidDocName reports an upsert whose document name the system
+// cannot hold (match with errors.Is). Names route deletes, dedupe
+// replacements, key WAL records and appear in snapshot manifests and log
+// lines, so an empty or control-character name would create a document
+// that is unroutable, undeletable, or corrupts a line-oriented format.
+var ErrInvalidDocName = errors.New("invalid document name")
+
+// ValidateDocName enforces the document-name rules every ingestion layer
+// shares — non-blank, at most 512 bytes, no NUL/CR/LF. The HTTP admin
+// surface applies the same rules at parse time; this is the library-level
+// guard for offline paths (`gks add`) and direct API callers.
+func ValidateDocName(name string) error {
+	switch {
+	case strings.TrimSpace(name) == "":
+		return fmt.Errorf("gks: %w: empty name", ErrInvalidDocName)
+	case len(name) > 512:
+		return fmt.Errorf("gks: %w: %d bytes (max 512)", ErrInvalidDocName, len(name))
+	case strings.ContainsAny(name, "\x00\n\r"):
+		return fmt.Errorf("gks: %w: name contains control characters", ErrInvalidDocName)
+	}
+	return nil
+}
+
 // ContainsDoc reports whether the system holds a live document named name.
 func (s *System) ContainsDoc(name string) bool { return s.ix.ContainsDoc(name) }
 
@@ -43,6 +67,9 @@ func (s *System) DocNames() []string { return s.ix.LiveDocs() }
 func (s *System) UpsertDocument(doc *Document) (*System, bool, error) {
 	if doc == nil || doc.Root == nil {
 		return nil, false, fmt.Errorf("gks: upsert of empty document")
+	}
+	if err := ValidateDocName(doc.Name); err != nil {
+		return nil, false, err
 	}
 	ix := s.ix
 	replaced := false
@@ -112,6 +139,14 @@ func docsWithout(docs []*xmltree.Document, name string) []*xmltree.Document {
 // sys itself is unchanged, so the caller controls when (and whether) to
 // swap the result into service.
 func Upsert(sys Searcher, doc *Document) (Searcher, bool, error) {
+	// Validate here too, not just in System.UpsertDocument: the sharded
+	// path dispatches straight to shard.Set.WithDocument, which would
+	// otherwise accept a name no delete or replace can ever address.
+	if doc != nil {
+		if err := ValidateDocName(doc.Name); err != nil {
+			return nil, false, err
+		}
+	}
 	switch v := sys.(type) {
 	case *System:
 		next, replaced, err := v.UpsertDocument(doc)

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/shard"
+	"repro/internal/wal"
+	"repro/internal/xmltree"
+)
+
+// Ingest bench: sustained write throughput of the two durability designs
+// the server has shipped. Snapshot-per-mutation (the old contract)
+// serializes every upsert behind a full persist of the index — at N
+// shards that is N snapshot files plus a manifest, all rewritten and
+// fsynced per operation, so cost grows with corpus size and adding
+// writers adds nothing but queueing. The write-ahead log appends one
+// CRC-framed record per operation and group-commits: concurrent writers
+// enqueue under the serving lock but share fsyncs, so cost is O(record)
+// and throughput climbs with writer count. The measured gap is the
+// motivation for the WAL subsystem; BENCH_ingest.json records it.
+
+// IngestRow is one (mode, writer-count) configuration's measurements.
+type IngestRow struct {
+	// Mode is "snapshot" (persist whole index per op) or "wal" (append +
+	// group-commit fsync per op).
+	Mode string
+	// Writers is the number of concurrent mutating goroutines.
+	Writers int
+	// Ops is the total acknowledged upserts across all writers.
+	Ops int
+	// Elapsed is wall-clock time for all Ops.
+	Elapsed time.Duration
+	// OpsPerSec is Ops / Elapsed.
+	OpsPerSec float64
+}
+
+// IngestBenchResult aggregates the experiment for reporting and the
+// BENCH_ingest.json artifact.
+type IngestBenchResult struct {
+	// Documents and Shards describe the base corpus the mutations land on.
+	Documents int
+	Shards    int
+	// OpsPerConfig is the acknowledged upserts measured per configuration.
+	OpsPerConfig int
+	Rows         []IngestRow
+	// Speedup16 is WAL ops/sec divided by snapshot ops/sec at the highest
+	// writer count (the issue's headline number).
+	Speedup16 float64
+}
+
+// ingestBenchDoc builds the i-th mutation payload: a small bibliography
+// entry, the shape of document live ingestion exists for. Returns the
+// parsed tree and its serialized form (what the WAL logs).
+func ingestBenchDoc(i int64) (*xmltree.Document, string, error) {
+	src := fmt.Sprintf(
+		"<entry><title>live update %d window merge</title><author>bench writer %d</author><year>%d</year></entry>",
+		i, i%7, 2000+i%25)
+	doc, err := xmltree.ParseString(src, 0, fmt.Sprintf("live-%d.xml", i))
+	if err != nil {
+		return nil, "", err
+	}
+	return doc, src, nil
+}
+
+// ingestDrive runs ops upserts across writers goroutines. Each op applies
+// copy-on-write under a mutex — mutations must serialize, exactly as the
+// server's reload mutex serializes them — and then calls ack outside it.
+// commit runs under the mutex and makes the op durable (or enqueues it);
+// ack, with the mutex released, waits for durability where the mode
+// splits the two.
+func ingestDrive(writers, ops int, apply func(i int64) (ackToken uint64, err error), ack func(token uint64) error) (time.Duration, error) {
+	var idx int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	runtime.GC()
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&idx, 1)
+				if i > int64(ops) {
+					return
+				}
+				token, err := apply(i)
+				if err == nil && ack != nil {
+					err = ack(token)
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// IngestBench measures upsert throughput for both durability modes at
+// each writer count. Every configuration performs the same number of
+// acknowledged upserts onto a fresh copy of the same sharded corpus.
+func IngestBench(scale int, writerCounts []int, opsPerConfig int) (*IngestBenchResult, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	docs := make([]*xmltree.Document, 6)
+	for i := range docs {
+		docs[i] = datagen.DBLP(datagen.BibConfig{
+			Config:  datagen.Config{Seed: int64(i + 1)},
+			Entries: 100 * scale,
+		})
+		docs[i].Name = fmt.Sprintf("%s#%d", docs[i].Name, i)
+	}
+	const shards = 4
+	base, err := shard.Build(docs, shard.DefaultOptions(shards))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ingest corpus build: %w", err)
+	}
+	res := &IngestBenchResult{Documents: len(docs), Shards: base.NumShards(), OpsPerConfig: opsPerConfig}
+
+	snapshotPerSec := map[int]float64{}
+	walPerSec := map[int]float64{}
+	for _, writers := range writerCounts {
+		// Snapshot-per-mutation: apply + full SaveManifest under the lock,
+		// the legacy server commit path. The ack is the save itself.
+		dir, err := os.MkdirTemp("", "gks-ingestbench-snap-")
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, "bench.gksm")
+		if err := base.SaveManifest(path); err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("experiments: seeding snapshot mode: %w", err)
+		}
+		var mu sync.Mutex
+		cur := base
+		elapsed, err := ingestDrive(writers, opsPerConfig, func(i int64) (uint64, error) {
+			doc, _, err := ingestBenchDoc(i)
+			if err != nil {
+				return 0, err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			next, _, err := cur.WithDocument(doc)
+			if err != nil {
+				return 0, err
+			}
+			if err := next.SaveManifest(path); err != nil {
+				return 0, err
+			}
+			cur = next
+			return 0, nil
+		}, nil)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: snapshot mode (%d writers): %w", writers, err)
+		}
+		perSec := float64(opsPerConfig) / elapsed.Seconds()
+		snapshotPerSec[writers] = perSec
+		res.Rows = append(res.Rows, IngestRow{
+			Mode: "snapshot", Writers: writers, Ops: opsPerConfig,
+			Elapsed: elapsed, OpsPerSec: perSec,
+		})
+
+		// WAL: apply + append under the lock, group-commit fsync outside
+		// it — the server's two-phase commit.
+		dir, err = os.MkdirTemp("", "gks-ingestbench-wal-")
+		if err != nil {
+			return nil, err
+		}
+		l, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		cur = base
+		elapsed, err = ingestDrive(writers, opsPerConfig, func(i int64) (uint64, error) {
+			doc, src, err := ingestBenchDoc(i)
+			if err != nil {
+				return 0, err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			next, _, err := cur.WithDocument(doc)
+			if err != nil {
+				return 0, err
+			}
+			lsn, err := l.Enqueue(wal.OpUpsert, doc.Name, src)
+			if err != nil {
+				return 0, err
+			}
+			cur = next
+			return lsn, nil
+		}, l.WaitDurable)
+		l.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: wal mode (%d writers): %w", writers, err)
+		}
+		perSec = float64(opsPerConfig) / elapsed.Seconds()
+		walPerSec[writers] = perSec
+		res.Rows = append(res.Rows, IngestRow{
+			Mode: "wal", Writers: writers, Ops: opsPerConfig,
+			Elapsed: elapsed, OpsPerSec: perSec,
+		})
+	}
+
+	if len(writerCounts) > 0 {
+		maxW := writerCounts[0]
+		for _, w := range writerCounts[1:] {
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if snapshotPerSec[maxW] > 0 {
+			res.Speedup16 = walPerSec[maxW] / snapshotPerSec[maxW]
+		}
+	}
+	return res, nil
+}
+
+// PrintIngestBench renders the experiment for the gksbench text report.
+func PrintIngestBench(w io.Writer, r *IngestBenchResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "corpus\t%d documents in %d shards, %d upserts per configuration\n",
+		r.Documents, r.Shards, r.OpsPerConfig)
+	fmt.Fprintln(tw, "mode\twriters\tops\telapsed\tops/sec")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.1f\n",
+			row.Mode, row.Writers, row.Ops, row.Elapsed.Round(time.Millisecond), row.OpsPerSec)
+	}
+	fmt.Fprintf(tw, "wal speedup at max writers\t%.1fx\n", r.Speedup16)
+	tw.Flush()
+}

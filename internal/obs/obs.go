@@ -45,6 +45,14 @@ var SLEntryBuckets = []float64{
 	1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000,
 }
 
+// WALBatchBuckets are the upper bounds of the group-commit batch-size
+// histogram: how many log records each fsync made durable. 1 means no
+// batching happened (a lone writer); higher buckets show concurrent
+// writers amortizing the flush.
+var WALBatchBuckets = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+}
+
 // Histogram is a fixed-bucket latency histogram. The zero value is unusable;
 // create instances with newHistogram. Guarded by the Registry mutex.
 type Histogram struct {
@@ -102,6 +110,19 @@ type Registry struct {
 	ingestFail map[string]int64 // live-ingestion failures by op
 	ingestLat  *Histogram       // end-to-end mutation latency, persist included
 	docs       int64            // live documents serving
+
+	walEnabled     bool       // any WAL series observed; gates the WAL exposition block
+	walFsyncDur    *Histogram // group-commit fsync latency
+	walFsyncBatch  *Histogram // records made durable per fsync
+	walSegments    int64      // log segment files on disk
+	walBytes       int64      // log bytes on disk
+	walReplays     int64      // boot/reload replays performed
+	walReplayedRec int64      // total records applied across replays
+
+	ckptOK          int64      // checkpoints that persisted and truncated
+	ckptFail        int64      // checkpoints that failed (log retained)
+	ckptDur         *Histogram // checkpoint persist+truncate latency
+	ckptSegsRemoved int64      // total log segments truncated by checkpoints
 
 	cacheStats func() (hits, misses int64)
 }
@@ -281,6 +302,83 @@ func (r *Registry) SetDocs(n int) {
 	r.mu.Lock()
 	r.docs = int64(n)
 	r.mu.Unlock()
+}
+
+// ObserveWALFsync records one group-commit flush: the fsync latency and
+// how many log records it made durable at once. It satisfies wal.Metrics.
+func (r *Registry) ObserveWALFsync(records int, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.walEnabled = true
+	if r.walFsyncDur == nil {
+		r.walFsyncDur = newHistogram(r.buckets)
+		r.walFsyncBatch = newHistogram(WALBatchBuckets)
+	}
+	r.walFsyncDur.observe(d.Seconds())
+	r.walFsyncBatch.observe(float64(records))
+}
+
+// SetWALState records the log's on-disk footprint (segment files and total
+// bytes); the WAL pushes it after every rotation, truncation and flush. It
+// satisfies wal.Metrics.
+func (r *Registry) SetWALState(segments int, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.walEnabled = true
+	r.walSegments = int64(segments)
+	r.walBytes = bytes
+}
+
+// ObserveWALReplay records one boot or reload recovery pass and the number
+// of log records it folded into the snapshot.
+func (r *Registry) ObserveWALReplay(records int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.walEnabled = true
+	r.walReplays++
+	r.walReplayedRec += int64(records)
+}
+
+// ObserveCheckpoint records one background checkpoint: result, how many
+// superseded log segments it truncated, and the persist+truncate latency.
+func (r *Registry) ObserveCheckpoint(ok bool, removedSegments int, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.walEnabled = true
+	if ok {
+		r.ckptOK++
+		r.ckptSegsRemoved += int64(removedSegments)
+	} else {
+		r.ckptFail++
+	}
+	if r.ckptDur == nil {
+		r.ckptDur = newHistogram(r.buckets)
+	}
+	r.ckptDur.observe(d.Seconds())
+}
+
+// WALStats returns the WAL gauges and fsync count for tests.
+func (r *Registry) WALStats() (fsyncs, segments, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.walFsyncDur != nil {
+		fsyncs = r.walFsyncDur.count
+	}
+	return fsyncs, r.walSegments, r.walBytes
+}
+
+// WALReplayStats returns the replay counters for tests.
+func (r *Registry) WALReplayStats() (replays, records int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.walReplays, r.walReplayedRec
+}
+
+// CheckpointStats returns the checkpoint counters for tests.
+func (r *Registry) CheckpointStats() (ok, fail, removedSegments int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ckptOK, r.ckptFail, r.ckptSegsRemoved
 }
 
 // IngestStats returns the aggregate ingest counters and the live-document
@@ -464,6 +562,73 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "gks_ingest_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.count)
 		fmt.Fprintf(w, "gks_ingest_duration_seconds_sum %s\n", fmtFloat(h.sum))
 		fmt.Fprintf(w, "gks_ingest_duration_seconds_count %d\n", h.count)
+	}
+
+	if r.walEnabled {
+		fmt.Fprintln(w, "# HELP gks_wal_segments Write-ahead-log segment files on disk.")
+		fmt.Fprintln(w, "# TYPE gks_wal_segments gauge")
+		fmt.Fprintf(w, "gks_wal_segments %d\n", r.walSegments)
+
+		fmt.Fprintln(w, "# HELP gks_wal_size_bytes Write-ahead-log bytes on disk.")
+		fmt.Fprintln(w, "# TYPE gks_wal_size_bytes gauge")
+		fmt.Fprintf(w, "gks_wal_size_bytes %d\n", r.walBytes)
+
+		fmt.Fprintln(w, "# HELP gks_wal_replays_total Boot/reload recovery passes over the log.")
+		fmt.Fprintln(w, "# TYPE gks_wal_replays_total counter")
+		fmt.Fprintf(w, "gks_wal_replays_total %d\n", r.walReplays)
+
+		fmt.Fprintln(w, "# HELP gks_wal_replayed_records_total Log records folded into snapshots across all replays.")
+		fmt.Fprintln(w, "# TYPE gks_wal_replayed_records_total counter")
+		fmt.Fprintf(w, "gks_wal_replayed_records_total %d\n", r.walReplayedRec)
+
+		fmt.Fprintln(w, "# HELP gks_wal_checkpoints_total Background checkpoints by result.")
+		fmt.Fprintln(w, "# TYPE gks_wal_checkpoints_total counter")
+		fmt.Fprintf(w, "gks_wal_checkpoints_total{result=\"success\"} %d\n", r.ckptOK)
+		fmt.Fprintf(w, "gks_wal_checkpoints_total{result=\"failure\"} %d\n", r.ckptFail)
+
+		fmt.Fprintln(w, "# HELP gks_wal_checkpoint_segments_removed_total Log segments truncated by checkpoints.")
+		fmt.Fprintln(w, "# TYPE gks_wal_checkpoint_segments_removed_total counter")
+		fmt.Fprintf(w, "gks_wal_checkpoint_segments_removed_total %d\n", r.ckptSegsRemoved)
+	}
+
+	if r.walFsyncDur != nil {
+		h := r.walFsyncDur
+		fmt.Fprintln(w, "# HELP gks_wal_fsync_duration_seconds Group-commit fsync latency.")
+		fmt.Fprintln(w, "# TYPE gks_wal_fsync_duration_seconds histogram")
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "gks_wal_fsync_duration_seconds_bucket{le=%q} %d\n", fmtFloat(bound), cum)
+		}
+		fmt.Fprintf(w, "gks_wal_fsync_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.count)
+		fmt.Fprintf(w, "gks_wal_fsync_duration_seconds_sum %s\n", fmtFloat(h.sum))
+		fmt.Fprintf(w, "gks_wal_fsync_duration_seconds_count %d\n", h.count)
+
+		h = r.walFsyncBatch
+		fmt.Fprintln(w, "# HELP gks_wal_fsync_batch_records Log records made durable per fsync (group-commit batch size).")
+		fmt.Fprintln(w, "# TYPE gks_wal_fsync_batch_records histogram")
+		cum = 0
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "gks_wal_fsync_batch_records_bucket{le=%q} %d\n", fmtFloat(bound), cum)
+		}
+		fmt.Fprintf(w, "gks_wal_fsync_batch_records_bucket{le=\"+Inf\"} %d\n", h.count)
+		fmt.Fprintf(w, "gks_wal_fsync_batch_records_sum %s\n", fmtFloat(h.sum))
+		fmt.Fprintf(w, "gks_wal_fsync_batch_records_count %d\n", h.count)
+	}
+
+	if r.ckptDur != nil {
+		h := r.ckptDur
+		fmt.Fprintln(w, "# HELP gks_wal_checkpoint_duration_seconds Checkpoint persist+truncate latency.")
+		fmt.Fprintln(w, "# TYPE gks_wal_checkpoint_duration_seconds histogram")
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "gks_wal_checkpoint_duration_seconds_bucket{le=%q} %d\n", fmtFloat(bound), cum)
+		}
+		fmt.Fprintf(w, "gks_wal_checkpoint_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.count)
+		fmt.Fprintf(w, "gks_wal_checkpoint_duration_seconds_sum %s\n", fmtFloat(h.sum))
+		fmt.Fprintf(w, "gks_wal_checkpoint_duration_seconds_count %d\n", h.count)
 	}
 
 	if len(r.shardSearch) > 0 {

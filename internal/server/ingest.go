@@ -4,14 +4,27 @@
 //	POST   /admin/docs          {"name": "...", "xml": "..."}   add or replace
 //	DELETE /admin/docs/{name}                                   delete
 //
-// Every mutation follows the same durability contract: build the successor
-// system copy-on-write (searches keep running on the old one), persist it
-// through the crash-safe snapshot writer, and only then swap it into
-// service. A crash at any point leaves either the old snapshot or the new
-// one on disk — never a torn file — and a persist failure leaves the old
-// system serving, exactly like a rejected reload. Mutations serialize with
-// /admin/reload and SIGHUP through the Reloader's mutex, so a reload can
-// never interleave with a half-applied ingest.
+// Every mutation builds the successor system copy-on-write (searches keep
+// running on the old one) and is made durable before it is acknowledged.
+// Durability comes in two flavors:
+//
+//   - WAL mode (EnableWAL): the mutation is appended to the write-ahead
+//     log and swapped into service under the Reloader's mutex, then the
+//     handler waits — outside the lock — for the record's group-commit
+//     fsync before acknowledging. Concurrent writers share flushes, so
+//     throughput no longer collapses under the cost of rewriting the
+//     whole snapshot per mutation; a background checkpointer folds the
+//     log into a snapshot and truncates it (see checkpoint.go).
+//   - Legacy snapshot mode (persist != nil, no WAL): the whole successor
+//     snapshot is written through the crash-safe snapshot writer before
+//     the swap, exactly as before.
+//
+// Either way a crash leaves recoverable state on disk — never a torn
+// file — and a failed append/persist leaves the old system serving,
+// exactly like a rejected reload: the generation and document gauges do
+// not move. Mutations serialize with /admin/reload and SIGHUP through
+// the Reloader's mutex, so a reload can never interleave with a
+// half-applied ingest.
 package server
 
 import (
@@ -27,6 +40,7 @@ import (
 
 	gks "repro"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // maxDocBody bounds the /admin/docs request body. Documents above this are
@@ -44,6 +58,9 @@ type Ingester struct {
 	reg     *obs.Registry
 	logger  *log.Logger
 	maxBody int64
+
+	wal       *wal.Log // when set, mutations acknowledge on log durability
+	onDurable func()   // notified after each durable mutation (checkpoint trigger)
 }
 
 // NewIngester builds the mutation surface for the Reloader's handler. The
@@ -51,6 +68,16 @@ type Ingester struct {
 // lock serializing every serving-state transition.
 func NewIngester(rl *Reloader, persist func(gks.Searcher) error, reg *obs.Registry, logger *log.Logger) *Ingester {
 	return &Ingester{rl: rl, persist: persist, reg: reg, logger: logger, maxBody: maxDocBody}
+}
+
+// EnableWAL switches the durability contract from snapshot-per-mutation to
+// write-ahead logging: mutations append to l and acknowledge when their
+// record's group-commit fsync lands; the persist func is no longer called
+// on the mutation path (the checkpointer owns it). onDurable, if non-nil,
+// runs after every acknowledged mutation — the checkpointer's trigger.
+func (ing *Ingester) EnableWAL(l *wal.Log, onDurable func()) {
+	ing.wal = l
+	ing.onDurable = onDurable
 }
 
 // Handler routes /admin/docs (POST) and /admin/docs/{name} (DELETE).
@@ -146,9 +173,9 @@ func (ing *Ingester) handleUpsert(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	ing.rl.mu.Lock()
-	defer ing.rl.mu.Unlock()
 	next, replaced, err := gks.Upsert(ing.rl.h.Searcher(), doc)
 	if err != nil {
+		ing.rl.mu.Unlock()
 		ing.observe("upsert", false, start)
 		if errors.Is(err, gks.ErrNoLiveIngestion) {
 			serverError(w, err)
@@ -161,15 +188,15 @@ func (ing *Ingester) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	if replaced {
 		op = "replace"
 	}
-	ing.commit(w, "upsert", op, name, next, start)
+	ing.commit(w, "upsert", op, name, src, next, start)
 }
 
 func (ing *Ingester) handleDelete(w http.ResponseWriter, name string) {
 	start := time.Now()
 	ing.rl.mu.Lock()
-	defer ing.rl.mu.Unlock()
 	next, err := gks.Remove(ing.rl.h.Searcher(), name)
 	if err != nil {
+		ing.rl.mu.Unlock()
 		ing.observe("delete", false, start)
 		switch {
 		case errors.Is(err, gks.ErrDocNotFound):
@@ -184,16 +211,45 @@ func (ing *Ingester) handleDelete(w http.ResponseWriter, name string) {
 		}
 		return
 	}
-	ing.commit(w, "delete", "delete", name, next, start)
+	ing.commit(w, "delete", "delete", name, "", next, start)
 }
 
-// commit runs the persist-then-swap tail shared by every mutation. The
-// order is the durability contract: nothing is acknowledged — and nothing
-// serves — until the successor snapshot is safely on disk. Callers hold
-// rl.mu.
-func (ing *Ingester) commit(w http.ResponseWriter, metricOp, op, name string, next gks.Searcher, start time.Time) {
-	if ing.persist != nil {
+// commit runs the durability-then-swap tail shared by every mutation.
+// Callers hold rl.mu; commit releases it.
+//
+// The ordering is the durability contract, audited both ways:
+//
+//   - A failed WAL append or snapshot persist must leave the serving
+//     state — and everything that reports it — untouched: no Swap, no
+//     gks_docs / generation gauge movement, and the error message reads
+//     the generation AFTER the failure so it names the snapshot actually
+//     still serving.
+//   - On the WAL path the swap and gauge updates happen under rl.mu, but
+//     the group-commit fsync wait happens OUTSIDE it — holding the
+//     serving lock across an fsync would serialize every writer behind
+//     every flush and forfeit group commit entirely.
+func (ing *Ingester) commit(w http.ResponseWriter, metricOp, op, name, src string, next gks.Searcher, start time.Time) {
+	var lsn uint64
+	switch {
+	case ing.wal != nil:
+		wop := wal.OpUpsert
+		if op == "delete" {
+			wop = wal.OpDelete
+		}
+		var err error
+		if lsn, err = ing.wal.Enqueue(wop, name, src); err != nil {
+			ing.rl.mu.Unlock()
+			ing.observe(metricOp, false, start)
+			gen := ing.rl.h.Generation()
+			if ing.logger != nil {
+				ing.logger.Printf("ingest %s %q: wal append failed, still serving generation %d: %v", op, name, gen, err)
+			}
+			serverError(w, fmt.Errorf("wal append failed, still serving generation %d: %w", gen, err))
+			return
+		}
+	case ing.persist != nil:
 		if err := ing.persist(next); err != nil {
+			ing.rl.mu.Unlock()
 			ing.observe(metricOp, false, start)
 			gen := ing.rl.h.Generation()
 			if ing.logger != nil {
@@ -205,7 +261,6 @@ func (ing *Ingester) commit(w http.ResponseWriter, metricOp, op, name string, ne
 	}
 	gen := ing.rl.h.Swap(next)
 	st := next.Stats()
-	ing.observe(metricOp, true, start)
 	if ing.reg != nil {
 		ing.reg.SetDocs(st.Documents)
 		ing.reg.SetSnapshotGeneration(gen)
@@ -213,16 +268,39 @@ func (ing *Ingester) commit(w http.ResponseWriter, metricOp, op, name string, ne
 			ing.reg.SetShardCount(ss.NumShards())
 		}
 	}
+	ing.rl.mu.Unlock()
+
+	if ing.wal != nil {
+		if err := ing.wal.WaitDurable(lsn); err != nil {
+			// The mutation is applied and serving but its record never hit
+			// disk — a crash now would lose it. Refuse the ack so the client
+			// retries; the log is wedged, so the operator will hear about it.
+			ing.observe(metricOp, false, start)
+			if ing.logger != nil {
+				ing.logger.Printf("ingest %s %q: wal fsync failed, lsn %d applied but not durable: %v", op, name, lsn, err)
+			}
+			serverError(w, fmt.Errorf("wal fsync failed: mutation applied but not durable: %w", err))
+			return
+		}
+		if ing.onDurable != nil {
+			ing.onDurable()
+		}
+	}
+	ing.observe(metricOp, true, start)
 	if ing.logger != nil {
 		ing.logger.Printf("ingest %s %q: generation %d now serving %d document(s)", op, name, gen, st.Documents)
 	}
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"op":         op,
 		"name":       name,
 		"generation": gen,
 		"documents":  st.Documents,
-		"persisted":  ing.persist != nil,
-	})
+		"persisted":  ing.wal != nil || ing.persist != nil,
+	}
+	if ing.wal != nil {
+		resp["lsn"] = lsn
+	}
+	writeJSON(w, resp)
 }
 
 func (ing *Ingester) observe(op string, ok bool, start time.Time) {

@@ -1,0 +1,736 @@
+// Package wal implements the append-only write-ahead log behind live
+// ingestion: the piece that lets a mutation be acknowledged after one
+// amortized fsync of a ~100-byte record instead of a full index snapshot
+// write. Records are length-framed and individually CRC32-protected;
+// durability is group-committed — N concurrent writers Enqueue records
+// and share a single fsync through a leader elected among the waiters —
+// so acknowledgment latency stays one fsync while throughput scales with
+// concurrency.
+//
+// On-disk layout: a directory of segment files named wal-%016x.seg,
+// where the hex number is the LSN of the segment's first record. Each
+// segment is
+//
+//	magic "GKSW1"
+//	record*
+//
+// and each record frame is
+//
+//	u32le payload length | u32le CRC32(payload) | payload
+//	payload = op byte (1 upsert, 2 delete)
+//	        | uvarint LSN
+//	        | uvarint name length | name bytes
+//	        | uvarint doc length  | doc bytes (serialized XML; empty for deletes)
+//
+// LSNs are assigned contiguously from 1 and every segment's records are
+// contiguous, so the log as a whole is a contiguous run of LSNs and any
+// gap is corruption. TruncateThrough removes whole segments oldest-first
+// only, preserving the contiguous-suffix invariant a checkpointed replay
+// depends on.
+//
+// Crash semantics mirror internal/index's snapshot discipline: an
+// incomplete frame at the tail of the final segment is the legal
+// signature of a crash mid-append and is silently dropped (the record
+// was never acknowledged — acknowledgment happens only after fsync), but
+// a complete frame whose CRC does not match, an out-of-sequence LSN, or
+// a torn frame anywhere but the tail is damage and fails with an
+// ErrCorrupt-wrapped error.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+const (
+	segmentMagic = "GKSW1"
+
+	// DefaultSegmentBytes is the rotation threshold: a segment that would
+	// grow past it is sealed (fsynced, closed) and a new one started, so
+	// checkpoint truncation always has whole superseded files to remove.
+	DefaultSegmentBytes = 4 << 20
+
+	// maxRecordBytes bounds a single record payload. It is far above the
+	// server's request-body cap; its real job is keeping a corrupt length
+	// field from demanding a giant allocation during replay.
+	maxRecordBytes = 64 << 20
+
+	frameHeaderSize = 8
+)
+
+// ErrCorrupt reports a damaged segment: a bad checksum, an impossible
+// frame, or a gap in the LSN sequence (match with errors.Is). A torn
+// tail on the final segment is not corruption — it is a crash mid-append
+// and is dropped silently.
+var ErrCorrupt = errors.New("corrupt wal segment")
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Op is a record's mutation kind.
+type Op byte
+
+const (
+	OpUpsert Op = 1
+	OpDelete Op = 2
+)
+
+// Record is one logged mutation. Doc carries the serialized XML source
+// for upserts and is empty for deletes.
+type Record struct {
+	LSN  uint64
+	Op   Op
+	Name string
+	Doc  string
+}
+
+// Metrics is the observability sink (satisfied by obs.Registry); every
+// method may be called concurrently.
+type Metrics interface {
+	// ObserveWALFsync records one group commit: how many records the
+	// single fsync made durable and how long it took.
+	ObserveWALFsync(records int, d time.Duration)
+	// SetWALState reports the live segment count and total log bytes.
+	SetWALState(segments int, bytes int64)
+}
+
+// Options configures Open.
+type Options struct {
+	// SegmentBytes is the rotation threshold (DefaultSegmentBytes if 0).
+	SegmentBytes int64
+	// NoSync skips every fsync. For tests and benchmarks only: records
+	// are never considered durable and WaitDurable must not be used.
+	NoSync bool
+	// Metrics receives fsync/batch/size observations; may be nil.
+	Metrics Metrics
+}
+
+// segment is one on-disk segment file the log knows about.
+type segment struct {
+	path  string
+	first uint64 // LSN of the first record
+	last  uint64 // LSN of the last record; first-1 when empty
+	size  int64  // bytes of magic plus complete frames
+	// tornOK marks a segment that was the final one at Open time: its
+	// tail may legally hold an incomplete frame from a crash mid-append,
+	// and replay must keep tolerating it even after newer segments exist.
+	tornOK bool
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use. Lock order: mu strictly before sm, never the reverse.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex // guards file and segment state
+	sealed      []segment
+	active      *os.File
+	activePath  string
+	activeFirst uint64
+	activeLast  uint64 // activeFirst-1 while the active segment is empty
+	activeSize  int64
+	nextLSN     uint64
+	closed      bool
+	wedged      error // sticky append-failure: file position is unknowable
+
+	sm       sync.Mutex // guards group-commit sync state
+	syncCond *sync.Cond
+	durable  uint64 // highest fsynced LSN
+	syncing  bool   // a leader is currently running the shared fsync
+	syncErr  error  // sticky fsync failure: no later fsync can recover it
+}
+
+var segmentNameRE = regexp.MustCompile(`^wal-[0-9a-f]{16}\.seg$`)
+
+func segmentName(first uint64) string { return fmt.Sprintf("wal-%016x.seg", first) }
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !segmentNameRE.MatchString(name) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len("wal-"):len(name)-len(".seg")], 16, 64)
+	return v, err == nil
+}
+
+// Open opens (creating if necessary) the log at dir and scans every
+// segment, validating checksums and LSN contiguity. A torn tail on the
+// final segment is tolerated and recorded; any other damage fails with
+// ErrCorrupt. An empty final segment (a crash between segment creation
+// and the first complete record) is removed.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && segmentNameRE.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded hex: lexical order is LSN order
+
+	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+	l.syncCond = sync.NewCond(&l.sm)
+	expect := uint64(0)
+	for i, name := range names {
+		first, ok := parseSegmentName(name)
+		if !ok || first == 0 {
+			return nil, fmt.Errorf("wal: segment %s: implausible first lsn: %w", name, ErrCorrupt)
+		}
+		if expect != 0 && first != expect {
+			return nil, fmt.Errorf("wal: segment %s: first lsn %d breaks the sequence (want %d): %w",
+				name, first, expect, ErrCorrupt)
+		}
+		path := filepath.Join(dir, name)
+		st, err := scanSegment(path, first, i == len(names)-1, nil)
+		if err != nil {
+			return nil, err
+		}
+		seg := segment{path: path, first: first, last: first - 1, size: st.size, tornOK: i == len(names)-1}
+		if st.count > 0 {
+			seg.last = first + uint64(st.count) - 1
+		}
+		l.sealed = append(l.sealed, seg)
+		expect = seg.last + 1
+		if expect > l.nextLSN {
+			l.nextLSN = expect
+		}
+	}
+	// A recordless final segment (crash between create and first record)
+	// holds nothing acknowledged — drop it so its name is free for reuse.
+	if n := len(l.sealed); n > 0 && l.sealed[n-1].last < l.sealed[n-1].first {
+		if err := os.Remove(l.sealed[n-1].path); err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.sealed = l.sealed[:n-1]
+	}
+	// Everything that survived the scan is on disk and will survive the
+	// next crash identically, so it counts as durable history.
+	l.durable = l.nextLSN - 1
+	l.reportLocked()
+	return l, nil
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// LastLSN returns the highest LSN ever appended (0 for an empty log).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// DurableLSN returns the highest fsynced LSN.
+func (l *Log) DurableLSN() uint64 {
+	l.sm.Lock()
+	defer l.sm.Unlock()
+	return l.durable
+}
+
+// SegmentStats returns the live segment count and total log bytes.
+func (l *Log) SegmentStats() (segments int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segments = len(l.sealed)
+	for _, s := range l.sealed {
+		bytes += s.size
+	}
+	if l.active != nil {
+		segments++
+		bytes += l.activeSize
+	}
+	return segments, bytes
+}
+
+// Append logs one record and blocks until it is durable (one shared
+// fsync away). It is Enqueue followed by WaitDurable; callers that hold
+// a lock other writers need should call the two halves themselves, with
+// only Enqueue inside the critical section.
+func (l *Log) Append(op Op, name, doc string) (uint64, error) {
+	lsn, err := l.Enqueue(op, name, doc)
+	if err != nil {
+		return 0, err
+	}
+	if l.opts.NoSync {
+		return lsn, nil
+	}
+	return lsn, l.WaitDurable(lsn)
+}
+
+// Enqueue writes one record into the active segment (rotating first if
+// it is full) and returns its LSN. The record is buffered in the OS page
+// cache, not yet durable: callers must WaitDurable(lsn) before
+// acknowledging. A write failure wedges the log — the file position is
+// no longer knowable, so no further appends are accepted — while replay
+// of what is on disk stays exact: the half-written frame is a legal torn
+// tail.
+func (l *Log) Enqueue(op Op, name, doc string) (uint64, error) {
+	if op != OpUpsert && op != OpDelete {
+		return 0, fmt.Errorf("wal: invalid op %d", op)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.wedged != nil {
+		return 0, fmt.Errorf("wal: log wedged by earlier write failure: %w", l.wedged)
+	}
+	lsn := l.nextLSN
+	frame := encodeFrame(Record{LSN: lsn, Op: op, Name: name, Doc: doc})
+	if int64(len(frame)-frameHeaderSize) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record for %q is %d bytes (max %d)", name, len(frame)-frameHeaderSize, maxRecordBytes)
+	}
+	if l.active != nil && l.activeLast >= l.activeFirst &&
+		l.activeSize+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.sealActiveLocked(); err != nil {
+			l.wedged = err
+			return 0, err
+		}
+	}
+	if l.active == nil {
+		if err := l.openActiveLocked(lsn); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := l.active.Write(frame); err != nil {
+		l.wedged = fmt.Errorf("wal: append lsn %d: %w", lsn, err)
+		return 0, l.wedged
+	}
+	l.activeSize += int64(len(frame))
+	l.activeLast = lsn
+	l.nextLSN = lsn + 1
+	l.reportLocked()
+	return lsn, nil
+}
+
+// WaitDurable blocks until every record up to lsn is fsynced. Among the
+// goroutines waiting at any moment exactly one becomes the leader and
+// runs a single fsync covering every record enqueued before it — the
+// group commit. A failed fsync is sticky: the kernel may have dropped
+// the dirty pages, so no later fsync can make these records durable and
+// every waiter (current and future) gets the error.
+func (l *Log) WaitDurable(lsn uint64) error {
+	l.sm.Lock()
+	for {
+		if l.syncErr != nil {
+			err := l.syncErr
+			l.sm.Unlock()
+			return err
+		}
+		if l.durable >= lsn {
+			l.sm.Unlock()
+			return nil
+		}
+		if !l.syncing {
+			l.syncing = true
+			l.sm.Unlock()
+			l.leadSync()
+			l.sm.Lock()
+			continue
+		}
+		l.syncCond.Wait()
+	}
+}
+
+// leadSync runs one shared fsync as the elected leader. The active file
+// is captured under mu but synced outside it, so concurrent Enqueues
+// keep filling the next batch during the flush; if a rotation seals the
+// captured file mid-flight (Sync returns ErrClosed), its records were
+// fsynced by the seal and the leader simply re-captures the new active
+// file.
+func (l *Log) leadSync() {
+	start := time.Now()
+	for {
+		l.mu.Lock()
+		f := l.active
+		high := l.nextLSN - 1
+		l.mu.Unlock()
+
+		var err error
+		if f != nil {
+			err = f.Sync()
+			if err != nil && errors.Is(err, os.ErrClosed) {
+				continue
+			}
+		}
+		if err != nil {
+			l.mu.Lock()
+			if l.wedged == nil {
+				l.wedged = fmt.Errorf("wal: fsync: %w", err)
+			}
+			l.mu.Unlock()
+		}
+		l.sm.Lock()
+		l.syncing = false
+		batch := 0
+		if err != nil {
+			if l.syncErr == nil {
+				l.syncErr = fmt.Errorf("wal: fsync: %w", err)
+			}
+		} else if high > l.durable {
+			batch = int(high - l.durable)
+			l.durable = high
+		}
+		l.syncCond.Broadcast()
+		l.sm.Unlock()
+		if err == nil && batch > 0 && l.opts.Metrics != nil {
+			l.opts.Metrics.ObserveWALFsync(batch, time.Since(start))
+		}
+		return
+	}
+}
+
+// sealActiveLocked fsyncs, closes and retires the active segment. The
+// seal's fsync raises the durable watermark over the segment's records,
+// which is what makes a mid-rotation leader fsync on the closed file
+// harmless. Callers hold mu.
+func (l *Log) sealActiveLocked() error {
+	if !l.opts.NoSync {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: seal %s: %w", filepath.Base(l.activePath), err)
+		}
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: seal %s: %w", filepath.Base(l.activePath), err)
+	}
+	l.sealed = append(l.sealed, segment{
+		path: l.activePath, first: l.activeFirst, last: l.activeLast, size: l.activeSize,
+	})
+	l.active = nil
+	if !l.opts.NoSync {
+		l.advanceDurable(l.activeLast)
+	}
+	return nil
+}
+
+// advanceDurable raises the durable watermark to lsn. Callers may hold
+// mu (mu before sm is the lock order).
+func (l *Log) advanceDurable(lsn uint64) {
+	l.sm.Lock()
+	if lsn > l.durable {
+		l.durable = lsn
+		l.syncCond.Broadcast()
+	}
+	l.sm.Unlock()
+}
+
+// openActiveLocked creates the segment whose first record will be lsn.
+// The directory entry is fsynced so the file itself survives a crash —
+// its records' durability is still governed by the group commit.
+func (l *Log) openActiveLocked(first uint64) error {
+	path := filepath.Join(l.dir, segmentName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if _, err := f.WriteString(segmentMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	syncDir(l.dir)
+	l.active = f
+	l.activePath = path
+	l.activeFirst = first
+	l.activeLast = first - 1
+	l.activeSize = int64(len(segmentMagic))
+	return nil
+}
+
+// Replay streams every surviving record, oldest first, through fn. It
+// holds the log's mutex, so it sees a consistent prefix: no appends,
+// rotations or truncations interleave. An fn error aborts the replay
+// and is returned as-is.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs := append([]segment{}, l.sealed...)
+	if l.active != nil {
+		segs = append(segs, segment{path: l.activePath, first: l.activeFirst})
+	}
+	for i, s := range segs {
+		tornOK := s.tornOK || i == len(segs)-1
+		if _, err := scanSegment(s.path, s.first, tornOK, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TruncateThrough removes every segment whose records are all covered by
+// a checkpoint at lsn, oldest first, and returns how many files were
+// removed. Only whole segments go — a segment holding even one record
+// past lsn stays — so the survivors are always a contiguous suffix of
+// the history, which is what keeps replay-onto-checkpoint equal to a
+// cold rebuild. If the active segment is fully covered it is sealed and
+// removed too, and the next append starts a fresh one.
+func (l *Log) TruncateThrough(lsn uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	for len(l.sealed) > 0 && l.sealed[0].last <= lsn {
+		if err := os.Remove(l.sealed[0].path); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		l.sealed = l.sealed[1:]
+		removed++
+	}
+	if l.active != nil && len(l.sealed) == 0 &&
+		l.activeLast >= l.activeFirst && l.activeLast <= lsn {
+		// The checkpoint covers the whole log: the active segment's
+		// records are superseded by snapshot durability, so the file can
+		// go without an fsync of its own.
+		if err := l.active.Close(); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		last := l.activeLast
+		if err := os.Remove(l.activePath); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		l.active = nil
+		removed++
+		l.advanceDurable(last)
+	}
+	if removed > 0 {
+		syncDir(l.dir)
+	}
+	l.reportLocked()
+	return removed, nil
+}
+
+// Close fsyncs and closes the active segment. Replay keeps working on a
+// closed log (reads reopen the files); appends fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	high := l.nextLSN - 1
+	var err error
+	if l.active != nil {
+		if !l.opts.NoSync {
+			err = l.active.Sync()
+		}
+		if cerr := l.active.Close(); err == nil {
+			err = cerr
+		}
+		// Keep the segment replayable through this handle's bookkeeping.
+		l.sealed = append(l.sealed, segment{
+			path: l.activePath, first: l.activeFirst, last: l.activeLast, size: l.activeSize,
+		})
+		l.active = nil
+	}
+	l.mu.Unlock()
+
+	l.sm.Lock()
+	if err != nil {
+		if l.syncErr == nil {
+			l.syncErr = fmt.Errorf("wal: close: %w", err)
+		}
+	} else if !l.opts.NoSync && high > l.durable {
+		l.durable = high
+	}
+	l.syncCond.Broadcast()
+	l.sm.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// reportLocked pushes segment count and total bytes to the metrics sink.
+// Callers hold mu.
+func (l *Log) reportLocked() {
+	if l.opts.Metrics == nil {
+		return
+	}
+	n := len(l.sealed)
+	var bytes int64
+	for _, s := range l.sealed {
+		bytes += s.size
+	}
+	if l.active != nil {
+		n++
+		bytes += l.activeSize
+	}
+	l.opts.Metrics.SetWALState(n, bytes)
+}
+
+// encodeFrame renders one record as a complete frame (header + payload).
+func encodeFrame(r Record) []byte {
+	payload := make([]byte, 0, 1+3*binary.MaxVarintLen64+len(r.Name)+len(r.Doc))
+	payload = append(payload, byte(r.Op))
+	payload = binary.AppendUvarint(payload, r.LSN)
+	payload = binary.AppendUvarint(payload, uint64(len(r.Name)))
+	payload = append(payload, r.Name...)
+	payload = binary.AppendUvarint(payload, uint64(len(r.Doc)))
+	payload = append(payload, r.Doc...)
+	frame := make([]byte, frameHeaderSize, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	return append(frame, payload...)
+}
+
+// scanStats summarizes one segment scan.
+type scanStats struct {
+	count int   // complete, valid records
+	size  int64 // bytes of magic plus complete frames (torn tail excluded)
+	torn  bool  // an incomplete frame was dropped at the tail
+}
+
+// scanSegment reads the segment at path, validating framing, checksums
+// and LSN contiguity from first, streaming each record through fn (nil
+// fn validates only). tornOK tolerates an incomplete frame at the tail —
+// legal only for the log's final segment, where a crash mid-append can
+// land; anywhere else, or for a complete frame with a bad checksum, the
+// scan fails with ErrCorrupt.
+func scanSegment(path string, first uint64, tornOK bool, fn func(Record) error) (scanStats, error) {
+	var st scanStats
+	base := filepath.Base(path)
+	corrupt := func(format string, args ...any) (scanStats, error) {
+		return st, fmt.Errorf("wal: segment %s: "+format+": %w",
+			append(append([]any{base}, args...), ErrCorrupt)...)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return st, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+
+	var m [len(segmentMagic)]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		// Shorter than the magic: a crash during segment creation.
+		if tornOK {
+			st.torn = true
+			return st, nil
+		}
+		return corrupt("truncated header")
+	}
+	if string(m[:]) != segmentMagic {
+		return corrupt("bad magic %q", m[:])
+	}
+	st.size = int64(len(segmentMagic))
+
+	for {
+		lsn := first + uint64(st.count)
+		var hdr [frameHeaderSize]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return st, nil // clean end
+			}
+			if tornOK {
+				st.torn = true
+				return st, nil
+			}
+			return corrupt("truncated frame header at lsn %d", lsn)
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		if payloadLen == 0 || int64(payloadLen) > maxRecordBytes {
+			return corrupt("implausible record length %d at lsn %d", payloadLen, lsn)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if tornOK {
+				st.torn = true
+				return st, nil
+			}
+			return corrupt("truncated record body at lsn %d", lsn)
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			// A complete frame with a bad checksum is damage, not a torn
+			// tail — even at the end of the final segment.
+			return corrupt("checksum mismatch at lsn %d", lsn)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return corrupt("lsn %d: %v", lsn, err)
+		}
+		if rec.LSN != lsn {
+			return corrupt("lsn %d out of sequence (want %d)", rec.LSN, lsn)
+		}
+		st.size += frameHeaderSize + int64(payloadLen)
+		st.count++
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return st, err
+			}
+		}
+	}
+}
+
+// decodePayload parses a checksum-verified record payload.
+func decodePayload(p []byte) (Record, error) {
+	var r Record
+	if len(p) == 0 {
+		return r, errors.New("empty payload")
+	}
+	r.Op = Op(p[0])
+	if r.Op != OpUpsert && r.Op != OpDelete {
+		return r, fmt.Errorf("unknown op %d", p[0])
+	}
+	rest := p[1:]
+	lsn, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return r, errors.New("bad lsn varint")
+	}
+	r.LSN = lsn
+	rest = rest[n:]
+	var err error
+	if r.Name, rest, err = takeString(rest); err != nil {
+		return r, fmt.Errorf("name: %v", err)
+	}
+	if r.Doc, rest, err = takeString(rest); err != nil {
+		return r, fmt.Errorf("doc: %v", err)
+	}
+	if len(rest) != 0 {
+		return r, fmt.Errorf("%d trailing bytes", len(rest))
+	}
+	return r, nil
+}
+
+func takeString(p []byte) (string, []byte, error) {
+	n, k := binary.Uvarint(p)
+	if k <= 0 {
+		return "", nil, errors.New("bad length varint")
+	}
+	p = p[k:]
+	if n > uint64(len(p)) {
+		return "", nil, fmt.Errorf("length %d exceeds payload", n)
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+// syncDir fsyncs a directory so entry creations and removals survive a
+// crash, best effort (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

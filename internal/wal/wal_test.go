@@ -1,0 +1,433 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// collect replays the log into a slice.
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	if err := l.Replay(func(r Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+// segmentFiles lists the wal segment files in dir, sorted.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if segmentNameRE.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128}) // force rotations
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Record, 0, 20)
+	for i := 0; i < 20; i++ {
+		op, doc := OpUpsert, fmt.Sprintf("<doc><n>%d</n></doc>", i)
+		if i%5 == 4 {
+			op, doc = OpDelete, ""
+		}
+		name := fmt.Sprintf("doc-%d", i%7)
+		lsn, err := l.Append(op, name, doc)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("append %d: lsn %d, want %d", i, lsn, i+1)
+		}
+		want = append(want, Record{LSN: lsn, Op: op, Name: name, Doc: doc})
+	}
+	if got := l.DurableLSN(); got != 20 {
+		t.Fatalf("durable lsn %d, want 20", got)
+	}
+	if n := len(segmentFiles(t, dir)); n < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %d", n)
+	}
+	check := func(label string, l *Log) {
+		t.Helper()
+		got := collect(t, l)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d records, want %d", label, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: record %d = %+v, want %+v", label, i, got[i], want[i])
+			}
+		}
+	}
+	check("live", l)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check("closed", l)
+
+	l2, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	check("reopened", l2)
+	if got := l2.LastLSN(); got != 20 {
+		t.Fatalf("reopened last lsn %d, want 20", got)
+	}
+	// Appends continue the sequence.
+	if lsn, err := l2.Append(OpUpsert, "after", "<x/>"); err != nil || lsn != 21 {
+		t.Fatalf("append after reopen: lsn %d, err %v", lsn, err)
+	}
+}
+
+func TestTornTailDroppedOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(OpUpsert, fmt.Sprintf("d%d", i), "<x/>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a partial frame at the tail of the
+	// final segment, cut inside both the header and the body.
+	names := segmentFiles(t, dir)
+	path := filepath.Join(dir, names[len(names)-1])
+	extra := encodeFrame(Record{LSN: 4, Op: OpUpsert, Name: "torn", Doc: "<torn/>"})
+	for _, cut := range []int{3, frameHeaderSize + 2, len(extra) - 1} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, extra[:cut]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		recs := collect(t, l2)
+		if len(recs) != 3 {
+			t.Fatalf("cut %d: %d records survive, want 3", cut, len(recs))
+		}
+		if got := l2.LastLSN(); got != 3 {
+			t.Fatalf("cut %d: last lsn %d, want 3", cut, got)
+		}
+		// The dropped LSN is reused by the next append — the torn record
+		// was never acknowledged, so the sequence may not skip it.
+		if lsn, err := l2.Append(OpUpsert, "next", "<n/>"); err != nil || lsn != 4 {
+			t.Fatalf("cut %d: append: lsn %d, err %v", cut, lsn, err)
+		}
+		if recs := collect(t, l2); len(recs) != 4 {
+			t.Fatalf("cut %d: %d records after append, want 4", cut, len(recs))
+		}
+		l2.Close()
+		if err := os.WriteFile(path, data, 0o644); err != nil { // restore
+			t.Fatal(err)
+		}
+		// Remove the segment the append above created.
+		for _, n := range segmentFiles(t, dir) {
+			if n != names[0] && !contains(names, n) {
+				os.Remove(filepath.Join(dir, n))
+			}
+		}
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	build := func(t *testing.T, segBytes int64) string {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{SegmentBytes: segBytes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := l.Append(OpUpsert, fmt.Sprintf("d%d", i), "<payload>some text</payload>"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("bit flip in record body", func(t *testing.T) {
+		dir := build(t, 0)
+		names := segmentFiles(t, dir)
+		path := filepath.Join(dir, names[0])
+		data, _ := os.ReadFile(path)
+		data[len(data)/2] ^= 0x40
+		os.WriteFile(path, data, 0o644)
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open after bit flip: %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("torn tail on a non-final segment", func(t *testing.T) {
+		dir := build(t, 64) // rotations: several segments
+		names := segmentFiles(t, dir)
+		if len(names) < 2 {
+			t.Fatalf("need multiple segments, got %d", len(names))
+		}
+		path := filepath.Join(dir, names[0])
+		data, _ := os.ReadFile(path)
+		os.WriteFile(path, data[:len(data)-3], 0o644)
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open after mid-log truncation: %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("missing segment breaks the sequence", func(t *testing.T) {
+		dir := build(t, 64)
+		names := segmentFiles(t, dir)
+		if len(names) < 3 {
+			t.Fatalf("need at least 3 segments, got %d", len(names))
+		}
+		os.Remove(filepath.Join(dir, names[1]))
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open with a removed interior segment: %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		dir := build(t, 0)
+		names := segmentFiles(t, dir)
+		path := filepath.Join(dir, names[0])
+		data, _ := os.ReadFile(path)
+		copy(data, "BOGUS")
+		os.WriteFile(path, data, 0o644)
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open with bad magic: %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestTruncateThrough(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 12; i++ {
+		if _, err := l.Append(OpUpsert, fmt.Sprintf("d%d", i), "<doc>words here</doc>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore, _ := l.SegmentStats()
+	if segsBefore < 3 {
+		t.Fatalf("need at least 3 segments, got %d", segsBefore)
+	}
+	// Partial truncate: only whole segments at or below lsn 6 go.
+	removed, err := l.TruncateThrough(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("partial truncate removed nothing")
+	}
+	recs := collect(t, l)
+	if len(recs) == 0 || recs[len(recs)-1].LSN != 12 {
+		t.Fatalf("replay after partial truncate ends at %v, want lsn 12", recs)
+	}
+	// Survivors are a contiguous suffix.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN != recs[i-1].LSN+1 {
+			t.Fatalf("gap in surviving records: %d then %d", recs[i-1].LSN, recs[i].LSN)
+		}
+	}
+	if recs[0].LSN > 7 {
+		t.Fatalf("truncate removed uncovered records: replay starts at %d, checkpoint was 6", recs[0].LSN)
+	}
+	// Full truncate: everything including the active segment goes.
+	if _, err := l.TruncateThrough(l.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collect(t, l); len(recs) != 0 {
+		t.Fatalf("%d records survive a full truncate, want 0", len(recs))
+	}
+	if names := segmentFiles(t, dir); len(names) != 0 {
+		t.Fatalf("segment files survive a full truncate: %v", names)
+	}
+	// The log keeps appending after a full truncate, LSNs still rising.
+	lsn, err := l.Append(OpUpsert, "after", "<x/>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 13 {
+		t.Fatalf("append after full truncate: lsn %d, want 13", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs = collect(t, l2)
+	if len(recs) != 1 || recs[0].LSN != 13 {
+		t.Fatalf("reopen after truncate: %+v, want single record at lsn 13", recs)
+	}
+}
+
+func TestEmptyTailSegmentRemovedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(OpUpsert, "a", "<x/>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash between segment creation and the first record: a file holding
+	// only the magic (or less).
+	for _, content := range []string{segmentMagic, "GK"} {
+		stub := filepath.Join(dir, segmentName(2))
+		if err := os.WriteFile(stub, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("open with empty tail segment (%q): %v", content, err)
+		}
+		if _, err := os.Stat(stub); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("empty tail segment %q not removed", content)
+		}
+		// Its LSN is free for reuse by the next append.
+		if lsn, err := l2.Append(OpUpsert, "b", "<y/>"); err != nil || lsn != 2 {
+			t.Fatalf("append after stub removal: lsn %d, err %v", lsn, err)
+		}
+		if _, err := l2.TruncateThrough(2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l2.Append(OpUpsert, "c", "<z/>"); err != nil {
+			t.Fatal(err)
+		}
+		l2.Close()
+		// Reset for the next variant: keep only the first segment.
+		for _, n := range segmentFiles(t, dir) {
+			if n != segmentName(1) {
+				os.Remove(filepath.Join(dir, n))
+			}
+		}
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(OpUpsert, "a", "<x/>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Enqueue(OpUpsert, "b", "<y/>"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue on closed log: %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := l.Enqueue(Op(9), "b", "<y/>"); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+// TestGroupCommitConcurrency drives many writers through the
+// Enqueue/WaitDurable pair under the race detector: every record must
+// come back durable, the LSN sequence must be dense, and a replay must
+// see exactly the appended set. Run with -race.
+func TestGroupCommitConcurrency(t *testing.T) {
+	const writers, perWriter = 16, 25
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	lsnCh := make(chan uint64, writers*perWriter)
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				lsn, err := l.Append(OpUpsert, fmt.Sprintf("w%d-%d", w, i), "<doc>concurrent</doc>")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if got := l.DurableLSN(); got < lsn {
+					errCh <- fmt.Errorf("acknowledged lsn %d above durable watermark %d", lsn, got)
+					return
+				}
+				lsnCh <- lsn
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	close(lsnCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for lsn := range lsnCh {
+		if seen[lsn] {
+			t.Fatalf("lsn %d assigned twice", lsn)
+		}
+		seen[lsn] = true
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("%d lsns, want %d", len(seen), writers*perWriter)
+	}
+	for lsn := uint64(1); lsn <= uint64(writers*perWriter); lsn++ {
+		if !seen[lsn] {
+			t.Fatalf("lsn %d missing: sequence not dense", lsn)
+		}
+	}
+	if recs := collect(t, l); len(recs) != writers*perWriter {
+		t.Fatalf("replay sees %d records, want %d", len(recs), writers*perWriter)
+	}
+}
