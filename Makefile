@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke shard-race ingest-smoke wal-smoke bench-smoke bench-query bench-ingest check
+.PHONY: build vet test race bench fuzz-smoke shard-race ingest-smoke wal-smoke replica-smoke bench-smoke bench-query bench-ingest bench-replica check
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,16 @@ wal-smoke:
 	$(GO) test -race -count=1 ./internal/wal
 	$(GO) test -race -count=1 -run 'TestWALReplay|TestIngestWAL' . ./internal/server
 
+# Replication crash drill: the in-process cluster property test (WAL
+# shipping under injected network faults, snapshot re-install, router
+# failover/partial contract) under the race detector, then the
+# real-process smoke — gksd leader and follower SIGKILLed mid-stream /
+# mid-ingest, restarted from their surviving directories, and asserted
+# to converge.
+replica-smoke:
+	$(GO) test -race -count=1 ./internal/replica/... ./internal/wal
+	$(GO) test -count=1 -run TestProcessCrashConvergence ./internal/replica
+
 # The scatter-gather fan-out and the build worker pool are the most
 # concurrency-sensitive code in the tree; the shard suite includes
 # dedicated concurrent-search and reload-under-traffic tests that only
@@ -81,4 +91,13 @@ bench-ingest:
 	$(GO) run ./cmd/gksbench -exp ingest -json-dir $$tmp > /dev/null && \
 	test -s $$tmp/BENCH_ingest.json && echo "bench-ingest: BENCH_ingest.json OK" && rm -rf $$tmp
 
-check: build vet race fuzz-smoke wal-smoke shard-race ingest-smoke bench-smoke bench-query bench-ingest
+# One-shot replicated-serving smoke: runs the read scale-out experiment
+# over a live leader + followers and checks it completes and emits the
+# JSON artifact (scale-out numbers are only meaningful across real
+# machines; see the Mode note inside BENCH_replica.json).
+bench-replica:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/gksbench -exp replica -json-dir $$tmp > /dev/null && \
+	test -s $$tmp/BENCH_replica.json && echo "bench-replica: BENCH_replica.json OK" && rm -rf $$tmp
+
+check: build vet race fuzz-smoke wal-smoke replica-smoke shard-race ingest-smoke bench-smoke bench-query bench-ingest bench-replica

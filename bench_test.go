@@ -1,4 +1,4 @@
-package gks
+package gks_test
 
 // Benchmark harness: one testing.B benchmark per table and figure of the
 // paper's evaluation (§7). `go test -bench=. -benchmem` regenerates every
@@ -10,6 +10,8 @@ import (
 	"os"
 	"strconv"
 	"testing"
+
+	gks "repro"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -112,7 +114,7 @@ func BenchmarkFig9ResponseTimeVsKeywords(b *testing.B) {
 // 2x and 3x replicas of the SwissProt analog.
 func BenchmarkFig10Scalability(b *testing.B) {
 	for _, replicas := range []int{1, 2, 3} {
-		repo := datagen.Replicate(func() *Document {
+		repo := datagen.Replicate(func() *gks.Document {
 			return datagen.SwissProt(datagen.Config{Seed: 42, Scale: benchScale()})
 		}, replicas)
 		ix, err := index.Build(repo, index.DefaultOptions())

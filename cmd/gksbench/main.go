@@ -9,7 +9,7 @@
 //
 // Experiments: table1, table4, table5, table7, table8, fig8, fig9, fig10,
 // fig8s, refine, feedback, hybrid, naive, schema, formats, meaning, fslca,
-// recursive, shard, query, ingest, or "all" (default).
+// recursive, shard, query, ingest, replica, or "all" (default).
 //
 // With -json-dir every experiment additionally writes its typed rows as
 // BENCH_<name>.json into the directory — a machine-readable record of the
@@ -271,6 +271,16 @@ func main() {
 		fmt.Fprintln(out, "== Query hot path: seed pipeline vs loser-tree merge + query arena ==")
 		emit("query", r)
 		experiments.PrintQueryBench(out, r)
+		fmt.Fprintln(out)
+	}
+	if run("replica") {
+		r, err := experiments.ReplicaBench(*scale, []int{1, 2, 4}, 16, 4000)
+		if err != nil {
+			fail("replica", err)
+		}
+		fmt.Fprintln(out, "== Replicated serving: read scale-out across WAL-shipped replicas ==")
+		emit("replica", r)
+		experiments.PrintReplicaBench(out, r)
 		fmt.Fprintln(out)
 	}
 }

@@ -56,6 +56,7 @@ import (
 
 	gks "repro"
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -76,10 +77,26 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-request access log lines")
 	walDirFlag := flag.String("wal-dir", "", "write-ahead-log directory for live mutations (default: boot path + \".wal\"; \"off\" = snapshot per mutation; ignored with -files)")
 	checkpointEvery := flag.Int("checkpoint-every", 64, "durable mutations between background WAL checkpoints (0 = checkpoint only at shutdown)")
+	follow := flag.String("follow", "", "run as a replication follower of this leader base URL (requires -index; mutations are rejected locally)")
+	replicaMaxLag := flag.Uint64("replica-max-lag", 4096, "with -follow: record lag beyond which /healthz?ready reports not ready")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "gksd ", log.LstdFlags)
 	reg := obs.NewRegistry()
+
+	// A follower mirrors a leader's WAL into local state: it needs the
+	// single-index + WAL configuration, and nothing else makes sense.
+	if *follow != "" {
+		*follow = strings.TrimRight(*follow, "/")
+		switch {
+		case *indexPath == "":
+			log.Fatal("gksd: -follow requires -index (the local snapshot path)")
+		case *files != "" || *manifestPath != "":
+			log.Fatal("gksd: -follow is incompatible with -files and -index-manifest")
+		case *walDirFlag == "off":
+			log.Fatal("gksd: -follow requires a WAL (-wal-dir=off is incompatible)")
+		}
+	}
 
 	// loadSys builds a serving system from the configured source. It runs
 	// once at boot and again on every reload trigger, so a reload picks up
@@ -186,6 +203,33 @@ func main() {
 		}
 	}
 
+	// Follower bootstrap: a first boot (no local snapshot) or a boot that
+	// found an interrupted snapshot install discards local state, fetches
+	// the leader's current snapshot and resets the local log — after
+	// which the normal load path (snapshot + log replay) runs unchanged.
+	if *follow != "" {
+		if walLog == nil {
+			log.Fatal("gksd: -follow requires a WAL")
+		}
+		needJoin := server.InstallPending(walDir)
+		if !needJoin {
+			if _, err := os.Stat(*indexPath); err != nil {
+				needJoin = true
+			}
+		}
+		if needJoin {
+			logger.Printf("replica: joining cluster from %s", *follow)
+			if err := server.JoinCluster(*follow, nil, *indexPath, walLog, logger); err != nil {
+				log.Fatal("gksd: ", err)
+			}
+		}
+	} else if walLog != nil && server.InstallPending(walDir) {
+		// An interrupted snapshot install means the snapshot and the log
+		// no longer agree; only a re-join can fix that, and this boot
+		// was not asked to follow anyone.
+		log.Fatalf("gksd: %s holds an interrupted snapshot install marker; boot with -follow to re-join, or remove the WAL directory to start from the snapshot alone", walDir)
+	}
+
 	sys, err := loadSys()
 	if err != nil {
 		log.Fatal("gksd: ", err)
@@ -229,8 +273,9 @@ func main() {
 	// truncates the log segments that snapshot supersedes.
 	ckptDone := make(chan struct{})
 	ckptStop := func() {}
+	var ckpt *server.Checkpointer
 	if walLog != nil && persist != nil {
-		ckpt := server.NewCheckpointer(reloader, walLog, persist, *checkpointEvery, reg, logger)
+		ckpt = server.NewCheckpointer(reloader, walLog, persist, *checkpointEvery, reg, logger)
 		ingester.EnableWAL(walLog, ckpt.Notify)
 		ckptCtx, cancel := context.WithCancel(context.Background())
 		ckptStop = cancel
@@ -251,6 +296,62 @@ func main() {
 		logger.Print("note: -schema categorization is not re-applied on /admin/docs mutations; trigger /admin/reload to re-categorize")
 	}
 
+	// Replication roles. A follower tails the leader's stream through a
+	// ReplicaApplier (the same two-phase commit path as local ingestion)
+	// and rejects local mutations; any single-index WAL boot that is not
+	// following acts as a leader and exposes the snapshot + stream
+	// endpoints — a standalone daemon is just a leader nobody follows.
+	role := "single"
+	var follower *replica.Follower
+	var leader *replica.Leader
+	followDone := make(chan struct{})
+	followStop := func() {}
+	switch {
+	case *follow != "":
+		role = "follower"
+		onDurable := func() {}
+		if ckpt != nil {
+			onDurable = ckpt.Notify
+		}
+		applier := server.NewReplicaApplier(reloader, walLog, *indexPath, reg, logger, onDurable)
+		var err error
+		follower, err = replica.NewFollower(replica.Config{
+			Leader:  *follow,
+			Applier: applier,
+			Metrics: reg,
+			Logger:  logger,
+			MaxLag:  *replicaMaxLag,
+		})
+		if err != nil {
+			log.Fatal("gksd: ", err)
+		}
+		reg.SetReplicaRole(role)
+		followCtx, cancel := context.WithCancel(context.Background())
+		followStop = cancel
+		go func() {
+			defer close(followDone)
+			if err := follower.Run(followCtx); err != nil && followCtx.Err() == nil {
+				// A failed apply means the local mirror has diverged from
+				// the leader; serving on would return wrong answers.
+				logger.Printf("replica: follower stopped: %v", err)
+				os.Exit(1)
+			}
+		}()
+		logger.Printf("replica: following %s (max lag %d records)", *follow, *replicaMaxLag)
+	case walLog != nil && *indexPath != "":
+		role = "leader"
+		leader = &replica.Leader{
+			Log:      walLog,
+			Snapshot: reloader.ReplicaSource(walLog),
+			Metrics:  reg,
+			Logger:   logger,
+		}
+		reg.SetReplicaRole(role)
+		close(followDone)
+	default:
+		close(followDone)
+	}
+
 	mw := []server.Middleware{server.WithMetrics(reg)}
 	if !*quiet {
 		mw = append(mw, server.WithAccessLog(logger))
@@ -268,12 +369,31 @@ func main() {
 	root.Handle("/", server.Chain(api, mw...))
 	root.Handle("/metrics", server.Chain(reg.Handler(), server.WithRecovery(reg, logger)))
 	root.Handle("/admin/reload", server.Chain(reloader.AdminHandler(), server.WithRecovery(reg, logger)))
-	root.Handle("/admin/docs", server.Chain(ingester.Handler(), server.WithRecovery(reg, logger)))
-	root.Handle("/admin/docs/", server.Chain(ingester.Handler(), server.WithRecovery(reg, logger)))
-	root.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "ok generation=%d\n", api.Generation())
-	})
+	// Followers are read replicas: the single writer is the leader, and a
+	// local mutation would fork the mirror.
+	docsHandler := http.Handler(ingester.Handler())
+	if follower != nil {
+		leaderURL := *follow
+		docsHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusForbidden)
+			fmt.Fprintf(w, "{\"error\":\"this node is a read replica; send mutations to the leader\",\"leader\":%q}\n", leaderURL)
+		})
+	}
+	root.Handle("/admin/docs", server.Chain(docsHandler, server.WithRecovery(reg, logger)))
+	root.Handle("/admin/docs/", server.Chain(docsHandler, server.WithRecovery(reg, logger)))
+	if leader != nil {
+		// Recovery only: the stream is long-lived by design, so the
+		// limiter and per-request timeout must not touch it.
+		root.Handle("/replica/snapshot", server.Chain(leader.SnapshotHandler(), server.WithRecovery(reg, logger)))
+		root.Handle("/replica/stream", server.Chain(leader.StreamHandler(), server.WithRecovery(reg, logger)))
+	}
+	health := &server.Health{Handler: api, Role: role, WAL: walLog, Checkpoint: ckpt}
+	if follower != nil {
+		health.Ready = follower.Ready
+		health.Replica = func() any { return follower.Status() }
+	}
+	root.Handle("/healthz", health)
 
 	// SIGHUP triggers the same reload as POST /admin/reload — the
 	// traditional "re-read your config" signal, here "re-read your index".
@@ -297,6 +417,10 @@ func main() {
 	if err := server.Serve(ctx, srv, *grace); err != nil {
 		log.Fatal("gksd: ", err)
 	}
+	// Stop tailing the leader before the final checkpoint so the
+	// checkpointed snapshot covers every applied record.
+	followStop()
+	<-followDone
 	if walLog != nil {
 		// In-flight mutations have drained; the final checkpoint folds the
 		// log into the snapshot so the next boot replays (near) nothing.

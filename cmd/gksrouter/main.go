@@ -1,0 +1,97 @@
+// Command gksrouter fronts a replicated gksd cluster: it fans read
+// queries across the replicas with health-gated failover and forwards
+// mutations to the leader.
+//
+//	gksrouter -replicas http://10.0.0.2:8791,http://10.0.0.3:8791 \
+//	          -leader http://10.0.0.1:8791 -addr :8790
+//
+// Each replica is probed at /healthz?ready on an interval; a replica
+// that fails its probe — or fails a relayed query — is ejected from the
+// rotation and re-admitted the moment its probe passes again (a
+// restarted follower turns ready once it has caught back up to the
+// leader). While any configured replica is out of rotation the set is
+// degraded: relayed answers on /search, /insights and /refine are
+// re-marked "partial": true and stamped Cache-Control: no-store, the
+// same contract the engine applies to per-shard failures, so callers
+// and caches can tell a full answer from a best-effort one.
+//
+// The router's own /healthz reports per-backend health; ?ready fails
+// only when no replica is serving. /metrics exposes request counters
+// and latencies for the router process itself.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/replica"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8790", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs queries fan across (required)")
+	leaderURL := flag.String("leader", "", "leader base URL mutations are forwarded to (optional; omit for a read-only router)")
+	healthEvery := flag.Duration("health-interval", time.Second, "replica readiness probe interval")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-relay-attempt timeout")
+	retries := flag.Int("retries", 2, "additional replicas to try after a failed relay")
+	grace := flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+	quiet := flag.Bool("quiet", false, "suppress per-request access log lines")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gksrouter ", log.LstdFlags)
+	if *replicas == "" {
+		log.Fatal("gksrouter: -replicas is required")
+	}
+	var backends []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			backends = append(backends, u)
+		}
+	}
+
+	router, err := replica.NewRouter(replica.RouterConfig{
+		Replicas:    backends,
+		Leader:      *leaderURL,
+		HealthEvery: *healthEvery,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		Logger:      logger,
+	})
+	if err != nil {
+		log.Fatal("gksrouter: ", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go router.Run(ctx)
+
+	reg := obs.NewRegistry()
+	mw := []server.Middleware{server.WithMetrics(reg)}
+	if !*quiet {
+		mw = append(mw, server.WithAccessLog(logger))
+	}
+	mw = append(mw, server.WithRecovery(reg, logger))
+
+	mux := http.NewServeMux()
+	router.Routes(mux)
+	root := http.NewServeMux()
+	root.Handle("/", server.Chain(mux, mw...))
+	root.Handle("/metrics", server.Chain(reg.Handler(), server.WithRecovery(reg, logger)))
+
+	logger.Printf("routing across %d replica(s) on %s (leader=%q timeout=%s retries=%d)",
+		len(backends), *addr, *leaderURL, *timeout, *retries)
+	srv := server.NewHTTPServer(*addr, root, *timeout)
+	if err := server.Serve(ctx, srv, *grace); err != nil {
+		log.Fatal("gksrouter: ", err)
+	}
+	logger.Print("drained in-flight requests, shut down cleanly")
+}

@@ -241,6 +241,12 @@ func (s *System) SaveIndex(w io.Writer) error { return s.ix.Save(w) }
 // previous snapshot at path.
 func (s *System) SaveIndexFile(path string) error { return s.ix.SaveFile(path) }
 
+// SaveSnapshot streams the index in the checksummed snapshot format (v3)
+// — the same bytes SaveIndexFile writes, without the atomic-file
+// discipline. The replication leader uses it to serve point-in-time
+// snapshots to joining followers over HTTP.
+func (s *System) SaveSnapshot(w io.Writer) error { return s.ix.SaveSnapshot(w) }
+
 // ValidateIndex checks the structural invariants of the underlying index
 // (label/parent/subtree ranges, sorted posting lists). The gksd reload
 // path runs it between loading a candidate snapshot and swapping it into

@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	gks "repro"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// Replica bench: read scale-out of the replicated serving tier. One
+// leader ingests a corpus through the WAL commit path; followers join
+// from its snapshot and tail the log; then a fixed query workload is
+// driven by concurrent clients fanned round-robin across 1, 2 and 4
+// serving nodes, the way the query router spreads load. The measured
+// speedup is what adding read replicas buys.
+//
+// Honesty note: everything runs in one process over loopback HTTP, so
+// the numbers reflect CPU scale-out of the serving stack on a single
+// machine — the replicas contend for the same cores and page cache.
+// Cross-machine deployments add network latency but remove that
+// contention; treat the speedup as a lower bound on isolation, not a
+// cluster measurement.
+
+// ReplicaRow is one replica-count configuration's measurements.
+type ReplicaRow struct {
+	// Replicas is the number of serving nodes queries fan across
+	// (1 = leader only).
+	Replicas int
+	// Ops is the total completed queries across all clients.
+	Ops int
+	// Elapsed is wall-clock time for all Ops.
+	Elapsed time.Duration
+	// OpsPerSec is Ops / Elapsed.
+	OpsPerSec float64
+	// Speedup is OpsPerSec divided by the 1-replica baseline's.
+	Speedup float64
+}
+
+// ReplicaBenchResult aggregates the experiment for reporting and the
+// BENCH_replica.json artifact.
+type ReplicaBenchResult struct {
+	// Documents is the corpus size; LiveMutations of them arrived through
+	// the WAL ingest path (and therefore reached followers via the
+	// replication stream rather than the snapshot).
+	Documents     int
+	LiveMutations int
+	// Clients is the number of concurrent query clients; OpsPerConfig the
+	// queries each configuration answers.
+	Clients      int
+	OpsPerConfig int
+	Rows         []ReplicaRow
+	// SpeedupMax is the highest-replica-count row's speedup — the
+	// headline read scale-out number.
+	SpeedupMax float64
+	// Mode documents the measurement's scope.
+	Mode string
+}
+
+var replicaBenchVocab = []string{
+	"window", "merge", "keyword", "dewey", "lattice", "rank",
+	"schema", "entity", "snippet", "threshold",
+}
+
+func replicaBenchDoc(rng *rand.Rand, i int) (name, xml string) {
+	pick := func() string { return replicaBenchVocab[rng.Intn(len(replicaBenchVocab))] }
+	return fmt.Sprintf("rb-%d.xml", i), fmt.Sprintf(
+		"<paper><title>%s %s study %d</title><author>%s</author><topic>%s</topic></paper>",
+		pick(), pick(), i, pick(), pick())
+}
+
+var replicaBenchQueries = []string{
+	"window merge", "keyword", "dewey lattice", "rank schema", "entity snippet", "threshold",
+}
+
+// replicaBenchNode is one serving node (leader or follower) of the
+// benchmark cluster.
+type replicaBenchNode struct {
+	srv     *httptest.Server
+	stop    func()
+	cleanup func()
+}
+
+// startReplicaLeader builds the corpus, ingests the live tail through
+// the WAL commit path, and serves the query API plus the replication
+// endpoints.
+func startReplicaLeader(scale int) (*replicaBenchNode, int, int, error) {
+	rng := rand.New(rand.NewSource(1))
+	seedDocs := 160 * scale
+	liveDocs := 40 * scale
+
+	dir, err := os.MkdirTemp("", "gks-replicabench-leader-")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	fail := func(err error) (*replicaBenchNode, int, int, error) {
+		os.RemoveAll(dir)
+		return nil, 0, 0, err
+	}
+	indexPath := filepath.Join(dir, "leader.gksidx")
+
+	docs := make([]*gks.Document, 0, seedDocs)
+	for i := 0; i < seedDocs; i++ {
+		name, xml := replicaBenchDoc(rng, i)
+		d, err := gks.ParseDocumentString(xml, name)
+		if err != nil {
+			return fail(err)
+		}
+		docs = append(docs, d)
+	}
+	sys, err := gks.IndexDocuments(docs...)
+	if err != nil {
+		return fail(err)
+	}
+	if err := sys.SaveIndexFile(indexPath); err != nil {
+		return fail(err)
+	}
+	l, err := wal.Open(indexPath+".wal", wal.Options{})
+	if err != nil {
+		return fail(err)
+	}
+
+	api := server.New(sys)
+	rl := server.NewReloader(api, func() (gks.Searcher, error) {
+		s, err := gks.LoadIndexFile(indexPath)
+		if err != nil {
+			return nil, err
+		}
+		recovered, _, err := gks.ReplayWAL(s, l)
+		return recovered, err
+	}, nil, nil)
+	persist := func(s gks.Searcher) error { return s.(*gks.System).SaveIndexFile(indexPath) }
+	ing := server.NewIngester(rl, persist, nil, nil)
+	ing.EnableWAL(l, nil)
+	leader := &replica.Leader{Log: l, Snapshot: rl.ReplicaSource(l), HeartbeatEvery: 100 * time.Millisecond}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.Handle("/admin/docs", ing.Handler())
+	leader.Routes(mux)
+	srv := httptest.NewServer(mux)
+	node := &replicaBenchNode{
+		srv:     srv,
+		stop:    func() { srv.Close(); l.Close() },
+		cleanup: func() { os.RemoveAll(dir) },
+	}
+
+	// The live tail arrives through HTTP ingestion so followers replicate
+	// a log with real records in it, not just a snapshot.
+	for i := 0; i < liveDocs; i++ {
+		name, xml := replicaBenchDoc(rng, seedDocs+i)
+		body := fmt.Sprintf("{\"name\":%q,\"xml\":%q}", name, xml)
+		resp, err := http.Post(srv.URL+"/admin/docs", "application/json", strings.NewReader(body))
+		if err != nil {
+			node.stop()
+			return fail(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			node.stop()
+			return fail(fmt.Errorf("experiments: replica corpus ingest: HTTP %d", resp.StatusCode))
+		}
+	}
+	return node, seedDocs + liveDocs, liveDocs, nil
+}
+
+// startReplicaFollower joins the leader, tails its log, and blocks until
+// fully caught up.
+func startReplicaFollower(leaderURL string, leaderLSN uint64) (*replicaBenchNode, error) {
+	dir, err := os.MkdirTemp("", "gks-replicabench-follower-")
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*replicaBenchNode, error) {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	indexPath := filepath.Join(dir, "replica.gksidx")
+	l, err := wal.Open(indexPath+".wal", wal.Options{})
+	if err != nil {
+		return fail(err)
+	}
+	if err := server.JoinCluster(leaderURL, nil, indexPath, l, nil); err != nil {
+		l.Close()
+		return fail(err)
+	}
+	sys, err := gks.LoadIndexFile(indexPath)
+	if err != nil {
+		l.Close()
+		return fail(err)
+	}
+	recovered, _, err := gks.ReplayWAL(sys, l)
+	if err != nil {
+		l.Close()
+		return fail(err)
+	}
+
+	api := server.New(recovered)
+	rl := server.NewReloader(api, func() (gks.Searcher, error) { return nil, fmt.Errorf("not used") }, nil, nil)
+	applier := server.NewReplicaApplier(rl, l, indexPath, nil, nil, nil)
+	fl, err := replica.NewFollower(replica.Config{
+		Leader:       leaderURL,
+		Applier:      applier,
+		ReconnectMin: 10 * time.Millisecond,
+		ReconnectMax: 200 * time.Millisecond,
+	})
+	if err != nil {
+		l.Close()
+		return fail(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); fl.Run(ctx) }()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	srv := httptest.NewServer(mux)
+	node := &replicaBenchNode{
+		srv:     srv,
+		stop:    func() { cancel(); <-done; srv.Close(); l.Close() },
+		cleanup: func() { os.RemoveAll(dir) },
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for applier.AppliedLSN() < leaderLSN {
+		if time.Now().After(deadline) {
+			node.stop()
+			return fail(fmt.Errorf("experiments: follower never caught up (applied %d, leader %d)",
+				applier.AppliedLSN(), leaderLSN))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return node, nil
+}
+
+// ReplicaBench measures query throughput with clients concurrent readers
+// fanned across each replica count. Every configuration answers the same
+// number of queries against the same replicated corpus.
+func ReplicaBench(scale int, replicaCounts []int, clients, opsPerConfig int) (*ReplicaBenchResult, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	maxReplicas := 1
+	for _, n := range replicaCounts {
+		if n > maxReplicas {
+			maxReplicas = n
+		}
+	}
+
+	leader, documents, live, err := startReplicaLeader(scale)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: replica bench leader: %w", err)
+	}
+	defer leader.cleanup()
+	defer leader.stop()
+
+	// One durable-watermark probe: followers are caught up once they
+	// applied every live mutation (LSNs are 1..live).
+	leaderLSN := uint64(live)
+
+	endpoints := []string{leader.srv.URL}
+	for i := 1; i < maxReplicas; i++ {
+		f, err := startReplicaFollower(leader.srv.URL, leaderLSN)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: replica bench follower %d: %w", i, err)
+		}
+		defer f.cleanup()
+		defer f.stop()
+		endpoints = append(endpoints, f.srv.URL)
+	}
+
+	res := &ReplicaBenchResult{
+		Documents:     documents,
+		LiveMutations: live,
+		Clients:       clients,
+		OpsPerConfig:  opsPerConfig,
+		Mode: "in-process loopback HTTP on one machine: CPU scale-out of the serving stack, " +
+			"replicas contend for the same cores; treat speedup as a lower bound on isolated hosts",
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	for _, n := range replicaCounts {
+		urls := endpoints[:n]
+		var idx int64
+		var firstErr atomic.Value
+		var wg sync.WaitGroup
+		runtime.GC()
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := atomic.AddInt64(&idx, 1)
+					if i > int64(opsPerConfig) {
+						return
+					}
+					q := replicaBenchQueries[int(i)%len(replicaBenchQueries)]
+					u := urls[int(i)%len(urls)] + "/search?s=1&q=" + url.QueryEscape(q)
+					resp, err := client.Get(u)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("search: HTTP %d", resp.StatusCode))
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err, _ := firstErr.Load().(error); err != nil {
+			return nil, fmt.Errorf("experiments: replica bench at %d replicas: %w", n, err)
+		}
+		row := ReplicaRow{
+			Replicas:  n,
+			Ops:       opsPerConfig,
+			Elapsed:   elapsed,
+			OpsPerSec: float64(opsPerConfig) / elapsed.Seconds(),
+		}
+		if len(res.Rows) == 0 {
+			row.Speedup = 1
+		} else {
+			row.Speedup = row.OpsPerSec / res.Rows[0].OpsPerSec
+		}
+		res.Rows = append(res.Rows, row)
+		if row.Speedup > res.SpeedupMax {
+			res.SpeedupMax = row.Speedup
+		}
+	}
+	return res, nil
+}
+
+// PrintReplicaBench writes the experiment's table.
+func PrintReplicaBench(w io.Writer, r *ReplicaBenchResult) {
+	fmt.Fprintf(w, "corpus: %d docs (%d via live WAL ingest), %d clients, %d queries per config\n",
+		r.Documents, r.LiveMutations, r.Clients, r.OpsPerConfig)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "replicas\tops/sec\telapsed\tspeedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%.0f\t%s\t%.2fx\n",
+			row.Replicas, row.OpsPerSec, row.Elapsed.Round(time.Millisecond), row.Speedup)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "note: %s\n", r.Mode)
+}

@@ -124,6 +124,15 @@ type Registry struct {
 	ckptDur         *Histogram // checkpoint persist+truncate latency
 	ckptSegsRemoved int64      // total log segments truncated by checkpoints
 
+	replicaEnabled   bool   // any replica series observed; gates the block
+	replicaRole      string // "leader" or "follower"
+	replicaStreamed  int64  // leader: records shipped to followers
+	replicaSnapshots int64  // leader: snapshots served to joiners
+	replicaApplied   int64  // follower: locally durable applied LSN
+	replicaLeaderLSN int64  // follower: leader durable LSN last observed
+	replicaReconn    int64  // follower: stream reconnects
+	replicaInstalls  int64  // follower: snapshot installs
+
 	cacheStats func() (hits, misses int64)
 }
 
@@ -355,6 +364,75 @@ func (r *Registry) ObserveCheckpoint(ok bool, removedSegments int, d time.Durati
 		r.ckptDur = newHistogram(r.buckets)
 	}
 	r.ckptDur.observe(d.Seconds())
+}
+
+// SetReplicaRole marks this process's replication role ("leader" or
+// "follower") and turns the replica exposition block on.
+func (r *Registry) SetReplicaRole(role string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replicaEnabled = true
+	r.replicaRole = role
+}
+
+// AddReplicaStreamed counts records shipped to followers over the
+// replication stream. It satisfies replica.LeaderMetrics.
+func (r *Registry) AddReplicaStreamed(records int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replicaEnabled = true
+	r.replicaStreamed += int64(records)
+}
+
+// IncReplicaSnapshotServed counts snapshots served to joining
+// followers. It satisfies replica.LeaderMetrics.
+func (r *Registry) IncReplicaSnapshotServed() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replicaEnabled = true
+	r.replicaSnapshots++
+}
+
+// SetReplicaLSNs records a follower's replication positions: the
+// locally durable applied LSN and the leader's durable watermark as
+// last observed. It satisfies replica.FollowerMetrics.
+func (r *Registry) SetReplicaLSNs(applied, leaderDurable uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replicaEnabled = true
+	if v := int64(applied); v > r.replicaApplied {
+		r.replicaApplied = v
+	}
+	if v := int64(leaderDurable); v > r.replicaLeaderLSN {
+		r.replicaLeaderLSN = v
+	}
+}
+
+// IncReplicaReconnect counts follower stream reconnects. It satisfies
+// replica.FollowerMetrics.
+func (r *Registry) IncReplicaReconnect() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replicaEnabled = true
+	r.replicaReconn++
+}
+
+// IncReplicaSnapshotInstall counts follower snapshot installs. It
+// satisfies replica.FollowerMetrics.
+func (r *Registry) IncReplicaSnapshotInstall() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replicaEnabled = true
+	r.replicaInstalls++
+}
+
+// ReplicaStats returns the replication counters for tests: leader-side
+// (streamed, snapshots) and follower-side (applied/leader LSNs,
+// reconnects, installs).
+func (r *Registry) ReplicaStats() (streamed, snapshots, applied, leaderLSN, reconnects, installs int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.replicaStreamed, r.replicaSnapshots, r.replicaApplied, r.replicaLeaderLSN, r.replicaReconn, r.replicaInstalls
 }
 
 // WALStats returns the WAL gauges and fsync count for tests.
@@ -589,6 +667,46 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintln(w, "# HELP gks_wal_checkpoint_segments_removed_total Log segments truncated by checkpoints.")
 		fmt.Fprintln(w, "# TYPE gks_wal_checkpoint_segments_removed_total counter")
 		fmt.Fprintf(w, "gks_wal_checkpoint_segments_removed_total %d\n", r.ckptSegsRemoved)
+	}
+
+	if r.replicaEnabled {
+		if r.replicaRole != "" {
+			fmt.Fprintln(w, "# HELP gks_replica_role Replication role of this process (1 = active).")
+			fmt.Fprintln(w, "# TYPE gks_replica_role gauge")
+			fmt.Fprintf(w, "gks_replica_role{role=%q} 1\n", r.replicaRole)
+		}
+
+		fmt.Fprintln(w, "# HELP gks_replica_streamed_records_total WAL records shipped to followers.")
+		fmt.Fprintln(w, "# TYPE gks_replica_streamed_records_total counter")
+		fmt.Fprintf(w, "gks_replica_streamed_records_total %d\n", r.replicaStreamed)
+
+		fmt.Fprintln(w, "# HELP gks_replica_snapshots_served_total Snapshots served to joining followers.")
+		fmt.Fprintln(w, "# TYPE gks_replica_snapshots_served_total counter")
+		fmt.Fprintf(w, "gks_replica_snapshots_served_total %d\n", r.replicaSnapshots)
+
+		fmt.Fprintln(w, "# HELP gks_replica_applied_lsn Locally durable applied LSN (follower).")
+		fmt.Fprintln(w, "# TYPE gks_replica_applied_lsn gauge")
+		fmt.Fprintf(w, "gks_replica_applied_lsn %d\n", r.replicaApplied)
+
+		fmt.Fprintln(w, "# HELP gks_replica_leader_durable_lsn Leader durable LSN as last observed (follower).")
+		fmt.Fprintln(w, "# TYPE gks_replica_leader_durable_lsn gauge")
+		fmt.Fprintf(w, "gks_replica_leader_durable_lsn %d\n", r.replicaLeaderLSN)
+
+		fmt.Fprintln(w, "# HELP gks_replica_lag_records Replication lag in records (leader durable - applied).")
+		fmt.Fprintln(w, "# TYPE gks_replica_lag_records gauge")
+		lag := r.replicaLeaderLSN - r.replicaApplied
+		if lag < 0 {
+			lag = 0
+		}
+		fmt.Fprintf(w, "gks_replica_lag_records %d\n", lag)
+
+		fmt.Fprintln(w, "# HELP gks_replica_reconnects_total Follower stream reconnects.")
+		fmt.Fprintln(w, "# TYPE gks_replica_reconnects_total counter")
+		fmt.Fprintf(w, "gks_replica_reconnects_total %d\n", r.replicaReconn)
+
+		fmt.Fprintln(w, "# HELP gks_replica_snapshot_installs_total Follower snapshot installs.")
+		fmt.Fprintln(w, "# TYPE gks_replica_snapshot_installs_total counter")
+		fmt.Fprintf(w, "gks_replica_snapshot_installs_total %d\n", r.replicaInstalls)
 	}
 
 	if r.walFsyncDur != nil {

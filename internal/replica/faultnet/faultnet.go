@@ -1,0 +1,214 @@
+// Package faultnet injects network faults underneath an http.Transport:
+// refused dials, per-direction latency, connections cut after a byte
+// budget (truncating replication frames mid-payload), and on-demand
+// severing of every live connection. The replication property tests use
+// it to prove follower catch-up survives arbitrary fault schedules.
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan scripts the faults for one connection.
+type Plan struct {
+	// FailDial refuses the connection outright.
+	FailDial bool
+	// ReadDelay/WriteDelay are injected before every read/write.
+	ReadDelay, WriteDelay time.Duration
+	// CutAfterRead/CutAfterWrite sever the connection once that many
+	// bytes have crossed in the given direction (0 = unlimited). A cut
+	// mid-count truncates the in-flight buffer first, so frames are torn
+	// mid-payload, not at tidy boundaries.
+	CutAfterRead, CutAfterWrite int64
+}
+
+// ErrInjected is the error surfaced by scripted faults.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Dialer produces scripted-fault connections. Schedule is consulted
+// once per dial with a 0-based dial counter; a nil Schedule (or a zero
+// Plan) passes traffic through untouched.
+type Dialer struct {
+	// Base performs the real dial; defaults to a net.Dialer.
+	Base func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Schedule scripts the faults for the n-th dial.
+	Schedule func(dial int) Plan
+
+	mu    sync.Mutex
+	dials int
+	conns map[*conn]struct{}
+}
+
+// DialContext is shaped for http.Transport.DialContext.
+func (d *Dialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	d.mu.Lock()
+	n := d.dials
+	d.dials++
+	d.mu.Unlock()
+	var plan Plan
+	if d.Schedule != nil {
+		plan = d.Schedule(n)
+	}
+	if plan.FailDial {
+		return nil, ErrInjected
+	}
+	base := d.Base
+	if base == nil {
+		var nd net.Dialer
+		base = nd.DialContext
+	}
+	inner, err := base(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{Conn: inner, plan: plan}
+	d.mu.Lock()
+	if d.conns == nil {
+		d.conns = make(map[*conn]struct{})
+	}
+	d.conns[c] = struct{}{}
+	c.onClose = func() {
+		d.mu.Lock()
+		delete(d.conns, c)
+		d.mu.Unlock()
+	}
+	d.mu.Unlock()
+	return c, nil
+}
+
+// Dials reports how many dials have been attempted.
+func (d *Dialer) Dials() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dials
+}
+
+// SeverAll abruptly closes every live connection — the network
+// partition / process-kill analogue for in-process tests.
+func (d *Dialer) SeverAll() {
+	d.mu.Lock()
+	live := make([]*conn, 0, len(d.conns))
+	for c := range d.conns {
+		live = append(live, c)
+	}
+	d.mu.Unlock()
+	for _, c := range live {
+		c.sever()
+	}
+}
+
+type conn struct {
+	net.Conn
+	plan    Plan
+	onClose func()
+
+	mu        sync.Mutex
+	readBytes int64
+	wroteByte int64
+	severed   bool
+	closed    bool
+}
+
+func (c *conn) sever() {
+	c.mu.Lock()
+	c.severed = true
+	c.mu.Unlock()
+	c.Conn.Close()
+}
+
+func (c *conn) Close() error {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	err := c.Conn.Close()
+	if !already && c.onClose != nil {
+		c.onClose()
+	}
+	return err
+}
+
+func (c *conn) isSevered() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.severed
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if c.isSevered() {
+		return 0, ErrInjected
+	}
+	if c.plan.ReadDelay > 0 {
+		time.Sleep(c.plan.ReadDelay)
+	}
+	if lim := c.plan.CutAfterRead; lim > 0 {
+		c.mu.Lock()
+		remain := lim - c.readBytes
+		c.mu.Unlock()
+		if remain <= 0 {
+			c.sever()
+			return 0, ErrInjected
+		}
+		if int64(len(p)) > remain {
+			// Shrink the read so the cut lands mid-frame, not at
+			// whatever tidy boundary the caller asked for.
+			p = p[:remain]
+		}
+	}
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.readBytes += int64(n)
+	hitCut := c.plan.CutAfterRead > 0 && c.readBytes >= c.plan.CutAfterRead
+	c.mu.Unlock()
+	if hitCut {
+		c.sever()
+		if err == nil {
+			err = ErrInjected
+		}
+	}
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if c.isSevered() {
+		return 0, ErrInjected
+	}
+	if c.plan.WriteDelay > 0 {
+		time.Sleep(c.plan.WriteDelay)
+	}
+	if lim := c.plan.CutAfterWrite; lim > 0 {
+		c.mu.Lock()
+		remain := lim - c.wroteByte
+		c.mu.Unlock()
+		if remain <= 0 {
+			c.sever()
+			return 0, ErrInjected
+		}
+		if int64(len(p)) > remain {
+			// Deliver a truncated prefix, then sever: the peer sees a
+			// frame die mid-payload.
+			n, _ := c.Conn.Write(p[:remain])
+			c.mu.Lock()
+			c.wroteByte += int64(n)
+			c.mu.Unlock()
+			c.sever()
+			return n, ErrInjected
+		}
+	}
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.wroteByte += int64(n)
+	hitCut := c.plan.CutAfterWrite > 0 && c.wroteByte >= c.plan.CutAfterWrite
+	c.mu.Unlock()
+	if hitCut {
+		c.sever()
+		if err == nil {
+			err = ErrInjected
+		}
+	}
+	return n, err
+}

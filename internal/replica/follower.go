@@ -1,0 +1,420 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// Applier is the follower's hook into the serving stack: it stages
+// leader records through the same two-phase commit path local ingestion
+// uses, and installs full snapshots when tailing is impossible.
+// Implemented by server.ReplicaApplier.
+type Applier interface {
+	// AppliedLSN is the position the follower resumes from: every record
+	// at or below it is durable locally and visible to searches.
+	AppliedLSN() uint64
+	// Apply stages one record (local WAL enqueue + index apply + swap).
+	// Records arrive in strict LSN order; duplicates are the caller's
+	// problem (the follower skips them before calling).
+	Apply(rec wal.Record) error
+	// Sync makes every staged record durable and advances AppliedLSN.
+	// The follower calls it at batch boundaries, not per record, so the
+	// local group commit sees the same batching the leader's did.
+	Sync() error
+	// InstallSnapshot atomically replaces all local state with the
+	// snapshot in r, which covers LSNs through lsn.
+	InstallSnapshot(lsn uint64, r io.Reader) error
+}
+
+// FollowerMetrics receives follower-side replication gauges and
+// counters. Implemented by *obs.Registry.
+type FollowerMetrics interface {
+	SetReplicaLSNs(applied, leaderDurable uint64)
+	IncReplicaReconnect()
+	IncReplicaSnapshotInstall()
+}
+
+type nopFollowerMetrics struct{}
+
+func (nopFollowerMetrics) SetReplicaLSNs(uint64, uint64) {}
+func (nopFollowerMetrics) IncReplicaReconnect()          {}
+func (nopFollowerMetrics) IncReplicaSnapshotInstall()    {}
+
+// Status is a point-in-time view of a follower's replication state.
+type Status struct {
+	Connected     bool   `json:"connected"`
+	CaughtUp      bool   `json:"caughtUp"`
+	AppliedLSN    uint64 `json:"appliedLsn"`
+	LeaderDurable uint64 `json:"leaderDurableLsn"`
+	Reconnects    uint64 `json:"reconnects"`
+	Installs      uint64 `json:"snapshotInstalls"`
+}
+
+// Config configures a Follower.
+type Config struct {
+	// Leader is the leader's base URL (e.g. http://10.0.0.1:8080).
+	Leader string
+	// Client issues the snapshot and stream requests. It must not carry
+	// an overall request timeout — streams are long-lived. Defaults to a
+	// dedicated client with a dial/header timeout only.
+	Client *http.Client
+
+	Applier Applier
+	Metrics FollowerMetrics
+	Logger  *log.Logger
+
+	// MaxLag is the record lag beyond which a connected follower stops
+	// reporting ready (default 4096). Disconnected followers keep serving
+	// stale reads and stay ready once they have caught up at least once.
+	MaxLag uint64
+	// HeartbeatTimeout is how long a silent stream is trusted before the
+	// connection is torn down (default 10s; the leader heartbeats every
+	// 2s by default).
+	HeartbeatTimeout time.Duration
+	// ReconnectMin/Max bound the jittered backoff between connection
+	// attempts (defaults 100ms / 3s).
+	ReconnectMin, ReconnectMax time.Duration
+}
+
+// Follower tails a leader's replication stream and drives an Applier.
+type Follower struct {
+	cfg     Config
+	client  *http.Client
+	metrics FollowerMetrics
+
+	mu            sync.Mutex
+	connected     bool
+	everCaughtUp  bool
+	leaderDurable uint64
+	reconnects    uint64
+	installs      uint64
+	rng           *rand.Rand
+}
+
+// NewFollower validates cfg and returns a follower ready to Run.
+func NewFollower(cfg Config) (*Follower, error) {
+	if cfg.Leader == "" {
+		return nil, errors.New("replica: follower needs a leader URL")
+	}
+	if cfg.Applier == nil {
+		return nil, errors.New("replica: follower needs an applier")
+	}
+	if cfg.MaxLag == 0 {
+		cfg.MaxLag = 4096
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 10 * time.Second
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 100 * time.Millisecond
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = 3 * time.Second
+		if cfg.ReconnectMax < cfg.ReconnectMin {
+			cfg.ReconnectMax = cfg.ReconnectMin
+		}
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: http.DefaultTransport}
+	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = nopFollowerMetrics{}
+	}
+	return &Follower{
+		cfg:     cfg,
+		client:  client,
+		metrics: metrics,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}, nil
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logger != nil {
+		f.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// Status reports the follower's current replication state.
+func (f *Follower) Status() Status {
+	applied := f.cfg.Applier.AppliedLSN()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Status{
+		Connected:     f.connected,
+		CaughtUp:      f.caughtUpLocked(applied),
+		AppliedLSN:    applied,
+		LeaderDurable: f.leaderDurable,
+		Reconnects:    f.reconnects,
+		Installs:      f.installs,
+	}
+}
+
+func (f *Follower) caughtUpLocked(applied uint64) bool {
+	if f.connected {
+		return f.leaderDurable <= applied+f.cfg.MaxLag
+	}
+	// Disconnected: trust the last sighting of the leader's watermark.
+	// Stale reads are this design's contract; readiness only drops when
+	// the follower has never caught up (still bootstrapping).
+	return f.everCaughtUp
+}
+
+// Ready reports whether the follower should serve traffic: it has
+// caught up to the leader at least once and, while connected, is within
+// MaxLag of the leader's durable watermark.
+func (f *Follower) Ready() bool {
+	applied := f.cfg.Applier.AppliedLSN()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.everCaughtUp && f.caughtUpLocked(applied)
+}
+
+func (f *Follower) setConnected(up bool) {
+	f.mu.Lock()
+	f.connected = up
+	f.mu.Unlock()
+}
+
+func (f *Follower) observeLeaderDurable(durable uint64) {
+	applied := f.cfg.Applier.AppliedLSN()
+	f.mu.Lock()
+	if durable > f.leaderDurable {
+		f.leaderDurable = durable
+	}
+	// Initial catch-up demands full equality — a bootstrapping follower
+	// is not ready until it has seen everything the leader had. Only
+	// after that does the MaxLag slack apply.
+	if f.leaderDurable <= applied {
+		f.everCaughtUp = true
+	}
+	f.mu.Unlock()
+	f.metrics.SetReplicaLSNs(applied, durable)
+}
+
+func (f *Follower) backoff(attempt int) time.Duration {
+	d := f.cfg.ReconnectMin << attempt
+	if d > f.cfg.ReconnectMax || d <= 0 {
+		d = f.cfg.ReconnectMax
+	}
+	f.mu.Lock()
+	jitter := time.Duration(f.rng.Int63n(int64(d)/2 + 1))
+	f.mu.Unlock()
+	return d/2 + jitter
+}
+
+// Run tails the leader until ctx ends. Every connection failure backs
+// off with jitter; a 410 from the stream endpoint (the leader truncated
+// past our position) falls back to a snapshot install. Run returns
+// ctx.Err() on cancellation and a hard error only when the local
+// applier fails (at which point the local state can no longer be
+// trusted to mirror the leader).
+func (f *Follower) Run(ctx context.Context) error {
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := f.tailOnce(ctx)
+		f.setConnected(false)
+		switch {
+		case err == nil:
+			// Leader closed the stream cleanly (shutdown or truncation
+			// race); reconnect promptly.
+			attempt = 0
+		case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+			return ctx.Err()
+		case errors.Is(err, errNeedSnapshot):
+			if ierr := f.installSnapshot(ctx); ierr != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				f.logf("replica: snapshot install: %v", ierr)
+				attempt++
+			} else {
+				attempt = 0
+				continue
+			}
+		case isApplyFault(err):
+			return err
+		default:
+			f.logf("replica: stream: %v", err)
+			attempt++
+		}
+		f.mu.Lock()
+		f.reconnects++
+		f.mu.Unlock()
+		f.metrics.IncReplicaReconnect()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(f.backoff(attempt)):
+		}
+	}
+}
+
+// errNeedSnapshot reports that the leader no longer holds the records
+// after our applied LSN.
+var errNeedSnapshot = errors.New("replica: need snapshot")
+
+// applyFault wraps applier errors so Run can tell "the network burped"
+// (retry) from "local apply failed" (stop: the mirror is broken).
+type applyFault struct{ err error }
+
+func (a applyFault) Error() string { return a.err.Error() }
+func (a applyFault) Unwrap() error { return a.err }
+
+func isApplyFault(err error) bool {
+	var a applyFault
+	return errors.As(err, &a)
+}
+
+// tailOnce runs one stream connection to completion. nil means the
+// leader ended the stream cleanly; errNeedSnapshot means fall back to a
+// snapshot; applyFault means the local applier failed.
+func (f *Follower) tailOnce(ctx context.Context) error {
+	from := f.cfg.Applier.AppliedLSN()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/replica/stream?from=%d", f.cfg.Leader, from), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return errNeedSnapshot
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("replica: stream: leader returned %s", resp.Status)
+	}
+	f.setConnected(true)
+
+	// Heartbeat watchdog: if the stream goes silent past the timeout the
+	// body is closed, which surfaces as a read error below. Rearmed on
+	// every frame.
+	watchdog := time.AfterFunc(f.cfg.HeartbeatTimeout, func() {
+		f.logf("replica: stream silent for %s, reconnecting", f.cfg.HeartbeatTimeout)
+		resp.Body.Close()
+	})
+	defer watchdog.Stop()
+
+	br := bufio.NewReader(resp.Body)
+	applied := from
+	staged := 0
+	syncStaged := func() error {
+		if staged == 0 {
+			return nil
+		}
+		if err := f.cfg.Applier.Sync(); err != nil {
+			return applyFault{fmt.Errorf("replica: sync: %w", err)}
+		}
+		staged = 0
+		// Re-evaluate catch-up with the freshly advanced applied LSN.
+		f.observeLeaderDurable(f.leaderDurableNow())
+		return nil
+	}
+	for {
+		rec, err := wal.ReadWireFrame(br)
+		if err != nil {
+			serr := syncStaged()
+			switch {
+			case serr != nil:
+				return serr
+			case err == io.EOF:
+				return nil
+			case errors.Is(err, wal.ErrCorrupt):
+				// A CRC-failed frame means bytes were mangled in flight;
+				// drop the connection and re-request from the durable
+				// position rather than applying garbage.
+				return fmt.Errorf("replica: stream frame: %w", err)
+			default:
+				return fmt.Errorf("replica: stream read: %w", err)
+			}
+		}
+		watchdog.Reset(f.cfg.HeartbeatTimeout)
+		if rec.Op == wal.OpHeartbeat {
+			if err := syncStaged(); err != nil {
+				return err
+			}
+			f.observeLeaderDurable(rec.LSN)
+			continue
+		}
+		if rec.LSN <= applied {
+			continue // duplicate after a reconnect race
+		}
+		if rec.LSN != applied+1 {
+			return fmt.Errorf("replica: stream gap: got lsn %d after %d", rec.LSN, applied)
+		}
+		if err := f.cfg.Applier.Apply(rec); err != nil {
+			return applyFault{fmt.Errorf("replica: apply lsn %d: %w", rec.LSN, err)}
+		}
+		applied = rec.LSN
+		staged++
+		if rec.LSN > f.leaderDurableNow() {
+			f.observeLeaderDurable(rec.LSN)
+		}
+		// Batch boundary: nothing more buffered — make the batch durable
+		// before blocking on the network again.
+		if br.Buffered() == 0 {
+			if err := syncStaged(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (f *Follower) leaderDurableNow() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leaderDurable
+}
+
+// installSnapshot fetches the leader's current snapshot and hands it to
+// the applier.
+func (f *Follower) installSnapshot(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Leader+"/replica/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("replica: snapshot: leader returned %s", resp.Status)
+	}
+	lsn, err := strconv.ParseUint(resp.Header.Get(LSNHeader), 10, 64)
+	if err != nil {
+		return fmt.Errorf("replica: snapshot: bad %s header: %v", LSNHeader, err)
+	}
+	if err := f.cfg.Applier.InstallSnapshot(lsn, resp.Body); err != nil {
+		return fmt.Errorf("replica: snapshot install at lsn %d: %w", lsn, err)
+	}
+	f.mu.Lock()
+	f.installs++
+	f.mu.Unlock()
+	f.metrics.IncReplicaSnapshotInstall()
+	f.observeLeaderDurable(lsn)
+	f.logf("replica: installed snapshot at lsn %d", lsn)
+	return nil
+}

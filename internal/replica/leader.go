@@ -1,0 +1,237 @@
+// Package replica implements single-writer / N-reader replication for
+// gksd: the leader ships WAL records over a chunked-HTTP stream, fresh
+// followers bootstrap from a snapshot and tail the log from their
+// durable LSN, and a thin query router fans reads across replicas with
+// health-gated failover.
+//
+// The package deliberately knows nothing about the server's index or
+// commit path: the leader reads from a wal.Log and a SnapshotSource,
+// the follower drives an Applier. internal/server implements both
+// interfaces structurally, so there is no import cycle and the apply
+// path is exactly the two-phase commit local ingestion uses.
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// SnapshotSource produces a point-in-time serialized index a fresh
+// follower can install. The returned LSN is the last record folded into
+// the snapshot: a follower that installs it resumes the stream from
+// there. Implementations must only expose durable state — every record
+// at or below the LSN has to be fsynced before the snapshot is handed
+// out, or a leader crash could leave a follower ahead of its leader.
+type SnapshotSource interface {
+	Snapshot() (lsn uint64, r io.ReadCloser, err error)
+}
+
+// LeaderMetrics receives leader-side replication counters. Implemented
+// by *obs.Registry; a Nop implementation is used when nil.
+type LeaderMetrics interface {
+	AddReplicaStreamed(records int)
+	IncReplicaSnapshotServed()
+}
+
+type nopLeaderMetrics struct{}
+
+func (nopLeaderMetrics) AddReplicaStreamed(int)    {}
+func (nopLeaderMetrics) IncReplicaSnapshotServed() {}
+
+// Leader serves the replication endpoints over an existing WAL.
+type Leader struct {
+	Log      *wal.Log
+	Snapshot SnapshotSource
+
+	// HeartbeatEvery is how often an idle stream emits a heartbeat frame
+	// carrying the durable watermark (default 2s). Followers use it as a
+	// liveness signal and to measure lag.
+	HeartbeatEvery time.Duration
+	// BatchRecords caps how many records one ReadAfter pulls before the
+	// frames are flushed to the follower (default 256).
+	BatchRecords int
+
+	Metrics LeaderMetrics
+	Logger  *log.Logger
+}
+
+func (ld *Leader) heartbeatEvery() time.Duration {
+	if ld.HeartbeatEvery > 0 {
+		return ld.HeartbeatEvery
+	}
+	return 2 * time.Second
+}
+
+func (ld *Leader) batchRecords() int {
+	if ld.BatchRecords > 0 {
+		return ld.BatchRecords
+	}
+	return 256
+}
+
+func (ld *Leader) metrics() LeaderMetrics {
+	if ld.Metrics != nil {
+		return ld.Metrics
+	}
+	return nopLeaderMetrics{}
+}
+
+func (ld *Leader) logf(format string, args ...any) {
+	if ld.Logger != nil {
+		ld.Logger.Printf(format, args...)
+	}
+}
+
+// Routes mounts the replication endpoints on mux.
+func (ld *Leader) Routes(mux *http.ServeMux) {
+	mux.Handle("/replica/snapshot", ld.SnapshotHandler())
+	mux.Handle("/replica/stream", ld.StreamHandler())
+}
+
+// SnapshotHandler serves GET /replica/snapshot: the current snapshot
+// bytes with the covered LSN in the X-Gks-Lsn header.
+func (ld *Leader) SnapshotHandler() http.Handler { return http.HandlerFunc(ld.handleSnapshot) }
+
+// StreamHandler serves GET /replica/stream?from=N: the long-lived
+// record feed. Mount it outside any per-request timeout middleware —
+// the stream lives until the follower disconnects.
+func (ld *Leader) StreamHandler() http.Handler { return http.HandlerFunc(ld.handleStream) }
+
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// LSNHeader carries the snapshot's covered LSN on /replica/snapshot
+// responses.
+const LSNHeader = "X-Gks-Lsn"
+
+func (ld *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	lsn, rc, err := ld.Snapshot.Snapshot()
+	if err != nil {
+		ld.logf("replica: snapshot: %v", err)
+		jsonError(w, http.StatusInternalServerError, "snapshot unavailable")
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(LSNHeader, strconv.FormatUint(lsn, 10))
+	if _, err := io.Copy(w, rc); err != nil {
+		ld.logf("replica: snapshot send: %v", err)
+		return
+	}
+	ld.metrics().IncReplicaSnapshotServed()
+}
+
+// handleStream is the long-lived record feed. The follower passes its
+// applied LSN in ?from=N and receives every durable record above it as
+// wire frames, then heartbeats while idle. The stream ends when the
+// client goes away, the log closes, or requested records have been
+// truncated after the stream started (the follower reconnects and gets
+// the 410 that sends it back to a snapshot).
+func (ld *Leader) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "from must be a non-negative integer lsn")
+		return
+	}
+	// Probe before committing to a 200: a follower whose position was
+	// truncated away needs a snapshot, and that verdict must arrive as a
+	// status code, not a severed stream.
+	if _, err := ld.Log.ReadAfter(from, 1); errors.Is(err, wal.ErrGone) {
+		jsonError(w, http.StatusGone, fmt.Sprintf("records after lsn %d truncated; fetch a snapshot", from))
+		return
+	} else if errors.Is(err, wal.ErrClosed) {
+		jsonError(w, http.StatusServiceUnavailable, "log closed")
+		return
+	}
+
+	// The serving stack wraps handlers in per-request timeouts and the
+	// http.Server carries a write deadline sized for point queries; a
+	// replication stream outlives both by design. The controller reaches
+	// Flush and SetWriteDeadline through middleware wrappers (they
+	// implement Unwrap), where a plain type assertion would not.
+	rc := http.NewResponseController(w)
+	rc.SetWriteDeadline(time.Time{})
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	// An immediate heartbeat tells the follower the leader's watermark
+	// (and that the stream is live) before any records flow. If the
+	// writer cannot flush, the stream cannot work; end it here and let
+	// the follower's heartbeat watchdog report the broken leader.
+	if _, err := w.Write(wal.EncodeWireHeartbeat(ld.Log.DurableLSN())); err != nil {
+		return
+	}
+	if err := rc.Flush(); err != nil {
+		ld.logf("replica: stream flush: %v", err)
+		return
+	}
+
+	ctx := r.Context()
+	pos := from
+	for {
+		recs, err := ld.Log.ReadAfter(pos, ld.batchRecords())
+		switch {
+		case errors.Is(err, wal.ErrGone):
+			// A checkpoint truncated past the reader mid-stream; end the
+			// stream so the reconnect sees the 410 above.
+			ld.logf("replica: stream from %d outpaced by truncation", pos)
+			return
+		case err != nil:
+			ld.logf("replica: stream read after %d: %v", pos, err)
+			return
+		}
+		if len(recs) == 0 {
+			hb, cancel := context.WithTimeout(ctx, ld.heartbeatEvery())
+			err := ld.Log.WaitDurableMore(hb, pos)
+			cancel()
+			switch {
+			case err == nil:
+				continue
+			case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+				// Our idle timer, not the client: emit a heartbeat.
+				if _, err := w.Write(wal.EncodeWireHeartbeat(ld.Log.DurableLSN())); err != nil {
+					return
+				}
+				if err := rc.Flush(); err != nil {
+					return
+				}
+				continue
+			default:
+				// Client gone, log closed, or sync failure: end the stream.
+				return
+			}
+		}
+		for _, rec := range recs {
+			if _, err := w.Write(wal.EncodeWireFrame(rec)); err != nil {
+				return
+			}
+			pos = rec.LSN
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		ld.metrics().AddReplicaStreamed(len(recs))
+	}
+}

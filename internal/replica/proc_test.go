@@ -1,0 +1,290 @@
+// Real-process crash smoke: gksd leader + follower as child processes,
+// SIGKILLed mid-stream / mid-ingest and restarted, asserting the
+// cluster converges. This is what `make replica-smoke` runs.
+package replica_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	gks "repro"
+)
+
+// syncBuf is a concurrency-safe capture buffer: exec's pipe goroutine
+// writes while the test may read it for a failure message.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// proc wraps one gksd child process.
+type proc struct {
+	cmd  *exec.Cmd
+	out  *syncBuf
+	done chan struct{}
+}
+
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{cmd: exec.Command(bin, args...), out: &syncBuf{}, done: make(chan struct{})}
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	go func() { p.cmd.Wait(); close(p.done) }()
+	t.Cleanup(func() { p.kill() })
+	return p
+}
+
+// kill SIGKILLs the process and reaps it. Idempotent.
+func (p *proc) kill() {
+	p.cmd.Process.Kill()
+	select {
+	case <-p.done:
+	case <-time.After(10 * time.Second):
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitHTTP polls url until it answers with wantCode.
+func waitHTTP(t *testing.T, p *proc, url string, wantCode int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == wantCode {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GET %s never answered %d (last err %v)\nprocess output:\n%s", url, wantCode, err, p.out)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// healthLSN fetches the wal.lastLsn a node reports on /healthz.
+func healthLSN(t *testing.T, base string) (uint64, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		WAL struct {
+			LastLSN uint64 `json:"lastLsn"`
+		} `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.WAL.LastLSN, nil
+}
+
+// searchKeys fetches /search and projects the results onto
+// doc-ID-insensitive keys (process restarts may renumber internal doc
+// IDs without changing any answer semantics).
+func searchKeys(t *testing.T, base, q string) []string {
+	t.Helper()
+	_, body := httpGet(t, base+searchPath(q))
+	var out struct {
+		Total   int `json:"total"`
+		Results []struct {
+			ID       string   `json:"id"`
+			Label    string   `json:"label"`
+			Rank     float64  `json:"rank"`
+			Keywords []string `json:"keywords"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("search %s%s: %v: %s", base, q, err, body)
+	}
+	keys := make([]string, 0, len(out.Results))
+	for _, r := range out.Results {
+		rel := r.ID
+		if i := strings.IndexByte(rel, '.'); i >= 0 {
+			rel = rel[i+1:]
+		}
+		kws := append([]string(nil), r.Keywords...)
+		sort.Strings(kws)
+		keys = append(keys, strings.Join([]string{
+			rel, r.Label, strconv.FormatFloat(r.Rank, 'g', 12, 64), strings.Join(kws, ","),
+		}, "|"))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestProcessCrashConvergence is the end-to-end crash drill with real
+// processes: SIGKILL a follower mid-stream, SIGKILL the leader
+// mid-ingest, restart both from their surviving directories, and assert
+// both ends serve converged search results.
+func TestProcessCrashConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real gksd processes")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "gksd")
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := exec.Command("go", "build", "-o", bin, "./cmd/gksd")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build gksd: %v\n%s", err, out)
+	}
+
+	// Seed the leader's index.
+	leaderIdx := filepath.Join(tmp, "leader.gksidx")
+	var docs []*gks.Document
+	for i := 0; i < 5; i++ {
+		d, err := gks.ParseDocumentString(
+			fmt.Sprintf("<paper><title>apple pear %d</title><author>mango</author></paper>", i),
+			fmt.Sprintf("seed-%d.xml", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	sys, err := gks.IndexDocuments(docs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveIndexFile(leaderIdx); err != nil {
+		t.Fatal(err)
+	}
+
+	leaderAddr := freeAddr(t)
+	followerAddr := freeAddr(t)
+	leaderURL := "http://" + leaderAddr
+	followerURL := "http://" + followerAddr
+	followerIdx := filepath.Join(tmp, "follower", "replica.gksidx")
+	if err := os.MkdirAll(filepath.Dir(followerIdx), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	leaderArgs := []string{"-index", leaderIdx, "-addr", leaderAddr, "-quiet", "-cache", "0", "-checkpoint-every", "4"}
+	followerArgs := []string{"-follow", leaderURL, "-index", followerIdx, "-addr", followerAddr, "-quiet", "-cache", "0", "-checkpoint-every", "4"}
+
+	leader := startProc(t, bin, leaderArgs...)
+	waitHTTP(t, leader, leaderURL+"/healthz", 200, 30*time.Second)
+	follower := startProc(t, bin, followerArgs...)
+	waitHTTP(t, follower, followerURL+"/healthz?ready", 200, 30*time.Second)
+
+	// Phase 1: ingest against the leader, SIGKILL the follower
+	// mid-stream, keep ingesting, restart it.
+	for i := 0; i < 6; i++ {
+		upsertDoc(t, leaderURL, fmt.Sprintf("live-%d.xml", i),
+			fmt.Sprintf("<paper><title>cherry fig %d</title></paper>", i))
+		if i == 2 {
+			follower.kill()
+		}
+	}
+	follower = startProc(t, bin, followerArgs...)
+	waitHTTP(t, follower, followerURL+"/healthz?ready", 200, 30*time.Second)
+
+	// Phase 2: SIGKILL the leader mid-ingest (a writer is in flight when
+	// the signal lands; un-acked writes may or may not survive — both
+	// are legal, and the cluster must converge on whichever it is).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	stop := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body := fmt.Sprintf("{\"name\":\"burst-%d.xml\",\"xml\":\"<paper><title>olive date %d</title></paper>\"}", i, i)
+			resp, err := http.Post(leaderURL+"/admin/docs", "application/json", strings.NewReader(body))
+			if err != nil {
+				return // leader died mid-request: expected
+			}
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	leader.kill()
+	close(stop)
+	wg.Wait()
+
+	leader = startProc(t, bin, leaderArgs...)
+	waitHTTP(t, leader, leaderURL+"/healthz", 200, 30*time.Second)
+
+	// Let the restarted pair converge: the follower must reach the
+	// leader's (now quiescent) WAL position and report ready.
+	waitHTTP(t, follower, followerURL+"/healthz?ready", 200, 30*time.Second)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		lLSN, lErr := healthLSN(t, leaderURL)
+		fLSN, fErr := healthLSN(t, followerURL)
+		if lErr == nil && fErr == nil && lLSN == fLSN {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never converged: leader lsn %d (%v), follower lsn %d (%v)\nleader:\n%s\nfollower:\n%s",
+				lLSN, lErr, fLSN, fErr, leader.out, follower.out)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	for _, q := range []string{"apple pear", "cherry fig", "olive date", "mango"} {
+		want := searchKeys(t, leaderURL, q)
+		got := searchKeys(t, followerURL, q)
+		if strings.Join(want, "\n") != strings.Join(got, "\n") {
+			t.Fatalf("diverged on %q after crash recovery:\nleader   %v\nfollower %v\nleader log:\n%s\nfollower log:\n%s",
+				q, want, got, leader.out, follower.out)
+		}
+	}
+
+	// The follower still refuses writes after all that.
+	resp, err := http.Post(followerURL+"/admin/docs", "application/json",
+		strings.NewReader(`{"name":"x.xml","xml":"<a>b</a>"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower accepted a write: %d", resp.StatusCode)
+	}
+}

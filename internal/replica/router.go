@@ -1,0 +1,413 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Router fans read queries across replicas with health-gated failover.
+// It is deliberately dumb about query semantics: it relays bytes. The
+// one piece of protocol it understands is the partial-results contract
+// from the sharded search path — when the replica set is degraded
+// (fewer healthy backends than configured), every relayed query answer
+// is re-marked "partial": true and stamped Cache-Control: no-store, so
+// downstream caches never pin a degraded answer (the same rule the
+// server applies to its own LRU).
+type Router struct {
+	backends []*backend
+	leader   string // optional: base URL mutations are forwarded to
+	client   *http.Client
+
+	healthEvery time.Duration
+	timeout     time.Duration
+	retries     int
+
+	logger *log.Logger
+
+	mu   sync.Mutex
+	next int
+	rng  *rand.Rand
+}
+
+type backend struct {
+	base string
+
+	mu      sync.Mutex
+	healthy bool
+	lastErr string
+}
+
+func (b *backend) setHealth(ok bool, reason string) (changed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	changed = b.healthy != ok
+	b.healthy = ok
+	b.lastErr = reason
+	return changed
+}
+
+func (b *backend) isHealthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+// RouterConfig configures NewRouter.
+type RouterConfig struct {
+	// Replicas are the base URLs queries fan across.
+	Replicas []string
+	// Leader, when set, receives forwarded mutations (POST/DELETE under
+	// /admin/docs) and is also probed for /healthz passthrough.
+	Leader string
+	// Client issues relays and probes; defaults to http.DefaultTransport.
+	Client *http.Client
+	// HealthEvery is the probe interval (default 1s).
+	HealthEvery time.Duration
+	// Timeout bounds each relay attempt (default 5s).
+	Timeout time.Duration
+	// Retries is how many additional backends one query may try after a
+	// failure (default 2).
+	Retries int
+	Logger  *log.Logger
+	// Seed fixes the jitter/backoff randomness for tests; 0 seeds from
+	// the clock.
+	Seed int64
+}
+
+// NewRouter validates cfg and returns a router. Call Run to start the
+// health loop; backends start unhealthy until the first probe passes
+// (use CheckNow to gate startup).
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("replica: router needs at least one replica URL")
+	}
+	if cfg.HealthEvery <= 0 {
+		cfg.HealthEvery = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: http.DefaultTransport}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	r := &Router{
+		leader:      strings.TrimRight(cfg.Leader, "/"),
+		client:      client,
+		healthEvery: cfg.HealthEvery,
+		timeout:     cfg.Timeout,
+		retries:     cfg.Retries,
+		logger:      cfg.Logger,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+	for _, u := range cfg.Replicas {
+		r.backends = append(r.backends, &backend{base: strings.TrimRight(u, "/")})
+	}
+	return r, nil
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.logger != nil {
+		rt.logger.Printf(format, args...)
+	}
+}
+
+// Run probes replica health until ctx ends.
+func (rt *Router) Run(ctx context.Context) {
+	ticker := time.NewTicker(rt.healthEvery)
+	defer ticker.Stop()
+	rt.CheckNow(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			rt.CheckNow(ctx)
+		}
+	}
+}
+
+// CheckNow probes every backend once, concurrently, and returns the
+// number of healthy backends. Ejected backends are re-admitted here the
+// moment their readiness probe passes again.
+func (rt *Router) CheckNow(ctx context.Context) int {
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ok, reason := rt.probe(ctx, b.base)
+			if b.setHealth(ok, reason) {
+				if ok {
+					rt.logf("router: %s re-admitted", b.base)
+				} else {
+					rt.logf("router: %s ejected: %s", b.base, reason)
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+	healthy, _ := rt.healthCount()
+	return healthy
+}
+
+func (rt *Router) probe(ctx context.Context, base string) (bool, string) {
+	ctx, cancel := context.WithTimeout(ctx, rt.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz?ready", nil)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false, err.Error()
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Sprintf("readiness probe returned %s", resp.Status)
+	}
+	return true, ""
+}
+
+func (rt *Router) healthCount() (healthy, total int) {
+	for _, b := range rt.backends {
+		if b.isHealthy() {
+			healthy++
+		}
+	}
+	return healthy, len(rt.backends)
+}
+
+// pickOrder returns the backends to try for one query: healthy ones
+// first in rotated round-robin order, then (as a last resort) unhealthy
+// ones — a probe cycle may simply not have noticed a recovery yet.
+func (rt *Router) pickOrder() []*backend {
+	rt.mu.Lock()
+	start := rt.next
+	rt.next++
+	rt.mu.Unlock()
+	n := len(rt.backends)
+	order := make([]*backend, 0, n)
+	var down []*backend
+	for i := 0; i < n; i++ {
+		b := rt.backends[(start+i)%n]
+		if b.isHealthy() {
+			order = append(order, b)
+		} else {
+			down = append(down, b)
+		}
+	}
+	return append(order, down...)
+}
+
+func (rt *Router) jitteredPause(attempt int) time.Duration {
+	base := 10 * time.Millisecond << attempt
+	if base > 200*time.Millisecond {
+		base = 200 * time.Millisecond
+	}
+	rt.mu.Lock()
+	j := time.Duration(rt.rng.Int63n(int64(base)/2 + 1))
+	rt.mu.Unlock()
+	return base/2 + j
+}
+
+// queryPaths are the read endpoints the router fans out; these carry
+// the "partial" contract in their JSON answers.
+var queryPaths = map[string]bool{
+	"/search":   true,
+	"/insights": true,
+	"/refine":   true,
+}
+
+// Routes mounts the router's own endpoints on mux: the relayed query
+// endpoints, mutation forwarding, and the router's health summary.
+func (rt *Router) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("/", rt.relay)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy, total := rt.healthCount()
+	type backendHealth struct {
+		URL     string `json:"url"`
+		Healthy bool   `json:"healthy"`
+		Error   string `json:"error,omitempty"`
+	}
+	out := struct {
+		Status   string          `json:"status"`
+		Role     string          `json:"role"`
+		Healthy  int             `json:"healthyReplicas"`
+		Total    int             `json:"totalReplicas"`
+		Degraded bool            `json:"degraded"`
+		Backends []backendHealth `json:"backends"`
+	}{Role: "router", Healthy: healthy, Total: total, Degraded: healthy < total}
+	switch {
+	case healthy == total:
+		out.Status = "ok"
+	case healthy > 0:
+		out.Status = "degraded"
+	default:
+		out.Status = "down"
+	}
+	for _, b := range rt.backends {
+		b.mu.Lock()
+		out.Backends = append(out.Backends, backendHealth{URL: b.base, Healthy: b.healthy, Error: b.lastErr})
+		b.mu.Unlock()
+	}
+	status := http.StatusOK
+	if _, ready := r.URL.Query()["ready"]; ready && healthy == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(out)
+}
+
+func (rt *Router) relay(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rt.forwardToLeader(w, r)
+		return
+	}
+	order := rt.pickOrder()
+	tries := rt.retries + 1
+	if tries > len(order) {
+		tries = len(order)
+	}
+	var lastErr error
+	for i := 0; i < tries; i++ {
+		if i > 0 {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(rt.jitteredPause(i - 1)):
+			}
+		}
+		b := order[i]
+		done, err := rt.relayOnce(w, r, b)
+		if done {
+			return
+		}
+		lastErr = err
+		if b.setHealth(false, err.Error()) {
+			rt.logf("router: %s ejected: %v", b.base, err)
+		}
+	}
+	msg := "no replica available"
+	if lastErr != nil {
+		msg = fmt.Sprintf("no replica available: %v", lastErr)
+	}
+	jsonError(w, http.StatusServiceUnavailable, msg)
+}
+
+// relayOnce tries one backend. done=true means a response (success or a
+// replica-authored error like 400/404) was written; done=false with err
+// means the backend failed in a way worth retrying elsewhere.
+func (rt *Router) relayOnce(w http.ResponseWriter, r *http.Request, b *backend) (done bool, err error) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+r.URL.RequestURI(), nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", r.Header.Get("Accept"))
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return false, fmt.Errorf("replica returned %s", resp.Status)
+	}
+	healthy, total := rt.healthCount()
+	degraded := healthy < total
+	if degraded && resp.StatusCode == http.StatusOK && queryPaths[r.URL.Path] {
+		return true, rt.copyDegraded(w, resp)
+	}
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true, nil
+}
+
+// copyDegraded rewrites a query answer served while the replica set is
+// degraded: "partial" is forced true and the answer is marked
+// uncacheable, honoring the PR 3 contract that degraded answers are
+// flagged and never cached.
+func (rt *Router) copyDegraded(w http.ResponseWriter, resp *http.Response) error {
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	var payload map[string]json.RawMessage
+	if jerr := json.Unmarshal(body, &payload); jerr == nil {
+		payload["partial"] = json.RawMessage("true")
+		if rewritten, merr := json.Marshal(payload); merr == nil {
+			body = rewritten
+		}
+	}
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Del("Content-Length")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+	return nil
+}
+
+func copyHeaders(dst, src http.Header) {
+	for _, k := range []string{"Content-Type", "Cache-Control"} {
+		if v := src.Get(k); v != "" {
+			dst.Set(k, v)
+		}
+	}
+}
+
+// forwardToLeader relays a mutation to the configured leader verbatim.
+func (rt *Router) forwardToLeader(w http.ResponseWriter, r *http.Request) {
+	if rt.leader == "" {
+		jsonError(w, http.StatusMethodNotAllowed, "router serves reads; no leader configured for writes")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "read request body: "+err.Error())
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, rt.leader+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		jsonError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		jsonError(w, http.StatusBadGateway, "leader unreachable: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

@@ -49,6 +49,15 @@ func NewCheckpointer(rl *Reloader, l *wal.Log, persist func(gks.Searcher) error,
 	}
 }
 
+// LastCheckpointLSN reports the highest LSN folded into a snapshot by
+// this process (0 until the first checkpoint; the WAL floor covers what
+// previous processes folded).
+func (c *Checkpointer) LastCheckpointLSN() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastLSN
+}
+
 // Notify records one durable mutation and kicks the background loop once
 // the configured threshold accumulates. It is the Ingester's onDurable
 // hook: cheap, non-blocking, safe from any goroutine.

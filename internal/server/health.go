@@ -1,0 +1,86 @@
+// The /healthz surface: liveness plus the replication-aware readiness
+// gate load balancers and the query router probe.
+//
+//	GET /healthz        always 200 while the process serves; reports
+//	                    role, generation, WAL positions, checkpoint lag
+//	                    and (on followers) replication status
+//	GET /healthz?ready  503 until the node is fit to serve: boot replay
+//	                    finished (it runs before the server binds, so a
+//	                    bound single node is ready) and, on followers,
+//	                    initial catch-up is complete and lag is bounded
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/wal"
+)
+
+// Health serves /healthz. All fields except Handler are optional.
+type Health struct {
+	Handler *Handler
+	// Role is reported verbatim: "single", "leader" or "follower".
+	Role string
+	// WAL, when set, adds log positions and checkpoint lag.
+	WAL *wal.Log
+	// Checkpoint, when set with WAL, reports the last checkpointed LSN.
+	Checkpoint *Checkpointer
+	// Ready gates ?ready; nil means always ready once serving.
+	Ready func() bool
+	// Replica, when set, is embedded as the "replica" field — a
+	// follower's replica.Status.
+	Replica func() any
+}
+
+func (hl *Health) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		writeJSONStatus(w, http.StatusMethodNotAllowed, map[string]any{
+			"error": "healthz requires GET",
+		})
+		return
+	}
+	role := hl.Role
+	if role == "" {
+		role = "single"
+	}
+	ready := hl.Ready == nil || hl.Ready()
+	status := "ok"
+	if !ready {
+		status = "catching-up"
+	}
+	out := map[string]any{
+		"status":     status,
+		"role":       role,
+		"generation": hl.Handler.Generation(),
+		"documents":  hl.Handler.Searcher().Stats().Documents,
+	}
+	if hl.WAL != nil {
+		last := hl.WAL.LastLSN()
+		// The checkpoint position is the later of the last in-process
+		// checkpoint and the log floor: right after boot no checkpoint has
+		// run yet, but everything at or below the floor is already folded
+		// into the on-disk snapshot.
+		ckpt := hl.WAL.Floor()
+		if hl.Checkpoint != nil {
+			if lsn := hl.Checkpoint.LastCheckpointLSN(); lsn > ckpt {
+				ckpt = lsn
+			}
+		}
+		out["wal"] = map[string]any{
+			"lastLsn":       last,
+			"durableLsn":    hl.WAL.DurableLSN(),
+			"floorLsn":      hl.WAL.Floor(),
+			"checkpointLsn": ckpt,
+			"checkpointLag": last - ckpt,
+		}
+	}
+	if hl.Replica != nil {
+		out["replica"] = hl.Replica()
+	}
+	if _, wantReady := r.URL.Query()["ready"]; wantReady && !ready {
+		writeJSONStatus(w, http.StatusServiceUnavailable, out)
+		return
+	}
+	writeJSON(w, out)
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+func getHealth(t *testing.T, hl *Health, url string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	hl.ServeHTTP(rec, req)
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("healthz body not JSON: %v: %s", err, rec.Body.String())
+	}
+	return rec.Code, out
+}
+
+func TestHealthzReportsWALPositions(t *testing.T) {
+	l, err := wal.Open(t.TempDir(), wal.Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Oversized docs force one record per segment so TruncateThrough(2)
+	// actually removes the first two.
+	doc := "<x>" + strings.Repeat("p", 100) + "</x>"
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(wal.OpUpsert, "d", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.TruncateThrough(2); err != nil {
+		t.Fatal(err)
+	}
+
+	hl := &Health{Handler: testHandler(t), Role: "leader", WAL: l}
+	code, out := getHealth(t, hl, "/healthz")
+	if code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+	if out["status"] != "ok" || out["role"] != "leader" {
+		t.Fatalf("healthz: %+v", out)
+	}
+	w, ok := out["wal"].(map[string]any)
+	if !ok {
+		t.Fatalf("no wal block: %+v", out)
+	}
+	if w["lastLsn"].(float64) != 5 || w["durableLsn"].(float64) != 5 {
+		t.Fatalf("wal lsns: %+v", w)
+	}
+	floor := w["floorLsn"].(float64)
+	if floor < 1 || floor > 2 {
+		t.Fatalf("floorLsn %v, want within truncated prefix", floor)
+	}
+	if w["checkpointLag"].(float64) != 5-floor {
+		t.Fatalf("checkpointLag %v, want %v", w["checkpointLag"], 5-floor)
+	}
+}
+
+func TestHealthzReadyGate(t *testing.T) {
+	ready := false
+	hl := &Health{Handler: testHandler(t), Role: "follower", Ready: func() bool { return ready }}
+
+	// Plain liveness stays 200 while catching up; ?ready gates.
+	code, out := getHealth(t, hl, "/healthz")
+	if code != 200 || out["status"] != "catching-up" {
+		t.Fatalf("liveness while catching up: %d %+v", code, out)
+	}
+	code, _ = getHealth(t, hl, "/healthz?ready")
+	if code != 503 {
+		t.Fatalf("?ready while catching up: %d, want 503", code)
+	}
+	ready = true
+	code, out = getHealth(t, hl, "/healthz?ready")
+	if code != 200 || out["status"] != "ok" {
+		t.Fatalf("?ready when caught up: %d %+v", code, out)
+	}
+}

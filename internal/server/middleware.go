@@ -48,6 +48,11 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying writer so http.NewResponseController can
+// reach Flush and SetWriteDeadline through the wrapper — the replication
+// stream needs both from inside the middleware chain.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
 func (sw *statusWriter) Status() int {
 	if sw.status == 0 {
 		return http.StatusOK

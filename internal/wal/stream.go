@@ -1,0 +1,332 @@
+// Streaming access to a live log: the leader half of WAL shipping.
+//
+// A replication follower holds a durable LSN A and wants every record
+// after it. ReadAfter serves exactly that — records in (A, durable] — by
+// scanning the on-disk segments without blocking writers: segment
+// metadata is captured under the log mutex, the files themselves are
+// read outside every lock. That is safe because segment bytes are
+// write-once (a record's frame never changes after Enqueue writes it)
+// and the durable watermark only advances after the covered bytes are
+// fully written, so a reader capped at the watermark can never observe a
+// half-written frame it would mistake for data. A frame mid-write at the
+// tail parses as the same torn tail a crash would leave and is ignored.
+//
+// WaitDurableMore is the long-poll half: it blocks until the watermark
+// passes the follower's position, the context expires (the leader's cue
+// to emit a heartbeat), or the log closes.
+//
+// The wire framing for the replication stream reuses the on-disk frame
+// layout (u32le length, u32le CRC32, payload) so a follower can append
+// received frames to its own log byte-for-byte verified. One frame kind
+// exists only on the wire: a heartbeat (op byte 0) carrying the leader's
+// durable watermark, which keeps idle streams alive and lets a follower
+// measure its lag without new records flowing.
+//
+// The wal.floor sidecar file records history that has been removed from
+// the log — by checkpoint truncation or by Reset when a follower
+// installs a leader snapshot. Its job is LSN-sequence integrity across
+// reboots: a leader that truncated its whole log must not restart the
+// sequence at 1, or every reissued LSN would be skipped as a duplicate
+// by followers that applied the originals.
+package wal
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// ErrGone reports that the log no longer holds the records a reader
+// asked for: checkpoint truncation removed them (match with errors.Is).
+// A follower that hits it must fall back to a snapshot fetch.
+var ErrGone = errors.New("wal: records truncated")
+
+// OpHeartbeat is the wire-only frame kind: no mutation, just the
+// leader's durable watermark in the LSN field. It never appears in a
+// segment file.
+const OpHeartbeat Op = 0
+
+// floorFileName is the sidecar recording removed history; it must not
+// match segmentNameRE.
+const floorFileName = "wal.floor"
+
+// Floor returns the highest LSN the log no longer holds; records at or
+// below it were truncated into a checkpoint snapshot (or superseded by a
+// Reset) and are only reachable through that snapshot.
+func (l *Log) Floor() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.floor
+}
+
+// errStopRead aborts a ReadAfter segment scan once the batch is full or
+// the durable watermark is reached; it never escapes ReadAfter.
+var errStopRead = errors.New("wal: stop read")
+
+// ReadAfter returns up to max records with LSNs in (after, durable],
+// oldest first. It never blocks writers: the files are read outside the
+// log's locks, capped at the durable watermark so an acknowledged-only
+// prefix is returned even while appends race. A nil slice with a nil
+// error means the reader is caught up. ErrGone reports that records
+// after `after` have been truncated away — the caller needs a snapshot,
+// not a tail.
+func (l *Log) ReadAfter(after uint64, max int) ([]Record, error) {
+	if max <= 0 {
+		max = 1
+	}
+	type segMeta struct {
+		path        string
+		first, last uint64
+		tornOK      bool
+	}
+	l.mu.Lock()
+	if after < l.floor {
+		floor := l.floor
+		l.mu.Unlock()
+		return nil, fmt.Errorf("wal: records through lsn %d truncated (reader at %d): %w", floor, after, ErrGone)
+	}
+	metas := make([]segMeta, 0, len(l.sealed)+1)
+	for _, s := range l.sealed {
+		metas = append(metas, segMeta{path: s.path, first: s.first, last: s.last, tornOK: s.tornOK})
+	}
+	if l.active != nil {
+		metas = append(metas, segMeta{path: l.activePath, first: l.activeFirst, last: l.activeLast, tornOK: true})
+	}
+	l.mu.Unlock()
+
+	durable := l.DurableLSN()
+	if durable <= after {
+		return nil, nil
+	}
+	var out []Record
+	for _, m := range metas {
+		if m.last <= after || m.first > durable {
+			continue
+		}
+		_, err := scanSegment(m.path, m.first, m.tornOK, func(r Record) error {
+			if r.LSN <= after {
+				return nil
+			}
+			if r.LSN > durable || len(out) >= max {
+				return errStopRead
+			}
+			out = append(out, r)
+			return nil
+		})
+		switch {
+		case err == nil:
+		case errors.Is(err, errStopRead):
+			return out, nil
+		case errors.Is(err, os.ErrNotExist):
+			// The segment was truncated between the metadata capture and
+			// the scan; to this reader that is indistinguishable from
+			// having arrived after the truncation.
+			return nil, fmt.Errorf("wal: segment %s truncated mid-read: %w", filepath.Base(m.path), ErrGone)
+		default:
+			return nil, err
+		}
+		if len(out) >= max {
+			break
+		}
+	}
+	return out, nil
+}
+
+// WaitDurableMore blocks until the durable watermark exceeds after,
+// returning nil. It returns ctx.Err() when the context expires first —
+// the leader's heartbeat cue — ErrClosed when the log closes, and the
+// sticky sync error if group commit has failed.
+func (l *Log) WaitDurableMore(ctx context.Context, after uint64) error {
+	// The watcher goroutine converts ctx expiry into a broadcast so the
+	// cond wait below wakes up; the loop re-checks ctx before every wait,
+	// so a broadcast that lands before the first wait is never lost.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.sm.Lock()
+			l.syncCond.Broadcast()
+			l.sm.Unlock()
+		case <-done:
+		}
+	}()
+
+	l.sm.Lock()
+	defer l.sm.Unlock()
+	for {
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.durable > after {
+			return nil
+		}
+		if l.smClosed {
+			return ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l.syncCond.Wait()
+	}
+}
+
+// Reset discards the log's entire contents and restarts the LSN sequence
+// at next, recording next-1 as the floor. A replication follower calls
+// it while installing a leader snapshot taken at LSN next-1: from then
+// on the local log must mirror the leader's LSNs exactly. The caller
+// owns crash consistency between the snapshot file and this reset (the
+// server's install marker); Reset itself orders floor-write before
+// segment removal so the LSN sequence can never restart low.
+func (l *Log) Reset(next uint64) error {
+	if next == 0 {
+		return errors.New("wal: reset: next lsn must be >= 1")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := writeFloorFile(l.dir, next-1); err != nil {
+		return err
+	}
+	if l.active != nil {
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: reset: %w", err)
+		}
+		if err := os.Remove(l.activePath); err != nil {
+			return fmt.Errorf("wal: reset: %w", err)
+		}
+		l.active = nil
+	}
+	for len(l.sealed) > 0 {
+		if err := os.Remove(l.sealed[0].path); err != nil {
+			return fmt.Errorf("wal: reset: %w", err)
+		}
+		l.sealed = l.sealed[1:]
+	}
+	syncDir(l.dir)
+	l.nextLSN = next
+	l.floor = next - 1
+	// Earlier append/fsync failures poisoned files that no longer exist;
+	// the reset log starts clean.
+	l.wedged = nil
+	l.sm.Lock()
+	l.durable = next - 1
+	l.syncErr = nil
+	l.syncCond.Broadcast()
+	l.sm.Unlock()
+	l.reportLocked()
+	return nil
+}
+
+// readFloorFile loads the floor sidecar; a missing file is floor 0.
+func readFloorFile(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, floorFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wal: floor file: %v: %w", err, ErrCorrupt)
+	}
+	return v, nil
+}
+
+// writeFloorFile persists the floor atomically (temp + fsync + rename +
+// dir fsync), mirroring the snapshot writer's discipline: a crash leaves
+// either the old floor or the new one, never a torn file.
+func writeFloorFile(dir string, floor uint64) error {
+	path := filepath.Join(dir, floorFileName)
+	tmp, err := os.CreateTemp(dir, floorFileName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("wal: floor: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := fmt.Fprintf(tmp, "%d\n", floor); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: floor: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: floor: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: floor: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: floor: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// EncodeWireFrame renders one record in the replication stream's wire
+// framing — identical to the on-disk frame layout, so the CRC the
+// follower verifies is the CRC the leader's log verified.
+func EncodeWireFrame(r Record) []byte { return encodeFrame(r) }
+
+// EncodeWireHeartbeat renders a heartbeat frame carrying the leader's
+// durable watermark.
+func EncodeWireHeartbeat(durable uint64) []byte {
+	payload := make([]byte, 0, 1+binary.MaxVarintLen64)
+	payload = append(payload, byte(OpHeartbeat))
+	payload = binary.AppendUvarint(payload, durable)
+	frame := make([]byte, frameHeaderSize, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	return append(frame, payload...)
+}
+
+// ReadWireFrame reads one frame from a replication stream. It returns
+// io.EOF on a clean end-of-stream at a frame boundary,
+// io.ErrUnexpectedEOF when the stream dies mid-frame, and an
+// ErrCorrupt-wrapped error for a frame whose checksum or structure is
+// wrong — a follower treats the first as the leader closing, the second
+// as a connection fault to retry, and the third as a reason to panic
+// loudly. Heartbeats come back with Op == OpHeartbeat and the leader's
+// durable watermark in LSN.
+func ReadWireFrame(br *bufio.Reader) (Record, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, io.ErrUnexpectedEOF
+	}
+	payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	if payloadLen == 0 || int64(payloadLen) > maxRecordBytes {
+		return Record{}, fmt.Errorf("wal: stream: implausible frame length %d: %w", payloadLen, ErrCorrupt)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return Record{}, io.ErrUnexpectedEOF
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return Record{}, fmt.Errorf("wal: stream: frame checksum mismatch: %w", ErrCorrupt)
+	}
+	if Op(payload[0]) == OpHeartbeat {
+		durable, n := binary.Uvarint(payload[1:])
+		if n <= 0 || 1+n != len(payload) {
+			return Record{}, fmt.Errorf("wal: stream: malformed heartbeat: %w", ErrCorrupt)
+		}
+		return Record{Op: OpHeartbeat, LSN: durable}, nil
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: stream: %v: %w", err, ErrCorrupt)
+	}
+	return rec, nil
+}

@@ -1,0 +1,422 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustAppend(t *testing.T, l *Log, op Op, name, doc string) uint64 {
+	t.Helper()
+	lsn, err := l.Append(op, name, doc)
+	if err != nil {
+		t.Fatalf("append %s: %v", name, err)
+	}
+	return lsn
+}
+
+func TestReadAfterBatchesInOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128}) // force rotations
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 12
+	for i := 1; i <= n; i++ {
+		mustAppend(t, l, OpUpsert, fmt.Sprintf("d%d", i), fmt.Sprintf("<x>%d</x>", i))
+	}
+	// Walk the log in batches of 5 from every starting point.
+	for after := uint64(0); after <= n; after++ {
+		pos := after
+		for {
+			recs, err := l.ReadAfter(pos, 5)
+			if err != nil {
+				t.Fatalf("ReadAfter(%d): %v", pos, err)
+			}
+			if len(recs) == 0 {
+				break
+			}
+			if len(recs) > 5 {
+				t.Fatalf("ReadAfter(%d): %d records, want <= 5", pos, len(recs))
+			}
+			for _, r := range recs {
+				if r.LSN != pos+1 {
+					t.Fatalf("ReadAfter(%d): got lsn %d, want %d", pos, r.LSN, pos+1)
+				}
+				if want := fmt.Sprintf("d%d", r.LSN); r.Name != want {
+					t.Fatalf("lsn %d: name %q, want %q", r.LSN, r.Name, want)
+				}
+				pos = r.LSN
+			}
+		}
+		if pos != n {
+			t.Fatalf("walk from %d ended at %d, want %d", after, pos, n)
+		}
+	}
+	// Caught up: nil, nil.
+	if recs, err := l.ReadAfter(n, 5); err != nil || recs != nil {
+		t.Fatalf("caught-up ReadAfter: %v, %v; want nil, nil", recs, err)
+	}
+}
+
+func TestReadAfterCapsAtDurable(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mustAppend(t, l, OpUpsert, "a", "<x/>")
+	// Enqueue without waiting: the record exists but is not durable yet.
+	if _, err := l.Enqueue(OpUpsert, "b", "<y/>"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.ReadAfter(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.LSN > l.DurableLSN() {
+			t.Fatalf("ReadAfter returned lsn %d above durable %d", r.LSN, l.DurableLSN())
+		}
+	}
+	if err := l.WaitDurable(2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = l.ReadAfter(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].LSN != 2 {
+		t.Fatalf("after WaitDurable: %+v, want lsns 1,2", recs)
+	}
+}
+
+func TestReadAfterGoneAfterTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 8; i++ {
+		mustAppend(t, l, OpUpsert, fmt.Sprintf("d%d", i), "<x/>")
+	}
+	if _, err := l.TruncateThrough(5); err != nil {
+		t.Fatal(err)
+	}
+	floor := l.Floor()
+	if floor == 0 {
+		t.Fatal("floor still 0 after truncate")
+	}
+	if _, err := l.ReadAfter(floor-1, 10); !errors.Is(err, ErrGone) {
+		t.Fatalf("ReadAfter below floor: %v, want ErrGone", err)
+	}
+	// At or above the floor the surviving suffix is readable.
+	recs, err := l.ReadAfter(floor, 10)
+	if err != nil {
+		t.Fatalf("ReadAfter(floor): %v", err)
+	}
+	if len(recs) == 0 || recs[0].LSN != floor+1 || recs[len(recs)-1].LSN != 8 {
+		t.Fatalf("ReadAfter(floor): %+v, want (%d..8]", recs, floor)
+	}
+}
+
+func TestFloorSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		mustAppend(t, l, OpUpsert, fmt.Sprintf("d%d", i), "<x/>")
+	}
+	// Truncate the WHOLE log: without the floor sidecar a reopen would
+	// restart the sequence at 1 and reissue LSNs followers already saw.
+	if _, err := l.TruncateThrough(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Floor(); got != 6 {
+		t.Fatalf("floor after reopen: %d, want 6", got)
+	}
+	if lsn := mustAppend(t, l2, OpUpsert, "d7", "<x/>"); lsn != 7 {
+		t.Fatalf("append after full truncate + reopen: lsn %d, want 7", lsn)
+	}
+}
+
+func TestResetRestartsSequence(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		mustAppend(t, l, OpUpsert, fmt.Sprintf("d%d", i), "<x/>")
+	}
+	if err := l.Reset(101); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Floor(); got != 100 {
+		t.Fatalf("floor after reset: %d, want 100", got)
+	}
+	if got := l.DurableLSN(); got != 100 {
+		t.Fatalf("durable after reset: %d, want 100", got)
+	}
+	if lsn := mustAppend(t, l, OpUpsert, "n1", "<x/>"); lsn != 101 {
+		t.Fatalf("append after reset: lsn %d, want 101", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The reset sequence survives a reopen.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := collect(t, l2)
+	if len(recs) != 1 || recs[0].LSN != 101 {
+		t.Fatalf("replay after reset: %+v, want single record at lsn 101", recs)
+	}
+	if lsn := mustAppend(t, l2, OpUpsert, "n2", "<x/>"); lsn != 102 {
+		t.Fatalf("append after reopen: lsn %d, want 102", lsn)
+	}
+}
+
+func TestWaitDurableMore(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mustAppend(t, l, OpUpsert, "a", "<x/>")
+
+	// Already satisfied: returns immediately.
+	if err := l.WaitDurableMore(context.Background(), 0); err != nil {
+		t.Fatalf("WaitDurableMore(0): %v", err)
+	}
+
+	// Context expiry while waiting: the heartbeat cue.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := l.WaitDurableMore(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitDurableMore past end: %v, want DeadlineExceeded", err)
+	}
+
+	// A new durable record releases a waiter.
+	done := make(chan error, 1)
+	go func() { done <- l.WaitDurableMore(context.Background(), 1) }()
+	time.Sleep(5 * time.Millisecond)
+	mustAppend(t, l, OpUpsert, "b", "<y/>")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitDurableMore after append: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitDurableMore did not wake on new durable record")
+	}
+}
+
+func TestWaitDurableMoreUnblocksOnClose(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, OpUpsert, "a", "<x/>")
+	done := make(chan error, 1)
+	go func() { done <- l.WaitDurableMore(context.Background(), 1) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("WaitDurableMore after close: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitDurableMore hung across Close")
+	}
+}
+
+// TestCloseVsWaitDurableRace is the regression test for the Close /
+// group-commit race: a WaitDurable caller racing Close must either get a
+// real durability ack (its record was fsynced before the close completed)
+// or a typed ErrClosed — never a hang, never an ack for bytes that were
+// not synced. Run under -race.
+func TestCloseVsWaitDurableRace(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		l, err := Open(t.TempDir(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const writers = 8
+		var wg sync.WaitGroup
+		errs := make([]error, writers)
+		start := make(chan struct{})
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				lsn, err := l.Enqueue(OpUpsert, fmt.Sprintf("w%d", w), "<x/>")
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						errs[w] = fmt.Errorf("enqueue: %w", err)
+					}
+					return
+				}
+				done := make(chan error, 1)
+				go func() { done <- l.WaitDurable(lsn) }()
+				select {
+				case err := <-done:
+					if err != nil && !errors.Is(err, ErrClosed) {
+						errs[w] = fmt.Errorf("wait lsn %d: %w", lsn, err)
+					}
+				case <-time.After(10 * time.Second):
+					errs[w] = fmt.Errorf("wait lsn %d: hung across Close", lsn)
+				}
+			}(w)
+		}
+		close(start)
+		// Race Close against the enqueue+wait storm.
+		if err := l.Close(); err != nil {
+			t.Fatalf("trial %d: close: %v", trial, err)
+		}
+		wg.Wait()
+		for w, err := range errs {
+			if err != nil {
+				t.Fatalf("trial %d writer %d: %v", trial, w, err)
+			}
+		}
+	}
+}
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	recs := []Record{
+		{LSN: 1, Op: OpUpsert, Name: "a", Doc: "<x>1</x>"},
+		{LSN: 2, Op: OpDelete, Name: "b"},
+		{LSN: 1 << 40, Op: OpUpsert, Name: "big-lsn", Doc: "<y/>"},
+	}
+	var buf bytes.Buffer
+	for _, r := range recs {
+		buf.Write(EncodeWireFrame(r))
+	}
+	buf.Write(EncodeWireHeartbeat(77))
+	br := bufio.NewReader(&buf)
+	for i, want := range recs {
+		got, err := ReadWireFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d: %+v, want %+v", i, got, want)
+		}
+	}
+	hb, err := ReadWireFrame(br)
+	if err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if hb.Op != OpHeartbeat || hb.LSN != 77 {
+		t.Fatalf("heartbeat: %+v, want op 0 lsn 77", hb)
+	}
+	// Clean end-of-stream at a frame boundary.
+	if _, err := ReadWireFrame(br); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestWireFrameFaults(t *testing.T) {
+	frame := EncodeWireFrame(Record{LSN: 9, Op: OpUpsert, Name: "n", Doc: "<d/>"})
+
+	// Truncated mid-header and mid-payload: connection fault, not corruption.
+	for _, cut := range []int{3, frameHeaderSize + 2} {
+		_, err := ReadWireFrame(bufio.NewReader(bytes.NewReader(frame[:cut])))
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+
+	// A flipped payload bit is corruption.
+	bad := append([]byte(nil), frame...)
+	bad[frameHeaderSize] ^= 0x01
+	if _, err := ReadWireFrame(bufio.NewReader(bytes.NewReader(bad))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped bit: %v, want ErrCorrupt", err)
+	}
+
+	// An implausible length is corruption, not a giant allocation.
+	huge := append([]byte(nil), frame...)
+	huge[3] = 0xff
+	if _, err := ReadWireFrame(bufio.NewReader(bytes.NewReader(huge))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge length: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStreamedFramesAppendToFollowerLog(t *testing.T) {
+	// The wire framing is the disk framing: a follower can verify and
+	// re-append what it receives, and a replay sees the leader's records.
+	leader, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for i := 1; i <= 5; i++ {
+		mustAppend(t, leader, OpUpsert, fmt.Sprintf("d%d", i), fmt.Sprintf("<x>%d</x>", i))
+	}
+	recs, err := leader.ReadAfter(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stream bytes.Buffer
+	for _, r := range recs {
+		stream.Write(EncodeWireFrame(r))
+	}
+	br := bufio.NewReader(&stream)
+
+	follower, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	for {
+		r, err := ReadWireFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsn, err := follower.Append(r.Op, r.Name, r.Doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != r.LSN {
+			t.Fatalf("follower assigned lsn %d to leader record %d", lsn, r.LSN)
+		}
+	}
+	got := collect(t, follower)
+	if len(got) != len(recs) {
+		t.Fatalf("follower replay: %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}

@@ -109,8 +109,10 @@ type Metrics interface {
 type Options struct {
 	// SegmentBytes is the rotation threshold (DefaultSegmentBytes if 0).
 	SegmentBytes int64
-	// NoSync skips every fsync. For tests and benchmarks only: records
-	// are never considered durable and WaitDurable must not be used.
+	// NoSync skips every fsync. For tests and benchmarks only: every
+	// record counts as durable the moment Enqueue returns (WaitDurable
+	// and the replication stream see it immediately), but none of it is
+	// actually crash-safe.
 	NoSync bool
 	// Metrics receives fsync/batch/size observations; may be nil.
 	Metrics Metrics
@@ -145,11 +147,24 @@ type Log struct {
 	closed      bool
 	wedged      error // sticky append-failure: file position is unknowable
 
+	// floor is the highest LSN the log no longer holds: records <= floor
+	// were removed by truncation (their history lives in a checkpoint
+	// snapshot) or superseded by a Reset. It is persisted in the wal.floor
+	// file so a reboot after a full truncation can never reissue an LSN a
+	// replication follower has already applied. Guarded by mu.
+	floor uint64
+
 	sm       sync.Mutex // guards group-commit sync state
 	syncCond *sync.Cond
 	durable  uint64 // highest fsynced LSN
 	syncing  bool   // a leader is currently running the shared fsync
 	syncErr  error  // sticky fsync failure: no later fsync can recover it
+	// smClosed mirrors closed into the sm-guarded state (lock order
+	// forbids reading closed, which lives under mu, from WaitDurable).
+	// Once set, a WaitDurable caller whose record is not durable and not
+	// failed gets ErrClosed instead of waiting for a flush that will
+	// never come.
+	smClosed bool
 }
 
 var segmentNameRE = regexp.MustCompile(`^wal-[0-9a-f]{16}\.seg$`)
@@ -222,6 +237,23 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
 		l.sealed = l.sealed[:n-1]
+	}
+	// The floor file records history removed from the log (checkpoint
+	// truncation, snapshot reset). When a checkpoint truncated every
+	// segment, it is the only thing standing between a reboot and LSN
+	// reuse — reissued LSNs would be silently skipped as duplicates by
+	// any replication follower that already applied the originals.
+	ff, err := readFloorFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	if ff+1 > l.nextLSN {
+		l.nextLSN = ff + 1
+	}
+	if len(l.sealed) > 0 {
+		l.floor = l.sealed[0].first - 1
+	} else {
+		l.floor = l.nextLSN - 1
 	}
 	// Everything that survived the scan is on disk and will survive the
 	// next crash identically, so it counts as durable history.
@@ -320,6 +352,13 @@ func (l *Log) Enqueue(op Op, name, doc string) (uint64, error) {
 	l.activeSize += int64(len(frame))
 	l.activeLast = lsn
 	l.nextLSN = lsn + 1
+	if l.opts.NoSync {
+		// Without fsyncs the write itself is as durable as this record
+		// will ever get; advancing here keeps WaitDurable and the
+		// replication stream (which caps at the durable watermark)
+		// usable in NoSync harnesses.
+		l.advanceDurable(lsn)
+	}
 	l.reportLocked()
 	return lsn, nil
 }
@@ -330,6 +369,12 @@ func (l *Log) Enqueue(op Op, name, doc string) (uint64, error) {
 // group commit. A failed fsync is sticky: the kernel may have dropped
 // the dirty pages, so no later fsync can make these records durable and
 // every waiter (current and future) gets the error.
+//
+// A caller racing Close resolves promptly and truthfully: if Close's
+// final fsync covered the record, WaitDurable returns nil (the record IS
+// durable); if that fsync failed, it returns the sticky error; and if
+// the log closed without making the record durable it returns ErrClosed
+// — never a false ack, never a hang on a flush no one will run.
 func (l *Log) WaitDurable(lsn uint64) error {
 	l.sm.Lock()
 	for {
@@ -341,6 +386,10 @@ func (l *Log) WaitDurable(lsn uint64) error {
 		if l.durable >= lsn {
 			l.sm.Unlock()
 			return nil
+		}
+		if l.smClosed {
+			l.sm.Unlock()
+			return ErrClosed
 		}
 		if !l.syncing {
 			l.syncing = true
@@ -359,6 +408,13 @@ func (l *Log) WaitDurable(lsn uint64) error {
 // captured file mid-flight (Sync returns ErrClosed), its records were
 // fsynced by the seal and the leader simply re-captures the new active
 // file.
+//
+// The durable watermark advances only when this leader actually ran a
+// successful fsync on a captured file. Capturing a nil active file means
+// someone else — a seal, a truncation, or Close — owns those records'
+// durability and has already published the truth under sm; advancing
+// blindly here used to convert a failed Close fsync into a false
+// durability ack for the waiters that raced it.
 func (l *Log) leadSync() {
 	start := time.Now()
 	for {
@@ -368,11 +424,13 @@ func (l *Log) leadSync() {
 		l.mu.Unlock()
 
 		var err error
+		synced := false
 		if f != nil {
 			err = f.Sync()
 			if err != nil && errors.Is(err, os.ErrClosed) {
 				continue
 			}
+			synced = err == nil
 		}
 		if err != nil {
 			l.mu.Lock()
@@ -388,7 +446,7 @@ func (l *Log) leadSync() {
 			if l.syncErr == nil {
 				l.syncErr = fmt.Errorf("wal: fsync: %w", err)
 			}
-		} else if high > l.durable {
+		} else if synced && high > l.durable {
 			batch = int(high - l.durable)
 			l.durable = high
 		}
@@ -487,16 +545,42 @@ func (l *Log) Replay(fn func(Record) error) error {
 func (l *Log) TruncateThrough(lsn uint64) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Persist the post-truncation floor BEFORE unlinking anything. The
+	// caller's ordering is persist-snapshot → TruncateThrough, so by now
+	// every record about to be removed is checkpoint-covered; writing the
+	// floor first means a crash anywhere in the removal loop leaves
+	// either extra (still-replayable, idempotent) segments or a floor
+	// that exactly matches the removed history — never a reboot that
+	// restarts the LSN sequence below what followers have applied.
+	newFloor := l.floor
+	cut := 0
+	for cut < len(l.sealed) && l.sealed[cut].last <= lsn {
+		newFloor = l.sealed[cut].last
+		cut++
+	}
+	cutActive := l.active != nil && cut == len(l.sealed) &&
+		l.activeLast >= l.activeFirst && l.activeLast <= lsn
+	if cutActive {
+		newFloor = l.activeLast
+	}
+	if newFloor > l.floor {
+		if err := writeFloorFile(l.dir, newFloor); err != nil {
+			return 0, err
+		}
+	}
 	removed := 0
 	for len(l.sealed) > 0 && l.sealed[0].last <= lsn {
+		last := l.sealed[0].last
 		if err := os.Remove(l.sealed[0].path); err != nil {
 			return removed, fmt.Errorf("wal: truncate: %w", err)
 		}
 		l.sealed = l.sealed[1:]
+		if last > l.floor {
+			l.floor = last
+		}
 		removed++
 	}
-	if l.active != nil && len(l.sealed) == 0 &&
-		l.activeLast >= l.activeFirst && l.activeLast <= lsn {
+	if cutActive {
 		// The checkpoint covers the whole log: the active segment's
 		// records are superseded by snapshot durability, so the file can
 		// go without an fsync of its own.
@@ -508,6 +592,9 @@ func (l *Log) TruncateThrough(lsn uint64) (int, error) {
 			return removed, fmt.Errorf("wal: truncate: %w", err)
 		}
 		l.active = nil
+		if last > l.floor {
+			l.floor = last
+		}
 		removed++
 		l.advanceDurable(last)
 	}
@@ -520,6 +607,13 @@ func (l *Log) TruncateThrough(lsn uint64) (int, error) {
 
 // Close fsyncs and closes the active segment. Replay keeps working on a
 // closed log (reads reopen the files); appends fail with ErrClosed.
+//
+// In-flight WaitDurable callers resolve promptly: records the final fsync
+// covered ack normally, a failed final fsync surfaces as the sticky sync
+// error, and anything else gets ErrClosed. The sm-guarded verdict is
+// published while mu is still held (mu before sm is the lock order), so
+// a group-commit leader that observes the active file gone can never see
+// a half-closed log whose durability outcome is still unknown.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -542,9 +636,8 @@ func (l *Log) Close() error {
 		})
 		l.active = nil
 	}
-	l.mu.Unlock()
-
 	l.sm.Lock()
+	l.smClosed = true
 	if err != nil {
 		if l.syncErr == nil {
 			l.syncErr = fmt.Errorf("wal: close: %w", err)
@@ -554,6 +647,7 @@ func (l *Log) Close() error {
 	}
 	l.syncCond.Broadcast()
 	l.sm.Unlock()
+	l.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("wal: close: %w", err)
 	}

@@ -343,12 +343,16 @@ func TestEmptyTailSegmentRemovedOnOpen(t *testing.T) {
 			t.Fatal(err)
 		}
 		l2.Close()
-		// Reset for the next variant: keep only the first segment.
+		// Reset for the next variant: keep only the first segment, and
+		// drop the floor sidecar the TruncateThrough above wrote — it
+		// records that lsn 2 left the log, which would (correctly) block
+		// the reuse this test asserts.
 		for _, n := range segmentFiles(t, dir) {
 			if n != segmentName(1) {
 				os.Remove(filepath.Join(dir, n))
 			}
 		}
+		os.Remove(filepath.Join(dir, floorFileName))
 	}
 }
 
