@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke shard-race ingest-smoke wal-smoke replica-smoke bench-smoke bench-query bench-ingest bench-replica check
+.PHONY: build vet test race bench fuzz-smoke shard-race ingest-smoke wal-smoke replica-smoke segment-smoke bench-smoke bench-query bench-ingest bench-replica bench-segment check
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,16 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s ./internal/index
 	$(GO) test -run '^$$' -fuzz FuzzLoadManifest -fuzztime 10s ./internal/shard
 	$(GO) test -run '^$$' -fuzz FuzzAdminDocs -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzLoadSegment -fuzztime 10s ./internal/segment
+
+# GKS4 segment smoke: the unit suite plus the root differential property
+# tests — a segment-backed system, with a block cache small enough to
+# force eviction mid-query, must answer the entire read surface
+# byte-identically to the eager in-memory system — all under the race
+# detector (the block cache is shared mutable state on the query path).
+segment-smoke:
+	$(GO) test -race -count=1 ./internal/segment
+	$(GO) test -race -count=1 -run 'TestSegment|TestReadIndexStats' .
 
 # Live-ingestion smoke: the full HTTP mutation lifecycle (add → replace →
 # delete, persistence round-trips, durability failure modes, metrics) in
@@ -100,4 +110,12 @@ bench-replica:
 	$(GO) run ./cmd/gksbench -exp replica -json-dir $$tmp > /dev/null && \
 	test -s $$tmp/BENCH_replica.json && echo "bench-replica: BENCH_replica.json OK" && rm -rf $$tmp
 
-check: build vet race fuzz-smoke wal-smoke replica-smoke shard-race ingest-smoke bench-smoke bench-query bench-ingest bench-replica
+# One-shot segment-serving smoke: runs the GKS4-vs-GKS3 boot/memory/
+# latency experiment at the default scale and checks it emits the JSON
+# artifact (the recorded scale-10 run lives in BENCH_segment.json).
+bench-segment:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/gksbench -exp segment -json-dir $$tmp > /dev/null && \
+	test -s $$tmp/BENCH_segment.json && echo "bench-segment: BENCH_segment.json OK" && rm -rf $$tmp
+
+check: build vet race fuzz-smoke wal-smoke replica-smoke segment-smoke shard-race ingest-smoke bench-smoke bench-query bench-ingest bench-replica bench-segment

@@ -5,12 +5,19 @@
 //
 // Usage:
 //
-//	gks index  -out repo.gksidx file.xml [file.xml ...]
-//	gks add    -index repo.gksidx file.xml [file.xml ...]
-//	gks remove -index repo.gksidx docname [docname ...]
-//	gks search [-index repo.gksidx | -files a.xml,b.xml] [-s N] [-top K]
-//	           [-di M] [-baselines] [-chunks] "query terms"
-//	gks stats  -index repo.gksidx
+//	gks index   -out repo.gksidx [-format gks3|gks4] file.xml [file.xml ...]
+//	gks add     -index repo.gksidx file.xml [file.xml ...]
+//	gks remove  -index repo.gksidx docname [docname ...]
+//	gks search  [-index repo.gksidx | -files a.xml,b.xml] [-s N] [-top K]
+//	            [-di M] [-baselines] [-chunks] "query terms"
+//	gks stats   -index repo.gksidx
+//	gks convert -in repo.gksidx -out repo.gks4 -format gks4
+//
+// -format gks4 writes the block-compressed GKS4 segment layout: postings
+// live in fixed-size compressed blocks fetched lazily at query time behind
+// a bounded block cache, so serving memory stays far below the index size.
+// convert rewrites an existing snapshot between the formats. add and remove
+// preserve the format of the file they mutate.
 //
 // add and remove mutate a saved index (or shard manifest) in place without
 // a rebuild: add upserts each document by name (replacing a same-named one)
@@ -32,6 +39,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -54,6 +62,8 @@ func main() {
 		cmdSearch(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
+	case "convert":
+		cmdConvert(os.Args[2:])
 	case "repl":
 		cmdRepl(os.Args[2:])
 	case "xpath":
@@ -64,14 +74,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gks {index|add|remove|search|stats|repl|xpath} [flags] ...")
-	fmt.Fprintln(os.Stderr, "  gks index  -out repo.gksidx [-stream] [-lenient] [-shards N] file.xml ...")
-	fmt.Fprintln(os.Stderr, "  gks add    -index repo.gksidx file.xml ...   (add or replace documents in place)")
-	fmt.Fprintln(os.Stderr, "  gks remove -index repo.gksidx docname ...    (delete documents in place)")
-	fmt.Fprintln(os.Stderr, `  gks search [-index repo.gksidx | -files a.xml,b.xml] [-s N] [-top K] [-di M] [-baselines] [-chunks] "query"`)
-	fmt.Fprintln(os.Stderr, "  gks stats  -index repo.gksidx")
-	fmt.Fprintln(os.Stderr, "  gks repl   [-index repo.gksidx | -files a.xml,b.xml]")
-	fmt.Fprintln(os.Stderr, `  gks xpath  -files a.xml,b.xml "//Course[Name=\"AI\"]/Students/Student"`)
+	fmt.Fprintln(os.Stderr, "usage: gks {index|add|remove|search|stats|convert|repl|xpath} [flags] ...")
+	fmt.Fprintln(os.Stderr, "  gks index   -out repo.gksidx [-format gks3|gks4] [-stream] [-lenient] [-shards N] file.xml ...")
+	fmt.Fprintln(os.Stderr, "  gks add     -index repo.gksidx file.xml ...   (add or replace documents in place)")
+	fmt.Fprintln(os.Stderr, "  gks remove  -index repo.gksidx docname ...    (delete documents in place)")
+	fmt.Fprintln(os.Stderr, `  gks search  [-index repo.gksidx | -files a.xml,b.xml] [-s N] [-top K] [-di M] [-baselines] [-chunks] "query"`)
+	fmt.Fprintln(os.Stderr, "  gks stats   -index repo.gksidx")
+	fmt.Fprintln(os.Stderr, "  gks convert -in repo.gksidx -out repo.gks4 -format gks4   (rewrite between snapshot formats)")
+	fmt.Fprintln(os.Stderr, "  gks repl    [-index repo.gksidx | -files a.xml,b.xml]")
+	fmt.Fprintln(os.Stderr, `  gks xpath   -files a.xml,b.xml "//Course[Name=\"AI\"]/Students/Student"`)
 	os.Exit(2)
 }
 
@@ -87,11 +98,18 @@ func cmdIndex(args []string) {
 	lenient := fs.Bool("lenient", false, "skip unparsable XML files (reported on stderr) instead of failing the batch")
 	shards := fs.Int("shards", 1, "partition the documents into N index shards built in parallel; writes a manifest plus one snapshot per shard")
 	byTokens := fs.Bool("balance-tokens", false, "with -shards: balance shards by token count instead of hashing document names")
+	format := fs.String("format", "gks3", "snapshot format: gks3 (in-memory snapshot) or gks4 (block-compressed segment, lazily loaded)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fatal(fmt.Errorf("no input files"))
 	}
+	if *format != "gks3" && *format != "gks4" {
+		fatal(fmt.Errorf("unknown -format %q (want gks3 or gks4)", *format))
+	}
 	if *shards > 1 {
+		if *format == "gks4" {
+			fatal(fmt.Errorf("-format=gks4 applies to single-index builds; shard manifests reference gks3 snapshots"))
+		}
 		if *stream {
 			fatal(fmt.Errorf("-shards and -stream are mutually exclusive"))
 		}
@@ -115,12 +133,52 @@ func cmdIndex(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	if err := sys.SaveIndexFile(*out); err != nil {
+	if *format == "gks4" {
+		err = sys.SaveSegmentFile(*out)
+	} else {
+		err = sys.SaveIndexFile(*out)
+	}
+	if err != nil {
 		fatal(err)
 	}
 	st := sys.Stats()
 	fmt.Printf("indexed %d document(s): %d elements, %d entity nodes, %d distinct keywords -> %s\n",
 		st.Documents, st.ElementNodes, st.EntityNodes, st.DistinctKeywords, *out)
+}
+
+// cmdConvert rewrites a saved single-index snapshot between the gks3 and
+// gks4 physical layouts. The logical index is unchanged: searches over the
+// converted file return byte-identical responses.
+func cmdConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "source index file (gks3 snapshot or gks4 segment)")
+	out := fs.String("out", "", "destination index file")
+	format := fs.String("format", "gks4", "target format: gks3 or gks4")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("gks convert requires -in and -out"))
+	}
+	if *format != "gks3" && *format != "gks4" {
+		fatal(fmt.Errorf("unknown -format %q (want gks3 or gks4)", *format))
+	}
+	if isManifest(*in) {
+		fatal(fmt.Errorf("%s is a shard manifest; convert its per-shard snapshots individually", *in))
+	}
+	sys, err := gks.LoadIndexFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if *format == "gks4" {
+		err = sys.SaveSegmentFile(*out)
+	} else {
+		err = sys.SaveIndexFile(*out)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("converted %s -> %s (%s): %d document(s), %d distinct keywords\n",
+		*in, *out, *format, st.Documents, st.DistinctKeywords)
 }
 
 // cmdIndexSharded builds an n-shard index set and writes it as a GKSM1
@@ -234,12 +292,17 @@ func cmdRemove(args []string) {
 }
 
 // saveSystem persists a mutated system back to the path it was loaded
-// from, dispatching on its physical layout.
+// from, dispatching on its physical layout. The on-disk format is
+// preserved: mutating a GKS4 segment writes a GKS4 segment back.
 func saveSystem(sys gks.Searcher, path string) {
 	var err error
 	switch v := sys.(type) {
 	case *gks.System:
-		err = v.SaveIndexFile(path)
+		if isSegment(path) {
+			err = v.SaveSegmentFile(path)
+		} else {
+			err = v.SaveIndexFile(path)
+		}
 	case *gks.ShardedSystem:
 		err = v.SaveManifest(path)
 	default:
@@ -337,6 +400,21 @@ func isManifest(path string) bool {
 		return false
 	}
 	return string(magic[:]) == "GKSM1"
+}
+
+// isSegment sniffs for the GKS4 segment magic so mutating commands can
+// write back the same physical format they loaded.
+func isSegment(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return string(magic[:]) == "GKS4"
 }
 
 func cmdSearch(args []string) {
@@ -476,6 +554,18 @@ func cmdStats(args []string) {
 	top := fs.Int("top", 0, "also print the N most frequent keywords and labels")
 	walDir := fs.String("wal-dir", "", "gksd write-ahead log to fold in before reporting (default: -index path + \".wal\" when present; \"off\" ignores it)")
 	fs.Parse(args)
+	// Fast path: plain stats over a single-index file with no WAL tail to
+	// fold in are answered from the snapshot's framing alone — the GKS4
+	// footer or a streaming skim of the GKS3 payload — without decoding a
+	// single posting list or resident node table.
+	if *top == 0 && *files == "" && *indexPath != "" && !isManifest(*indexPath) && !hasWALTail(*indexPath, *walDir) {
+		st, err := gks.ReadIndexStats(*indexPath)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(st)
+		return
+	}
 	sys, err := loadSystem(*indexPath, *files)
 	if err != nil {
 		fatal(err)
@@ -487,17 +577,7 @@ func cmdStats(args []string) {
 	if l != nil {
 		l.Close() // read-only: the log stays for the daemon's checkpointer
 	}
-	st := sys.Stats()
-	fmt.Printf("documents:          %d\n", st.Documents)
-	fmt.Printf("element nodes:      %d\n", st.ElementNodes)
-	fmt.Printf("text nodes:         %d\n", st.TextNodes)
-	fmt.Printf("attribute nodes:    %d\n", st.AttributeNodes)
-	fmt.Printf("repeating nodes:    %d\n", st.RepeatingNodes)
-	fmt.Printf("entity nodes:       %d\n", st.EntityNodes)
-	fmt.Printf("connecting nodes:   %d\n", st.ConnectingNodes)
-	fmt.Printf("distinct keywords:  %d\n", st.DistinctKeywords)
-	fmt.Printf("posting entries:    %d\n", st.PostingEntries)
-	fmt.Printf("max depth:          %d\n", st.MaxDepth)
+	printStats(sys.Stats())
 	if *top > 0 {
 		single, ok := sys.(*gks.System)
 		if !ok {
@@ -519,6 +599,33 @@ func cmdStats(args []string) {
 		}
 		fmt.Printf("elements per depth: %v\n", single.DepthHistogram())
 	}
+}
+
+func printStats(st gks.IndexStats) {
+	fmt.Printf("documents:          %d\n", st.Documents)
+	fmt.Printf("element nodes:      %d\n", st.ElementNodes)
+	fmt.Printf("text nodes:         %d\n", st.TextNodes)
+	fmt.Printf("attribute nodes:    %d\n", st.AttributeNodes)
+	fmt.Printf("repeating nodes:    %d\n", st.RepeatingNodes)
+	fmt.Printf("entity nodes:       %d\n", st.EntityNodes)
+	fmt.Printf("connecting nodes:   %d\n", st.ConnectingNodes)
+	fmt.Printf("distinct keywords:  %d\n", st.DistinctKeywords)
+	fmt.Printf("posting entries:    %d\n", st.PostingEntries)
+	fmt.Printf("max depth:          %d\n", st.MaxDepth)
+}
+
+// hasWALTail reports whether cmdStats must fold a write-ahead log before
+// reporting — mirroring foldWALTail's detection rules — which forces the
+// full snapshot load.
+func hasWALTail(indexPath, walDir string) bool {
+	switch {
+	case walDir == "off":
+		return false
+	case walDir == "":
+		fi, err := os.Stat(indexPath + ".wal")
+		return err == nil && fi.IsDir()
+	}
+	return true
 }
 
 func cmdXPath(args []string) {

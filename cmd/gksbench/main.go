@@ -9,7 +9,7 @@
 //
 // Experiments: table1, table4, table5, table7, table8, fig8, fig9, fig10,
 // fig8s, refine, feedback, hybrid, naive, schema, formats, meaning, fslca,
-// recursive, shard, query, ingest, replica, or "all" (default).
+// recursive, shard, query, ingest, replica, segment, or "all" (default).
 //
 // With -json-dir every experiment additionally writes its typed rows as
 // BENCH_<name>.json into the directory — a machine-readable record of the
@@ -281,6 +281,16 @@ func main() {
 		fmt.Fprintln(out, "== Replicated serving: read scale-out across WAL-shipped replicas ==")
 		emit("replica", r)
 		experiments.PrintReplicaBench(out, r)
+		fmt.Fprintln(out)
+	}
+	if run("segment") {
+		r, err := experiments.SegmentBench(*scale, 0)
+		if err != nil {
+			fail("segment", err)
+		}
+		fmt.Fprintln(out, "== Segment serving: GKS4 block-compressed segments vs GKS3 in-memory snapshots ==")
+		emit("segment", r)
+		experiments.PrintSegmentBench(out, r)
 		fmt.Fprintln(out)
 	}
 }

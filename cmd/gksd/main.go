@@ -57,6 +57,7 @@ import (
 	gks "repro"
 	"repro/internal/obs"
 	"repro/internal/replica"
+	"repro/internal/segment"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -79,10 +80,18 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 64, "durable mutations between background WAL checkpoints (0 = checkpoint only at shutdown)")
 	follow := flag.String("follow", "", "run as a replication follower of this leader base URL (requires -index; mutations are rejected locally)")
 	replicaMaxLag := flag.Uint64("replica-max-lag", 4096, "with -follow: record lag beyond which /healthz?ready reports not ready")
+	blockCacheMB := flag.Int("block-cache-mb", 64, "posting-block cache capacity in MiB when serving a GKS4 segment (the process-wide budget, shared across hot reloads)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "gksd ", log.LstdFlags)
 	reg := obs.NewRegistry()
+
+	// One block cache for the whole process: hot reloads open a fresh
+	// segment reader per generation, but they all charge the same byte
+	// budget, so -block-cache-mb bounds resident posting blocks globally
+	// rather than per generation. Idle (zero-cost) unless a GKS4 segment
+	// is actually served.
+	blockCache := segment.NewBlockCacheMetrics(int64(*blockCacheMB)<<20, reg)
 
 	// A follower mirrors a leader's WAL into local state: it needs the
 	// single-index + WAL configuration, and nothing else makes sense.
@@ -134,7 +143,10 @@ func main() {
 			}
 			sys = set
 		case *indexPath != "":
-			sys, err = gks.LoadIndexFile(*indexPath)
+			sys, err = gks.LoadIndexFileOpts(*indexPath, gks.SegmentOptions{
+				Cache:   blockCache,
+				Metrics: reg,
+			})
 		default:
 			err = fmt.Errorf("provide -index, -index-manifest or -files")
 		}
@@ -257,10 +269,17 @@ func main() {
 			return set.SaveManifest(*manifestPath)
 		}
 	case *indexPath != "":
+		// Preserve the boot file's physical format: a daemon booted from a
+		// GKS4 segment checkpoints GKS4 segments back, so the next boot (or
+		// an offline gks command) sees the same layout it started with.
+		bootIsSegment := segment.IsSegmentFile(*indexPath)
 		persist = func(sys gks.Searcher) error {
 			single, ok := sys.(*gks.System)
 			if !ok {
 				return fmt.Errorf("cannot persist %T to single-index snapshot %s", sys, *indexPath)
+			}
+			if bootIsSegment {
+				return single.SaveSegmentFile(*indexPath)
 			}
 			return single.SaveIndexFile(*indexPath)
 		}

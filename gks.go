@@ -31,11 +31,14 @@ import (
 	"io"
 	"sync"
 
+	"errors"
+
 	"repro/internal/core"
 	"repro/internal/di"
 	"repro/internal/index"
 	"repro/internal/lca"
 	"repro/internal/schema"
+	"repro/internal/segment"
 	"repro/internal/snippet"
 	"repro/internal/textproc"
 	"repro/internal/xmltree"
@@ -82,6 +85,7 @@ type System struct {
 	engine *core.Engine
 	an     *di.Analyzer
 	repo   *xmltree.Repository // nil when loaded from a saved index
+	seg    *segment.Reader     // nil unless loaded from a GKS4 segment
 
 	vocabOnce sync.Once
 	vocab     map[string]int
@@ -217,13 +221,68 @@ func LoadIndex(r io.Reader) (*System, error) {
 	return newSystem(ix, nil), nil
 }
 
-// LoadIndexFile restores a system from an index file.
+// LoadIndexFile restores a system from an index file of any persisted
+// format: a GKS4 segment is opened lazily (footer + meta only, posting
+// blocks fetched on demand behind the default block cache); GKS3/GKSI/gob
+// files decode fully into memory as before.
 func LoadIndexFile(path string) (*System, error) {
+	return LoadIndexFileOpts(path, SegmentOptions{})
+}
+
+// SegmentOptions tunes how a GKS4 segment is served when a load hits one;
+// the zero value is ready to use. They are ignored for eager formats.
+type SegmentOptions struct {
+	// Cache is a shared block cache (see segment.NewBlockCache); nil gives
+	// the reader a private cache of CacheBytes capacity. Sharing one cache
+	// across hot-reload generations keeps the process-wide block budget a
+	// single number.
+	Cache *segment.BlockCache
+	// CacheBytes is the private cache capacity when Cache is nil; 0 means
+	// segment.DefaultCacheBytes.
+	CacheBytes int64
+	// Metrics receives block-cache and block-fetch observations (the obs
+	// Registry implements it). Nil discards them.
+	Metrics segment.Metrics
+}
+
+// LoadIndexFileOpts is LoadIndexFile with explicit segment-serving
+// options.
+func LoadIndexFileOpts(path string, opts SegmentOptions) (*System, error) {
+	if segment.IsSegmentFile(path) {
+		r, err := segment.OpenFile(path, segment.Options{
+			Cache:      opts.Cache,
+			CacheBytes: opts.CacheBytes,
+			Metrics:    opts.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys := newSystem(r.Index(), nil)
+		sys.seg = r
+		return sys, nil
+	}
 	ix, err := index.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	return newSystem(ix, nil), nil
+}
+
+// Segment returns the GKS4 segment reader backing this system, or nil
+// when the index is fully resident (built in process or loaded from an
+// eager format).
+func (s *System) Segment() *segment.Reader { return s.seg }
+
+// CloseIndex releases the resources of a segment-backed system (the file
+// descriptor and its block-cache share). It must only be called once no
+// searches are in flight; retired hot-reload generations that cannot
+// guarantee that simply drop the System and let the finalizer reclaim the
+// descriptor. No-op for fully resident systems.
+func (s *System) CloseIndex() error {
+	if s.seg == nil {
+		return nil
+	}
+	return s.seg.Close()
 }
 
 func newSystem(ix *index.Index, repo *xmltree.Repository) *System {
@@ -244,8 +303,42 @@ func (s *System) SaveIndexFile(path string) error { return s.ix.SaveFile(path) }
 // SaveSnapshot streams the index in the checksummed snapshot format (v3)
 // — the same bytes SaveIndexFile writes, without the atomic-file
 // discipline. The replication leader uses it to serve point-in-time
-// snapshots to joining followers over HTTP.
+// snapshots to joining followers over HTTP. A segment-backed system
+// streams its lists from the segment one at a time, so a leader serving
+// a corpus larger than RAM stays memory-bounded here too.
 func (s *System) SaveSnapshot(w io.Writer) error { return s.ix.SaveSnapshot(w) }
+
+// SaveSegmentFile persists the index as a GKS4 block-compressed segment
+// at path, atomically. A segment-loaded system round-trips without
+// materializing its postings; an in-memory system converts down. This is
+// the `gks index -format=gks4` / `gks convert` backend.
+func (s *System) SaveSegmentFile(path string) error {
+	return segment.WriteFile(path, s.ix)
+}
+
+// ReadIndexStats returns the statistics of a persisted index at path
+// without building a searchable system, using the cheapest path the
+// format allows: a GKS4 segment reads only its footer (no posting block,
+// not even the node table is decoded); a GKS3 snapshot is skimmed in one
+// streaming, CRC-verified pass with O(1) memory; legacy GKSI/gob files
+// fall back to a full decode.
+func ReadIndexStats(path string) (IndexStats, error) {
+	if segment.IsSegmentFile(path) {
+		return segment.ReadStats(path)
+	}
+	st, err := index.SkimSnapshotStats(path)
+	if err == nil {
+		return st, nil
+	}
+	if !errors.Is(err, index.ErrSkimUnsupported) {
+		return IndexStats{}, err
+	}
+	ix, err := index.LoadFile(path)
+	if err != nil {
+		return IndexStats{}, err
+	}
+	return ix.Stats, nil
+}
 
 // ValidateIndex checks the structural invariants of the underlying index
 // (label/parent/subtree ranges, sorted posting lists). The gksd reload
@@ -494,7 +587,9 @@ type Suggestion = textproc.Suggestion
 // did-you-mean for keywords with empty posting lists.
 func (s *System) Suggest(keyword string, maxDist, topK int) []Suggestion {
 	s.vocabOnce.Do(func() {
-		s.vocab = make(map[string]int, len(s.ix.Postings))
+		// Stats.DistinctKeywords sizes the map for lazy indexes too, where
+		// the Postings map is nil but the term directory is resident.
+		s.vocab = make(map[string]int, s.ix.Stats.DistinctKeywords)
 		s.ix.ForEachKeyword(func(kw string, live int) {
 			s.vocab[kw] = live
 		})

@@ -31,6 +31,9 @@ func (e *Engine) SearchBaseline(q Query, s int) (*Response, error) {
 	for i, kw := range q.Keywords {
 		lists[i] = e.postings(kw)
 	}
+	if err := e.ix.LazyErr(); err != nil {
+		return nil, err
+	}
 	sl := merge.MergeHeap(lists)
 	resp.SLSize = len(sl)
 	if len(sl) == 0 {

@@ -193,6 +193,13 @@ func (e *Engine) collectCandidates(ctx context.Context, q Query, s int) (*Respon
 		lists = append(lists, e.postings(kw))
 	}
 	a.lists = lists
+	// On a lazily-backed (segment) index a failed block fetch surfaces as
+	// an empty list plus a poisoned index; fail the query loudly rather
+	// than answering from partial postings.
+	if err := e.ix.LazyErr(); err != nil {
+		e.releaseArena(a)
+		return nil, nil, nil, err
+	}
 	sl, err := merge.MergeInto(ctx, lists, a.sl)
 	if err != nil {
 		e.releaseArena(a)
@@ -450,7 +457,10 @@ func ResultBefore(a, b Result) bool {
 // PostingLists resolves every query keyword to its posting list (phrase
 // keywords intersect their token lists node-wise). The LCA baselines use
 // it so that baseline comparisons search exactly the same keyword
-// instances as the GKS engine.
+// instances as the GKS engine. On a lazily-backed index a fetch failure
+// yields empty lists here; callers that must distinguish broken storage
+// from absent keywords check Index.LazyErr afterwards, as the search
+// paths do.
 func (e *Engine) PostingLists(q Query) [][]int32 {
 	lists := make([][]int32, q.Len())
 	for i, kw := range q.Keywords {

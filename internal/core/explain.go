@@ -81,6 +81,9 @@ func (e *Engine) ExplainCtx(ctx context.Context, q Query, s int) (*Explanation, 
 		lists[i] = e.postings(kw)
 		ex.PostingSizes = append(ex.PostingSizes, len(lists[i]))
 	}
+	if err := e.ix.LazyErr(); err != nil {
+		return nil, err
+	}
 	sl := merge.Merge(lists)
 	ex.SLSize = len(sl)
 	if err := ctx.Err(); err != nil {

@@ -35,6 +35,12 @@ func AppendAs(ix *Index, doc *xmltree.Document, docID int32, opts Options) (*Ind
 	if ix == nil {
 		return nil, fmt.Errorf("index: append to nil index")
 	}
+	// The merge reads Postings maps directly, so a lazily-backed base is
+	// materialized up front (before doc is touched, like validation).
+	ix, err := ix.Materialized()
+	if err != nil {
+		return nil, err
+	}
 	// Validation (and any Build failure) happens before the base is
 	// touched and restores doc on error; only a fully built partial index
 	// reaches the merge, which cannot fail on well-formed parts.

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 
 	"repro/internal/dewey"
 	"repro/internal/postings"
@@ -34,71 +33,97 @@ const binaryMagic = "GKSI"
 
 const binaryVersion = 2
 
-// SaveBinary writes the index in the compact binary format. A tombstoned
-// index is compacted first — the on-disk formats have no notion of a
-// delete mask.
-func (ix *Index) SaveBinary(w io.Writer) error {
-	ix = ix.Compacted()
-	bw := bufio.NewWriter(w)
-	var scratch []byte
-	writeUvarint := func(v uint64) {
-		scratch = binary.AppendUvarint(scratch[:0], v)
-		bw.Write(scratch)
-	}
-	writeString := func(s string) {
-		writeUvarint(uint64(len(s)))
-		bw.WriteString(s)
-	}
+// binWriter bundles the buffered writer and varint scratch the binary
+// encoders share.
+type binWriter struct {
+	bw      *bufio.Writer
+	scratch []byte
+}
 
-	bw.WriteString(binaryMagic)
-	writeUvarint(binaryVersion)
+func (w *binWriter) uvarint(v uint64) {
+	w.scratch = binary.AppendUvarint(w.scratch[:0], v)
+	w.bw.Write(w.scratch)
+}
 
-	writeUvarint(uint64(len(ix.Labels)))
+func (w *binWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.bw.WriteString(s)
+}
+
+// writeMeta writes the labels/docs/nodes sections in the v2 encoding —
+// the part of the format shared between SaveBinary and the GKS4 segment
+// meta section.
+func (w *binWriter) writeMeta(ix *Index) {
+	w.uvarint(uint64(len(ix.Labels)))
 	for _, l := range ix.Labels {
-		writeString(l)
+		w.str(l)
 	}
-	writeUvarint(uint64(len(ix.DocNames)))
+	w.uvarint(uint64(len(ix.DocNames)))
 	for _, d := range ix.DocNames {
-		writeString(d)
+		w.str(d)
 	}
 
-	writeUvarint(uint64(len(ix.Nodes)))
+	w.uvarint(uint64(len(ix.Nodes)))
 	for i := range ix.Nodes {
 		n := &ix.Nodes[i]
-		scratch = n.ID.AppendBinary(scratch[:0])
-		bw.Write(scratch)
-		writeUvarint(uint64(n.Label))
-		bw.WriteByte(byte(n.Cat))
-		writeUvarint(uint64(n.ChildCount))
-		writeUvarint(uint64(n.Subtree))
-		writeUvarint(uint64(n.Parent + 1))
+		w.scratch = n.ID.AppendBinary(w.scratch[:0])
+		w.bw.Write(w.scratch)
+		w.uvarint(uint64(n.Label))
+		w.bw.WriteByte(byte(n.Cat))
+		w.uvarint(uint64(n.ChildCount))
+		w.uvarint(uint64(n.Subtree))
+		w.uvarint(uint64(n.Parent + 1))
 		if n.HasValue {
-			bw.WriteByte(1)
-			writeString(n.Value)
+			w.bw.WriteByte(1)
+			w.str(n.Value)
 		} else {
-			bw.WriteByte(0)
+			w.bw.WriteByte(0)
 		}
 	}
+}
 
-	// Keywords are written sorted so the format is deterministic.
-	keys := make([]string, 0, len(ix.Postings))
-	for k := range ix.Postings {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	writeUvarint(uint64(len(keys)))
-	for _, k := range keys {
-		writeString(k)
-		list := ix.Postings[k]
-		writeUvarint(uint64(len(list)))
-		scratch = postings.Encode(scratch[:0], list)
-		bw.Write(scratch)
+// EncodeMeta writes the labels, document names and node table in the v2
+// encoding, without magic or version framing. This is the GKS4 segment
+// meta section (internal/segment); DecodeMeta is its inverse. A
+// tombstoned index must be compacted by the caller first.
+func EncodeMeta(w io.Writer, ix *Index) error {
+	bw := &binWriter{bw: bufio.NewWriter(w)}
+	bw.writeMeta(ix)
+	return bw.bw.Flush()
+}
+
+// SaveBinary writes the index in the compact binary format. A tombstoned
+// index is compacted first — the on-disk formats have no notion of a
+// delete mask — and a lazily-backed index streams its lists from the
+// source one at a time, so serializing never materializes the postings.
+func (ix *Index) SaveBinary(w io.Writer) error {
+	ix = ix.Compacted()
+	bw := &binWriter{bw: bufio.NewWriter(w)}
+
+	bw.bw.WriteString(binaryMagic)
+	bw.uvarint(binaryVersion)
+	bw.writeMeta(ix)
+
+	// Keywords are written sorted so the format is deterministic. A
+	// separate buffer keeps list encoding off bw.scratch, which the
+	// uvarint helper reuses.
+	var encBuf []byte
+	bw.uvarint(uint64(ix.keywordCount()))
+	err := ix.ForEachKeywordSorted(func(k string, list []int32) error {
+		bw.str(k)
+		bw.uvarint(uint64(len(list)))
+		encBuf = postings.Encode(encBuf[:0], list)
+		bw.bw.Write(encBuf)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	for _, v := range ix.Stats.fields() {
-		writeUvarint(uint64(v))
+		bw.uvarint(uint64(v))
 	}
-	return bw.Flush()
+	return bw.bw.Flush()
 }
 
 // fields flattens Stats for serialization; order is part of the format.
@@ -189,12 +214,106 @@ func loadBinaryAfterMagic(br *bufio.Reader, size int64) (*Index, error) {
 	}
 
 	ix := &Index{Postings: make(map[string][]int32), labelIDs: make(map[string]int32)}
+	if err := readMetaInto(br, size, ix); err != nil {
+		return nil, err
+	}
+
+	nKeys, err := readUvarint()
+	if err != nil {
+		return fail("keyword count", err)
+	}
+	if _, err := boundedCount("keyword count", nKeys, 1, size, 1<<31); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nKeys; i++ {
+		key, err := readString()
+		if err != nil {
+			return fail("keyword", err)
+		}
+		rawN, err := readUvarint()
+		if err != nil {
+			return fail("posting count", err)
+		}
+		n, err := boundedCount("posting count", rawN, 1, size, 1<<31)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]int32, 0, min(n, preallocCap))
+		prev := int32(-1)
+		for j := 0; j < n; j++ {
+			d, err := readUvarint()
+			if err != nil {
+				return fail("posting delta", err)
+			}
+			// A zero delta would decode a duplicate ordinal — lists are
+			// strictly increasing by invariant, and the save-path codec
+			// enforces it, so accepting one here would plant a panic in a
+			// later save.
+			if d == 0 {
+				return nil, corruptf("binary load: keyword %q: zero posting delta", key)
+			}
+			prev += int32(d)
+			list = append(list, prev)
+		}
+		ix.Postings[key] = list
+	}
+
+	vals := make([]int, statsFieldCount)
+	for i := range vals {
+		v, err := readUvarint()
+		if err != nil {
+			return fail("stats", err)
+		}
+		vals[i] = int(v)
+	}
+	ix.Stats.setFields(vals)
+	return ix, nil
+}
+
+// DecodeMeta reads the labels/docs/nodes sections written by EncodeMeta
+// into a fresh Index with no posting lists and zero statistics — the
+// skeleton internal/segment hands to NewLazy. size bounds allocations as
+// in Load; damaged input fails with ErrCorrupt.
+func DecodeMeta(r io.Reader, size int64) (*Index, error) {
+	br := bufio.NewReader(r)
+	ix := &Index{labelIDs: make(map[string]int32)}
+	if err := readMetaInto(br, size, ix); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// readMetaInto decodes the labels/docs/nodes sections (the writeMeta
+// layout) into ix. size bounds pre-allocations as in loadBinaryAfterMagic.
+func readMetaInto(br *bufio.Reader, size int64, ix *Index) error {
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readString := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<28 || (size >= 0 && n > uint64(size)) {
+			return "", corruptf("binary load: implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	fail := func(what string, err error) error {
+		if errors.Is(err, ErrCorrupt) {
+			return err
+		}
+		return corruptf("binary load: %s: %v", what, err)
+	}
+
 	nLabels, err := readUvarint()
 	if err != nil {
 		return fail("label count", err)
 	}
 	if _, err := boundedCount("label count", nLabels, 1, size, 1<<31); err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint64(0); i < nLabels; i++ {
 		l, err := readString()
@@ -209,7 +328,7 @@ func loadBinaryAfterMagic(br *bufio.Reader, size int64) (*Index, error) {
 		return fail("doc count", err)
 	}
 	if _, err := boundedCount("doc count", nDocs, 1, size, 1<<31); err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint64(0); i < nDocs; i++ {
 		d, err := readString()
@@ -227,7 +346,7 @@ func loadBinaryAfterMagic(br *bufio.Reader, size int64) (*Index, error) {
 	// category + child count + subtree + parent + has-value flag).
 	nNodes, err := boundedCount("node count", rawNodes, 8, size, 1<<31)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	ix.Nodes = make([]NodeInfo, 0, min(nNodes, preallocCap))
 	for i := 0; i < nNodes; i++ {
@@ -274,50 +393,7 @@ func loadBinaryAfterMagic(br *bufio.Reader, size int64) (*Index, error) {
 		}
 		ix.Nodes = append(ix.Nodes, n)
 	}
-
-	nKeys, err := readUvarint()
-	if err != nil {
-		return fail("keyword count", err)
-	}
-	if _, err := boundedCount("keyword count", nKeys, 1, size, 1<<31); err != nil {
-		return nil, err
-	}
-	for i := uint64(0); i < nKeys; i++ {
-		key, err := readString()
-		if err != nil {
-			return fail("keyword", err)
-		}
-		rawN, err := readUvarint()
-		if err != nil {
-			return fail("posting count", err)
-		}
-		n, err := boundedCount("posting count", rawN, 1, size, 1<<31)
-		if err != nil {
-			return nil, err
-		}
-		list := make([]int32, 0, min(n, preallocCap))
-		prev := int32(-1)
-		for j := 0; j < n; j++ {
-			d, err := readUvarint()
-			if err != nil {
-				return fail("posting delta", err)
-			}
-			prev += int32(d)
-			list = append(list, prev)
-		}
-		ix.Postings[key] = list
-	}
-
-	vals := make([]int, statsFieldCount)
-	for i := range vals {
-		v, err := readUvarint()
-		if err != nil {
-			return fail("stats", err)
-		}
-		vals[i] = int(v)
-	}
-	ix.Stats.setFields(vals)
-	return ix, nil
+	return nil
 }
 
 // readDewey decodes one varint-framed Dewey ID from the reader.

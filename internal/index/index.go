@@ -110,6 +110,11 @@ type Index struct {
 	// or compacted one. It is never persisted: save paths compact first.
 	// See mutate.go.
 	tomb *tombstones
+
+	// lazy, when non-nil, serves posting lists from a PostingSource (a
+	// GKS4 segment) instead of the Postings map, which stays nil. Never
+	// set together with tomb: mutations materialize first. See lazy.go.
+	lazy *lazyState
 }
 
 // Stats aggregates the counters reported in the paper's §7.1–7.2.
@@ -219,16 +224,25 @@ func (b *builder) walk(n *xmltree.Node, isRep bool, parent int32, depth int) (qu
 	}
 
 	// Inverted-index entries are emitted pre-order so every posting list is
-	// automatically sorted in Dewey order (§2.4).
+	// automatically sorted in Dewey order (§2.4). The label keyword seeds
+	// the value-token dedup: a text value containing the element's own name
+	// (an <author> node whose text says "author") must not post the same
+	// ordinal twice — posting lists are strictly increasing by invariant,
+	// and the codec enforces it.
+	var labelKey string
 	if b.opts.IndexElementNames {
 		if key := textproc.NormalizeKeyword(n.Label); key != "" {
 			b.post(key, ord)
+			labelKey = key
 		}
 	}
 	value, hasText := directTextValue(n)
 	if hasText {
 		ix.Stats.TextNodes += countTextChildren(n)
 		seen := map[string]bool{}
+		if labelKey != "" {
+			seen[labelKey] = true
+		}
 		for _, tok := range textproc.Normalize(value) {
 			if !seen[tok] {
 				seen[tok] = true

@@ -77,7 +77,20 @@ func (ix *Index) LiveOrd(ord int32) bool {
 // (allocation-free, the common case); otherwise a filtered copy. A fully
 // dead list returns nil, indistinguishable from an absent keyword. The
 // returned slice must not be modified.
+//
+// On a lazily-backed index the list is fetched from the posting source; a
+// fetch failure poisons the index (it returns nil here, and LazyErr
+// reports the failure — the query engine checks it after gathering
+// lists, so broken storage fails queries instead of emptying them).
 func (ix *Index) PostingsFor(key string) []int32 {
+	if ix.lazy != nil {
+		list, err := ix.lazy.src.Postings(key)
+		if err != nil {
+			ix.lazy.poison(err)
+			return nil
+		}
+		return list
+	}
 	list := ix.Postings[key]
 	if ix.tomb == nil {
 		return list
@@ -108,6 +121,16 @@ func (ix *Index) PostingsFor(key string) []int32 {
 // passing the live posting count. Iteration order is unspecified (map
 // order), matching a range over Postings on an untombstoned index.
 func (ix *Index) ForEachKeyword(f func(keyword string, live int)) {
+	if ix.lazy != nil {
+		// The term directory is resident in the source, so this performs
+		// no I/O and cannot fail — vocabulary walks (Suggest, top
+		// keywords) stay cheap on a segment-backed index.
+		ix.lazy.src.ForEachTerm(func(term string, count int) error {
+			f(term, count)
+			return nil
+		})
+		return
+	}
 	if ix.tomb == nil {
 		for kw, list := range ix.Postings {
 			f(kw, len(list))
@@ -206,6 +229,16 @@ func (ix *Index) NextDocID() int32 {
 // with ErrNotFound when no live document has the name and with
 // ErrLastDocument when the delete would empty the index.
 func (ix *Index) DeleteDoc(name string) (*Index, error) {
+	if ix.lazy != nil {
+		// Tombstoning needs the Postings map; mutation of a segment-backed
+		// index goes through an eager copy (the caller persists the result
+		// as a fresh snapshot or segment anyway).
+		m, err := ix.Materialized()
+		if err != nil {
+			return nil, err
+		}
+		ix = m
+	}
 	spans := ix.LiveDocSpans()
 	var doomed [][2]int32
 	for _, sp := range spans {

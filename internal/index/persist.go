@@ -29,6 +29,12 @@ const formatVersion = 1
 // A tombstoned index is compacted first: deletes never reach disk as
 // masks, so every load yields a plain immutable index.
 func (ix *Index) Save(w io.Writer) error {
+	// gob encodes the Postings map directly, so a lazily-backed index must
+	// be materialized first (SaveBinary/SaveSnapshot stream instead).
+	ix, err := ix.Materialized()
+	if err != nil {
+		return err
+	}
 	ix = ix.Compacted()
 	enc := gob.NewEncoder(w)
 	p := persisted{

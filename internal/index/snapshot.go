@@ -114,9 +114,13 @@ func loadSnapshotAfterMagic(br *bufio.Reader) (*Index, error) {
 	if payloadLen > 1<<62 {
 		return nil, corruptf("implausible snapshot payload length %d", payloadLen)
 	}
+	// A short read here is truncation inside the length-framed payload —
+	// corruption, not an environmental I/O failure, so it carries the same
+	// typed ErrCorrupt as every other framing violation (reload paths
+	// dispatch on it).
 	payload, err := io.ReadAll(io.LimitReader(br, int64(payloadLen)))
 	if err != nil {
-		return nil, fmt.Errorf("index: read snapshot payload: %w", err)
+		return nil, corruptf("read snapshot payload: %v", err)
 	}
 	if uint64(len(payload)) != payloadLen {
 		return nil, corruptf("truncated snapshot payload: %d of %d bytes", len(payload), payloadLen)

@@ -206,16 +206,22 @@ func (b *streamBuilder) openElement(label string, path []int32, depth int) opene
 	if depth > ix.Stats.MaxDepth {
 		ix.Stats.MaxDepth = depth
 	}
+	// The label keyword is pre-seeded into the frame's token dedup: a text
+	// value containing the element's own name (an <author> node whose text
+	// says "author") must not post the same ordinal twice — posting lists
+	// are strictly increasing by invariant, and the codec enforces it.
+	seen := map[string]bool{}
 	if b.opts.IndexElementNames {
 		if key := textproc.NormalizeKeyword(label); key != "" {
 			b.post(key, ord)
+			seen[key] = true
 		}
 	}
 	return openedFrame{
 		frame: &streamFrame{
 			ord:        ord,
 			depth:      depth,
-			seenTokens: map[string]bool{},
+			seenTokens: seen,
 			labelCount: map[int32]int{},
 		},
 		labelAlias: labelID,

@@ -133,6 +133,13 @@ type Registry struct {
 	replicaReconn    int64  // follower: stream reconnects
 	replicaInstalls  int64  // follower: snapshot installs
 
+	segEnabled  bool       // any block-cache series observed; gates the block
+	segHits     int64      // posting-block fetches served from the cache
+	segMisses   int64      // posting-block fetches that went to disk
+	segEvicts   int64      // blocks evicted to respect the byte capacity
+	segResident int64      // decompressed block bytes resident in the cache
+	segFetchDur *Histogram // disk block fetch latency (pread+CRC+inflate)
+
 	cacheStats func() (hits, misses int64)
 }
 
@@ -426,6 +433,63 @@ func (r *Registry) IncReplicaSnapshotInstall() {
 	r.replicaInstalls++
 }
 
+// BlockCacheHit counts a posting-block fetch served from the block cache.
+// It satisfies segment.Metrics.
+func (r *Registry) BlockCacheHit() {
+	r.mu.Lock()
+	r.segEnabled = true
+	r.segHits++
+	r.mu.Unlock()
+}
+
+// BlockCacheMiss counts a posting-block fetch that had to read disk. It
+// satisfies segment.Metrics.
+func (r *Registry) BlockCacheMiss() {
+	r.mu.Lock()
+	r.segEnabled = true
+	r.segMisses++
+	r.mu.Unlock()
+}
+
+// BlockCacheEvict counts a block evicted to respect the cache's byte
+// capacity. It satisfies segment.Metrics.
+func (r *Registry) BlockCacheEvict() {
+	r.mu.Lock()
+	r.segEnabled = true
+	r.segEvicts++
+	r.mu.Unlock()
+}
+
+// SetBlockCacheBytes records the decompressed block bytes resident in the
+// cache — the memory actually spent on postings when serving a GKS4
+// segment. It satisfies segment.Metrics.
+func (r *Registry) SetBlockCacheBytes(n int64) {
+	r.mu.Lock()
+	r.segEnabled = true
+	r.segResident = n
+	r.mu.Unlock()
+}
+
+// ObserveBlockFetch records one disk block fetch (pread + CRC check +
+// decompression) — cache misses only. It satisfies segment.Metrics.
+func (r *Registry) ObserveBlockFetch(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.segEnabled = true
+	if r.segFetchDur == nil {
+		r.segFetchDur = newHistogram(StageBuckets)
+	}
+	r.segFetchDur.observe(d.Seconds())
+}
+
+// BlockCacheStats returns the block-cache counters and resident-bytes
+// gauge for tests.
+func (r *Registry) BlockCacheStats() (hits, misses, evicts, residentBytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.segHits, r.segMisses, r.segEvicts, r.segResident
+}
+
 // ReplicaStats returns the replication counters for tests: leader-side
 // (streamed, snapshots) and follower-side (applied/leader LSNs,
 // reconnects, installs).
@@ -707,6 +771,38 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintln(w, "# HELP gks_replica_snapshot_installs_total Follower snapshot installs.")
 		fmt.Fprintln(w, "# TYPE gks_replica_snapshot_installs_total counter")
 		fmt.Fprintf(w, "gks_replica_snapshot_installs_total %d\n", r.replicaInstalls)
+	}
+
+	if r.segEnabled {
+		fmt.Fprintln(w, "# HELP gks_segment_block_cache_hits_total Posting-block fetches served from the block cache.")
+		fmt.Fprintln(w, "# TYPE gks_segment_block_cache_hits_total counter")
+		fmt.Fprintf(w, "gks_segment_block_cache_hits_total %d\n", r.segHits)
+
+		fmt.Fprintln(w, "# HELP gks_segment_block_cache_misses_total Posting-block fetches read from disk.")
+		fmt.Fprintln(w, "# TYPE gks_segment_block_cache_misses_total counter")
+		fmt.Fprintf(w, "gks_segment_block_cache_misses_total %d\n", r.segMisses)
+
+		fmt.Fprintln(w, "# HELP gks_segment_block_cache_evictions_total Blocks evicted to respect the cache byte capacity.")
+		fmt.Fprintln(w, "# TYPE gks_segment_block_cache_evictions_total counter")
+		fmt.Fprintf(w, "gks_segment_block_cache_evictions_total %d\n", r.segEvicts)
+
+		fmt.Fprintln(w, "# HELP gks_segment_block_cache_resident_bytes Decompressed posting-block bytes resident in the cache.")
+		fmt.Fprintln(w, "# TYPE gks_segment_block_cache_resident_bytes gauge")
+		fmt.Fprintf(w, "gks_segment_block_cache_resident_bytes %d\n", r.segResident)
+
+		if r.segFetchDur != nil {
+			h := r.segFetchDur
+			fmt.Fprintln(w, "# HELP gks_segment_block_fetch_duration_seconds Disk block fetch latency (pread + CRC + decompress).")
+			fmt.Fprintln(w, "# TYPE gks_segment_block_fetch_duration_seconds histogram")
+			cum := int64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i]
+				fmt.Fprintf(w, "gks_segment_block_fetch_duration_seconds_bucket{le=%q} %d\n", fmtFloat(bound), cum)
+			}
+			fmt.Fprintf(w, "gks_segment_block_fetch_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.count)
+			fmt.Fprintf(w, "gks_segment_block_fetch_duration_seconds_sum %s\n", fmtFloat(h.sum))
+			fmt.Fprintf(w, "gks_segment_block_fetch_duration_seconds_count %d\n", h.count)
+		}
 	}
 
 	if r.walFsyncDur != nil {
