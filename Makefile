@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke shard-race ingest-smoke wal-smoke replica-smoke segment-smoke bench-smoke bench-query bench-ingest bench-replica bench-segment check
+.PHONY: build vet test race bench fuzz-smoke shard-race ingest-smoke wal-smoke replica-smoke segment-smoke dag-smoke bench-smoke bench-query bench-ingest bench-replica bench-segment bench-dag check
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,17 @@ fuzz-smoke:
 segment-smoke:
 	$(GO) test -race -count=1 ./internal/segment
 	$(GO) test -race -count=1 -run 'TestSegment|TestReadIndexStats' .
+
+# Packed node-table smoke: the differential property tests for the
+# DAG-compressed representation — a packed system must answer the entire
+# read surface identically to the flat system, across random mutation
+# histories (packed Compacted() vs cold rebuild) and under concurrent
+# search — plus the segment differentials, which exercise the packed meta
+# codec through save/reload churn (the GKS4 writer packs by default). All
+# under the race detector.
+dag-smoke:
+	$(GO) test -race -count=1 -run 'TestPacked|TestSegmentDifferential|TestSegmentMutation|TestSegmentEviction' .
+	$(GO) test -race -count=1 -run 'TestPack|TestNodeTableBytes|TestRandomMutations' ./internal/index
 
 # Live-ingestion smoke: the full HTTP mutation lifecycle (add → replace →
 # delete, persistence round-trips, durability failure modes, metrics) in
@@ -118,4 +129,13 @@ bench-segment:
 	$(GO) run ./cmd/gksbench -exp segment -json-dir $$tmp > /dev/null && \
 	test -s $$tmp/BENCH_segment.json && echo "bench-segment: BENCH_segment.json OK" && rm -rf $$tmp
 
-check: build vet race fuzz-smoke wal-smoke replica-smoke segment-smoke shard-race ingest-smoke bench-smoke bench-query bench-ingest bench-replica bench-segment
+# One-shot DAG-compression smoke: runs the flat-vs-packed node-table
+# experiment (which diffs every query's responses between the two engines
+# as it measures) and checks it emits the JSON artifact (the recorded
+# scale-10 run lives in BENCH_dag.json).
+bench-dag:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/gksbench -exp dag -json-dir $$tmp > /dev/null && \
+	test -s $$tmp/BENCH_dag.json && echo "bench-dag: BENCH_dag.json OK" && rm -rf $$tmp
+
+check: build vet race fuzz-smoke wal-smoke replica-smoke segment-smoke dag-smoke shard-race ingest-smoke bench-smoke bench-query bench-ingest bench-replica bench-segment bench-dag

@@ -9,7 +9,8 @@
 //
 // Experiments: table1, table4, table5, table7, table8, fig8, fig9, fig10,
 // fig8s, refine, feedback, hybrid, naive, schema, formats, meaning, fslca,
-// recursive, shard, query, ingest, replica, segment, or "all" (default).
+// recursive, shard, query, ingest, replica, segment, dag, or "all"
+// (default).
 //
 // With -json-dir every experiment additionally writes its typed rows as
 // BENCH_<name>.json into the directory — a machine-readable record of the
@@ -291,6 +292,16 @@ func main() {
 		fmt.Fprintln(out, "== Segment serving: GKS4 block-compressed segments vs GKS3 in-memory snapshots ==")
 		emit("segment", r)
 		experiments.PrintSegmentBench(out, r)
+		fmt.Fprintln(out)
+	}
+	if run("dag") {
+		r, err := experiments.DAGBench(*scale)
+		if err != nil {
+			fail("dag", err)
+		}
+		fmt.Fprintln(out, "== DAG-compressed node table: flat vs packed across duplicate-subtree fractions ==")
+		emit("dag", r)
+		experiments.PrintDAGBench(out, r)
 		fmt.Fprintln(out)
 	}
 }

@@ -473,7 +473,7 @@ func (s *System) ELCA(q Query) []string {
 func (s *System) ordsToIDs(ords []int32) []string {
 	out := make([]string, len(ords))
 	for i, o := range ords {
-		out[i] = s.ix.Nodes[o].ID.String()
+		out[i] = s.ix.IDOf(o).String()
 	}
 	return out
 }
@@ -514,6 +514,12 @@ func (s *System) ApplySchemaCategorization() int {
 	return schema.Apply(s.ix, schema.Infer(s.ix).Categorize(s.ix))
 }
 
+// NodeTableBytes reports the exact heap footprint of the index's node
+// table backing storage — flat NodeInfo records or the packed
+// (DAG-compressed) arrays, whichever representation the system serves
+// from. See index.NodeTableBytes.
+func (s *System) NodeTableBytes() int64 { return s.ix.NodeTableBytes() }
+
 // CategoryOf reports the node categorization of the element with the given
 // Dewey ID string (e.g. "0.0.1"), and whether the node exists.
 func (s *System) CategoryOf(deweyID string) (Category, bool) {
@@ -525,7 +531,7 @@ func (s *System) CategoryOf(deweyID string) (Category, bool) {
 	if !ok {
 		return 0, false
 	}
-	return s.ix.Nodes[ord].Cat, true
+	return s.ix.CatOf(ord), true
 }
 
 // AddDocuments indexes additional documents into the system. The

@@ -47,7 +47,7 @@ func (e *Engine) acquireArena() *queryArena {
 	if a, ok := e.arenas.Get().(*queryArena); ok {
 		return a
 	}
-	n := len(e.ix.Nodes)
+	n := e.ix.NodeCount()
 	return &queryArena{
 		lcpCount: make([]int32, n),
 		candIdx:  make([]int32, n),

@@ -53,17 +53,17 @@ func (e *Engine) SearchBaseline(q Query, s int) (*Response, error) {
 	byOrd := make(map[int32]*candidate)
 	for ord, count := range lcpCounts {
 		lifted := ord
-		for e.ix.Nodes[lifted].Cat&index.Attribute != 0 && e.ix.Nodes[lifted].Parent >= 0 {
-			lifted = e.ix.Nodes[lifted].Parent
+		for e.ix.CatOf(lifted)&index.Attribute != 0 && e.ix.ParentOf(lifted) >= 0 {
+			lifted = e.ix.ParentOf(lifted)
 		}
 		final, isEntity := lifted, false
 		if ent, ok := e.ix.LowestEntityAncestorOrSelf(lifted); ok {
 			final, isEntity = ent, true
 		}
-		if len(e.ix.Nodes[final].ID.Path) == 1 && final != lifted {
+		if e.ix.DepthOf(final) == 0 && final != lifted {
 			final, isEntity = lifted, false
 		}
-		if len(e.ix.Nodes[final].ID.Path) == 1 {
+		if e.ix.DepthOf(final) == 0 {
 			continue
 		}
 		c := byOrd[final]

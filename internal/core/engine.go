@@ -262,21 +262,21 @@ func (e *Engine) collectCandidates(ctx context.Context, q Query, s int) (*Respon
 	for _, ord := range a.touched {
 		count := int(a.lcpCount[ord])
 		lifted := ord
-		for e.ix.Nodes[lifted].Cat&index.Attribute != 0 && e.ix.Nodes[lifted].Parent >= 0 {
-			lifted = e.ix.Nodes[lifted].Parent
+		for e.ix.CatOf(lifted)&index.Attribute != 0 && e.ix.ParentOf(lifted) >= 0 {
+			lifted = e.ix.ParentOf(lifted)
 		}
 		final, isEntity := lifted, false
 		if ent, ok := e.ix.LowestEntityAncestorOrSelf(lifted); ok {
 			final, isEntity = ent, true
 		}
-		if len(e.ix.Nodes[final].ID.Path) == 1 && final != lifted {
+		if e.ix.DepthOf(final) == 0 && final != lifted {
 			// The entity lift landed on a document root. Roots are never
 			// meaningful responses (§1, Example 1), so keep the original
 			// LCP node as a plain candidate instead of discarding the
 			// match altogether.
 			final, isEntity = lifted, false
 		}
-		if len(e.ix.Nodes[final].ID.Path) == 1 {
+		if e.ix.DepthOf(final) == 0 {
 			// Document roots are never meaningful responses (§1,
 			// Example 1: "'r' is not a meaningful response as it is
 			// available to the user even in the absence of any query").
@@ -409,10 +409,9 @@ func computeMasks(ix *index.Index, cands []*candidate, sl []merge.Entry, scratch
 func (e *Engine) rankCandidate(c *candidate, sl []merge.Entry) Result {
 	start, end := e.ix.SubtreeRange(c.ord)
 	lo, hi := merge.OrdRange(sl, start, end)
-	info := &e.ix.Nodes[c.ord]
 	return Result{
 		Ord:          c.ord,
-		ID:           info.ID,
+		ID:           e.ix.IDOf(c.ord),
 		Label:        e.ix.LabelOf(c.ord),
 		IsEntity:     c.isEntity,
 		Mask:         c.mask,
@@ -515,18 +514,18 @@ func intersectSorted(a, b []int32) []int32 {
 // baseline pipeline retains the Dewey-prefix variant (lcpNodeDewey), so
 // the differential tests cross-check two independent LCA constructions.
 func (e *Engine) lcpNode(a, b int32) (int32, bool) {
-	nodes := e.ix.Nodes
-	da, db := len(nodes[a].ID.Path), len(nodes[b].ID.Path)
+	ix := e.ix
+	da, db := ix.DepthOf(a), ix.DepthOf(b)
 	for da > db {
-		a = nodes[a].Parent
+		a = ix.ParentOf(a)
 		da--
 	}
 	for db > da {
-		b = nodes[b].Parent
+		b = ix.ParentOf(b)
 		db--
 	}
 	for a != b {
-		pa, pb := nodes[a].Parent, nodes[b].Parent
+		pa, pb := ix.ParentOf(a), ix.ParentOf(b)
 		if pa < 0 || pb < 0 {
 			return 0, false // different documents: no common ancestor
 		}
@@ -541,7 +540,7 @@ func (e *Engine) lcpNodeDewey(a, b int32) (int32, bool) {
 	if a == b {
 		return a, true
 	}
-	lca, ok := dewey.LCA(e.ix.Nodes[a].ID, e.ix.Nodes[b].ID)
+	lca, ok := dewey.LCA(e.ix.IDOf(a), e.ix.IDOf(b))
 	if !ok {
 		return 0, false
 	}

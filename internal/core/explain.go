@@ -120,17 +120,17 @@ func (e *Engine) ExplainCtx(ctx context.Context, q Query, s int) (*Explanation, 
 	seen := map[int32]bool{}
 	for ord := range lcp {
 		lifted := ord
-		for e.ix.Nodes[lifted].Cat&index.Attribute != 0 && e.ix.Nodes[lifted].Parent >= 0 {
-			lifted = e.ix.Nodes[lifted].Parent
+		for e.ix.CatOf(lifted)&index.Attribute != 0 && e.ix.ParentOf(lifted) >= 0 {
+			lifted = e.ix.ParentOf(lifted)
 		}
 		final := lifted
 		isEntity := false
 		if ent, ok := e.ix.LowestEntityAncestorOrSelf(lifted); ok {
-			if len(e.ix.Nodes[ent].ID.Path) > 1 {
+			if e.ix.DepthOf(ent) > 0 {
 				final, isEntity = ent, true
 			}
 		}
-		if len(e.ix.Nodes[final].ID.Path) == 1 {
+		if e.ix.DepthOf(final) == 0 {
 			continue
 		}
 		if !seen[final] {

@@ -35,6 +35,14 @@ type BibConfig struct {
 	Entries int
 	// Plants lists the planted entry groups.
 	Plants []Plant
+	// DupFraction is the fraction of background entries (0..1) emitted as
+	// exact copies of an earlier entry — same authors, title, year, venue
+	// and pages, so the whole <inproceedings> subtree is structurally and
+	// textually identical. Real DBLP dumps repeat entries across mirrored
+	// streams; the knob lets the DAG-compression experiment sweep dedup
+	// ratios instead of relying on whatever collisions the random pools
+	// produce. 0 (the default) keeps the historical output byte-identical.
+	DupFraction float64
 }
 
 var venues = []string{
@@ -64,20 +72,44 @@ func DBLP(cfg BibConfig) *xmltree.Document {
 	entries *= cfg.scale()
 
 	root := xmltree.E("dblp")
-	appendEntry := func(authors []string, venue, year string) {
-		e := xmltree.E("inproceedings")
-		for _, a := range authors {
-			e.Append(xmltree.ET("author", a))
+	// bibEntry captures every value of an emitted entry so DupFraction can
+	// replay exact copies (identical subtree shape and text).
+	type bibEntry struct {
+		authors                   []string
+		title, year, venue, pages string
+	}
+	emit := func(e bibEntry) {
+		n := xmltree.E("inproceedings")
+		for _, a := range e.authors {
+			n.Append(xmltree.ET("author", a))
 		}
-		e.Append(xmltree.ET("title", title(rng, 4+rng.Intn(4))))
-		e.Append(xmltree.ET("year", year))
-		e.Append(xmltree.ET("booktitle", venue))
-		e.Append(xmltree.ET("pages", fmt.Sprintf("%d-%d", 100+rng.Intn(400), 500+rng.Intn(400))))
-		root.Append(e)
+		n.Append(xmltree.ET("title", e.title))
+		n.Append(xmltree.ET("year", e.year))
+		n.Append(xmltree.ET("booktitle", e.venue))
+		n.Append(xmltree.ET("pages", e.pages))
+		root.Append(n)
+	}
+	var history []bibEntry
+	appendEntry := func(authors []string, venue, year string) {
+		e := bibEntry{
+			authors: authors,
+			title:   title(rng, 4+rng.Intn(4)),
+			year:    year,
+			venue:   venue,
+			pages:   fmt.Sprintf("%d-%d", 100+rng.Intn(400), 500+rng.Intn(400)),
+		}
+		history = append(history, e)
+		emit(e)
 	}
 
-	// Background entries.
+	// Background entries. A DupFraction slice of them replays an earlier
+	// original entry verbatim; duplicates never enter history, so chains
+	// of copies all point at original entries.
 	for i := 0; i < entries; i++ {
+		if cfg.DupFraction > 0 && len(history) > 0 && rng.Float64() < cfg.DupFraction {
+			emit(history[rng.Intn(len(history))])
+			continue
+		}
 		n := 1 + rng.Intn(4)
 		authors := make([]string, n)
 		for j := range authors {

@@ -65,8 +65,8 @@ func TypeFrequencies(eng *core.Engine, q core.Query) map[string][]int {
 	counted := make(map[nodeKw]bool)
 	for k, list := range lists {
 		for _, ord := range list {
-			for cur := ord; cur >= 0; cur = ix.Nodes[cur].Parent {
-				if ix.Nodes[cur].Cat&index.Entity == 0 {
+			for cur := ord; cur >= 0; cur = ix.ParentOf(cur) {
+				if ix.CatOf(cur)&index.Entity == 0 {
 					continue
 				}
 				key := nodeKw{cur, k}
@@ -74,7 +74,7 @@ func TypeFrequencies(eng *core.Engine, q core.Query) map[string][]int {
 					continue
 				}
 				counted[key] = true
-				label := ix.Labels[ix.Nodes[cur].Label]
+				label := ix.Labels[ix.LabelIDOf(cur)]
 				f := freq[label]
 				if f == nil {
 					f = make([]int, n)

@@ -188,7 +188,7 @@ func (s *Suite) Feedback() ([]FeedbackRow, error) {
 		}
 		var slcaGrades []float64
 		for _, ord := range lca.SLCA(d.Index, d.Engine.PostingLists(q)) {
-			if len(d.Index.Nodes[ord].ID.Path) > 1 {
+			if d.Index.DepthOf(ord) > 0 {
 				slcaGrades = append(slcaGrades, 1)
 			}
 		}

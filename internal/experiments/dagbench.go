@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/index"
+)
+
+// DAG bench: the node-table compression story of the packed index. One
+// DBLP-shaped corpus is generated at several duplicate-subtree fractions
+// (datagen.BibConfig.DupFraction) and indexed once; the flat index and its
+// Pack()ed form are then compared head to head: exact node-table bytes
+// (index.NodeTableBytes — computed, not sampled), shape-table statistics,
+// pack time, and cold/warm query latency of the engine serving each
+// representation. Every query's responses are diffed between the two
+// engines during the cold pass, so a latency win can never hide a
+// correctness regression.
+//
+// Honesty note: latency is single-process wall clock (best-of-passes for
+// warm), so treat small ratios as noise; the byte columns are exact.
+
+// DAGRow is one duplicate-fraction's measurements.
+type DAGRow struct {
+	// DupFraction is the fraction of background DBLP entries emitted as
+	// exact copies of an earlier entry.
+	DupFraction float64
+	// Nodes is the element-node count of the corpus.
+	Nodes int
+	// FlatBytes / PackedBytes are the exact node-table footprints of the
+	// two representations; Ratio is Flat/Packed (bigger is better).
+	FlatBytes   int64
+	PackedBytes int64
+	Ratio       float64
+	// SpineNodes, Instances, Shapes, ShapeNodes and Values summarize the
+	// packed form (index.PackInfo): SpineNodes+ShapeNodes is the number of
+	// structural records actually stored vs Nodes in the flat table.
+	SpineNodes int
+	Instances  int
+	Shapes     int
+	ShapeNodes int
+	Values     int
+	// BuildTime is the flat index build; PackTime the Pack() call on top.
+	BuildTime time.Duration
+	PackTime  time.Duration
+	// FlatCold/PackedCold are first-pass mean latencies; FlatWarm and
+	// PackedWarm best-of-7-passes means. WarmRatio is PackedWarm/FlatWarm
+	// (≤1 means packed serving is free or better).
+	FlatCold   time.Duration
+	PackedCold time.Duration
+	FlatWarm   time.Duration
+	PackedWarm time.Duration
+	WarmRatio  float64
+}
+
+// DAGBenchResult aggregates the experiment for reporting and the
+// BENCH_dag.json artifact.
+type DAGBenchResult struct {
+	Scale   int
+	Queries int
+	Rows    []DAGRow
+	Mode    string
+}
+
+// dagQueries derives a deterministic mixed query set from the index
+// vocabulary, spread across the frequency spectrum.
+func dagQueries(ix *index.Index, n int) ([]string, error) {
+	var kws []string
+	err := ix.ForEachKeywordSorted(func(kw string, list []int32) error {
+		kws = append(kws, kw)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(23))
+	qs := make([]string, 0, n)
+	for i := 0; i < n && len(kws) > 0; i++ {
+		k := 1 + rng.Intn(3)
+		q := ""
+		for j := 0; j < k; j++ {
+			if j > 0 {
+				q += " "
+			}
+			q += kws[rng.Intn(len(kws))]
+		}
+		qs = append(qs, q)
+	}
+	return qs, nil
+}
+
+// diffResponses compares the user-visible surface of two responses.
+func diffResponses(q string, a, b *core.Response) error {
+	if len(a.Results) != len(b.Results) {
+		return fmt.Errorf("dag: query %q: %d flat results vs %d packed", q, len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		ra, rb := &a.Results[i], &b.Results[i]
+		if ra.Ord != rb.Ord || ra.Rank != rb.Rank || ra.Label != rb.Label ||
+			ra.KeywordCount != rb.KeywordCount || ra.ID.String() != rb.ID.String() {
+			return fmt.Errorf("dag: query %q: result %d diverges (flat %s rank %g vs packed %s rank %g)",
+				q, i, ra.ID, ra.Rank, rb.ID, rb.Rank)
+		}
+	}
+	return nil
+}
+
+// dagMeasure runs the query passes over one engine. The first pass is the
+// cold column; warm is the per-query mean of the best subsequent pass.
+func dagMeasure(eng *core.Engine, queries []string, threshold int) (cold, warm time.Duration, responses []*core.Response, err error) {
+	pass := func(keep bool) (time.Duration, error) {
+		start := time.Now()
+		for _, q := range queries {
+			resp, err := eng.Search(core.ParseQuery(q), threshold)
+			if err != nil {
+				return 0, err
+			}
+			if keep {
+				responses = append(responses, resp)
+			}
+		}
+		return time.Since(start), nil
+	}
+	coldTotal, err := pass(true)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	const warmPasses = 7
+	var best time.Duration
+	for i := 0; i < warmPasses; i++ {
+		d, err := pass(false)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	n := time.Duration(len(queries))
+	return coldTotal / n, best / n, responses, nil
+}
+
+// DAGBench runs the flat-vs-packed node-table comparison at the given
+// corpus scale across a sweep of duplicate-subtree fractions.
+func DAGBench(scale int) (*DAGBenchResult, error) {
+	res := &DAGBenchResult{
+		Scale: scale,
+		Mode: "single process; byte columns are exact (index.NodeTableBytes), " +
+			"latency is wall clock (warm = best of 7 passes); every query's " +
+			"responses are diffed flat-vs-packed during the cold pass",
+	}
+	for _, dup := range []float64{0, 0.3, 0.6, 0.9} {
+		repo := datagen.Repo(datagen.DBLP(datagen.BibConfig{
+			Config:      datagen.Config{Seed: 29, Scale: scale},
+			DupFraction: dup,
+		}))
+		start := time.Now()
+		flat, err := index.Build(repo, index.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("dag: indexing dup=%.1f: %w", dup, err)
+		}
+		buildTime := time.Since(start)
+		start = time.Now()
+		packed := flat.Pack()
+		packTime := time.Since(start)
+		info, ok := packed.PackedInfo()
+		if !ok {
+			return nil, fmt.Errorf("dag: Pack() did not produce a packed index")
+		}
+
+		queries, err := dagQueries(flat, 30)
+		if err != nil {
+			return nil, err
+		}
+		flatEng, packedEng := core.NewEngine(flat), core.NewEngine(packed)
+		fCold, fWarm, fResp, err := dagMeasure(flatEng, queries, 2)
+		if err != nil {
+			return nil, err
+		}
+		pCold, pWarm, pResp, err := dagMeasure(packedEng, queries, 2)
+		if err != nil {
+			return nil, err
+		}
+		for i, q := range queries {
+			if err := diffResponses(q, fResp[i], pResp[i]); err != nil {
+				return nil, err
+			}
+		}
+
+		row := DAGRow{
+			DupFraction: dup,
+			Nodes:       flat.NodeCount(),
+			FlatBytes:   flat.NodeTableBytes(),
+			PackedBytes: packed.NodeTableBytes(),
+			SpineNodes:  info.SpineNodes,
+			Instances:   info.Instances,
+			Shapes:      info.Shapes,
+			ShapeNodes:  info.ShapeNodes,
+			Values:      info.Values,
+			BuildTime:   buildTime,
+			PackTime:    packTime,
+			FlatCold:    fCold,
+			PackedCold:  pCold,
+			FlatWarm:    fWarm,
+			PackedWarm:  pWarm,
+		}
+		if row.PackedBytes > 0 {
+			row.Ratio = float64(row.FlatBytes) / float64(row.PackedBytes)
+		}
+		if fWarm > 0 {
+			row.WarmRatio = float64(pWarm) / float64(fWarm)
+		}
+		res.Rows = append(res.Rows, row)
+		res.Queries = len(queries)
+	}
+	return res, nil
+}
+
+// PrintDAGBench renders the comparison as a table.
+func PrintDAGBench(w io.Writer, r *DAGBenchResult) {
+	fmt.Fprintf(w, "DBLP corpus at scale %d; %d queries/pass; flat vs packed (DAG-compressed) node table\n", r.Scale, r.Queries)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dup\tnodes\tflat ntbl\tpacked ntbl\tratio\tshapes\tinstances\tspine\tpack\tflat warm\tpacked warm\twarm ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%.1f\t%d\t%.2f MiB\t%.2f MiB\t%.2fx\t%d\t%d\t%d\t%v\t%v\t%v\t%.2f\n",
+			row.DupFraction, row.Nodes,
+			float64(row.FlatBytes)/(1<<20), float64(row.PackedBytes)/(1<<20),
+			row.Ratio, row.Shapes, row.Instances, row.SpineNodes,
+			row.PackTime.Round(time.Millisecond),
+			row.FlatWarm.Round(time.Microsecond), row.PackedWarm.Round(time.Microsecond),
+			row.WarmRatio)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "mode: %s\n", r.Mode)
+}

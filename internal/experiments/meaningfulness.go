@@ -73,7 +73,7 @@ func (s *Suite) Meaningfulness() ([]MeaningfulnessRow, error) {
 		// SLCA: the baseline's whole answer (roots excluded, §7.3).
 		slcaSet := make(map[int32]bool)
 		for _, ord := range lca.SLCA(d.Index, d.Engine.PostingLists(q)) {
-			if len(d.Index.Nodes[ord].ID.Path) > 1 {
+			if d.Index.DepthOf(ord) > 0 {
 				slcaSet[ord] = true
 			}
 		}

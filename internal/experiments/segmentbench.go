@@ -55,6 +55,15 @@ type SegmentRow struct {
 	// with the corpus; for gks4 the block cache's resident bytes, which the
 	// cache capacity bounds regardless of corpus size.
 	PostingResidentBytes int64
+	// NodeTableBytes is the exact footprint of the node table's backing
+	// storage (index.NodeTableBytes — computed, not sampled): flat NodeInfo
+	// records for gks3, the packed DAG-compressed arrays for gks4.
+	NodeTableBytes int64
+	// OtherResidentBytes is ResidentBytes minus the node-table and
+	// posting-resident shares — label/doc tables, directories, allocator
+	// slack. Floored at zero: the three addends come from different
+	// measurement methods, so small negatives are noise.
+	OtherResidentBytes int64
 }
 
 // SegmentBenchResult aggregates the experiment for reporting and the
@@ -194,6 +203,10 @@ func measureSegmentFormat(format, path string, queries []string, cacheBytes int6
 			row.PostingResidentBytes += int64(len(kf.Keyword)) + 4*int64(kf.Count)
 		}
 	}
+	row.NodeTableBytes = sys.NodeTableBytes()
+	if row.OtherResidentBytes = row.ResidentBytes - row.NodeTableBytes - row.PostingResidentBytes; row.OtherResidentBytes < 0 {
+		row.OtherResidentBytes = 0
+	}
 	if err := sys.CloseIndex(); err != nil {
 		return row, err
 	}
@@ -245,11 +258,13 @@ func SegmentBench(scale int, cacheBytes int64) (*SegmentBenchResult, error) {
 		CacheBytes:       cacheBytes,
 		Mode: "single process; resident bytes are forced-GC heap deltas; " +
 			"GKS4 preads hit the OS page cache, which is not charged to either format. " +
-			"Both formats decode the node table eagerly (the engine indexes it directly), " +
-			"and on this corpus the node table dominates the heap, so whole-process " +
-			"resident converges as corpora grow; the posting-resident column is the " +
-			"bounded-vs-unbounded story: gks3 posting memory grows with the corpus, " +
-			"gks4's is capped at the block-cache capacity",
+			"Both formats decode the node table eagerly (the engine indexes it directly): " +
+			"gks3 as flat NodeInfo records, gks4 in the packed DAG-compressed form " +
+			"(node tbl column, computed exactly via index.NodeTableBytes). " +
+			"The posting-resident column is the bounded-vs-unbounded story: gks3 " +
+			"posting memory grows with the corpus, gks4's is capped at the " +
+			"block-cache capacity; 'other' is the remainder (label/doc tables, " +
+			"directories, allocator slack)",
 	}
 	r3, err := measureSegmentFormat("gks3", g3, queries, cacheBytes)
 	if err != nil {
@@ -277,13 +292,15 @@ func PrintSegmentBench(w io.Writer, r *SegmentBenchResult) {
 	fmt.Fprintf(w, "corpus: %d document(s), %d distinct keywords, %d posting entries; %d queries/pass; gks4 block cache %d MiB\n",
 		r.Documents, r.DistinctKeywords, r.PostingEntries, r.Queries, r.CacheBytes>>20)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "format\tfile\tboot\tresident\tposting res.\tcold q\twarm q\tblock reads")
+	fmt.Fprintln(tw, "format\tfile\tboot\tresident\tnode tbl\tposting res.\tother\tcold q\twarm q\tblock reads")
 	for _, row := range r.Rows {
-		fmt.Fprintf(tw, "%s\t%.1f MiB\t%v\t%.1f MiB\t%.1f MiB\t%v\t%v\t%d\n",
+		fmt.Fprintf(tw, "%s\t%.1f MiB\t%v\t%.1f MiB\t%.1f MiB\t%.1f MiB\t%.1f MiB\t%v\t%v\t%d\n",
 			row.Format, float64(row.FileBytes)/(1<<20),
 			row.BootTime.Round(time.Microsecond),
 			float64(row.ResidentBytes)/(1<<20),
+			float64(row.NodeTableBytes)/(1<<20),
 			float64(row.PostingResidentBytes)/(1<<20),
+			float64(row.OtherResidentBytes)/(1<<20),
 			row.ColdQueryAvg.Round(time.Microsecond),
 			row.WarmQueryAvg.Round(time.Microsecond),
 			row.BlockReads)

@@ -236,7 +236,7 @@ func (s *Suite) Table7() ([]Table7Row, error) {
 			row.GKSHalf = len(half.Results)
 		}
 		for _, ord := range lca.SLCA(d.Index, d.Engine.PostingLists(q)) {
-			if len(d.Index.Nodes[ord].ID.Path) > 1 {
+			if d.Index.DepthOf(ord) > 0 {
 				row.SLCA++
 			}
 		}

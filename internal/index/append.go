@@ -48,5 +48,13 @@ func AppendAs(ix *Index, doc *xmltree.Document, docID int32, opts Options) (*Ind
 	if err != nil {
 		return nil, err
 	}
-	return mergePartials([]*Index{ix.Compacted(), partial})
+	// The merge splices flat node tables; a packed base is flattened for
+	// the splice and the result re-packed, so a packed serving index stays
+	// packed across ingestion.
+	repack := ix.IsPacked()
+	merged, err := mergePartials([]*Index{ix.Compacted().Unpacked(), partial})
+	if err != nil || !repack {
+		return merged, err
+	}
+	return merged.Pack(), nil
 }

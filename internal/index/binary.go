@@ -31,7 +31,16 @@ import (
 //	stats:    fixed sequence of varints
 const binaryMagic = "GKSI"
 
-const binaryVersion = 2
+// binaryVersion is the flat-table encoding; binaryVersionPacked marks a
+// stream whose node section is the DAG-compressed layout of packed.go
+// (same labels/docs/postings/stats framing, packed node arrays in place of
+// the per-node records). SaveBinary picks the version from the index's
+// representation, so a packed index round-trips without materializing a
+// flat table and a flat one stays byte-identical to format v2.
+const (
+	binaryVersion       = 2
+	binaryVersionPacked = 3
+)
 
 // binWriter bundles the buffered writer and varint scratch the binary
 // encoders share.
@@ -82,13 +91,96 @@ func (w *binWriter) writeMeta(ix *Index) {
 	}
 }
 
-// EncodeMeta writes the labels, document names and node table in the v2
-// encoding, without magic or version framing. This is the GKS4 segment
-// meta section (internal/segment); DecodeMeta is its inverse. A
-// tombstoned index must be compacted by the caller first.
+// writeMetaPacked writes the labels/docs sections followed by the packed
+// node arrays. Negative-capable fields are stored +1 so plain uvarints
+// suffice. The per-ordinal dispatch array is NOT written: instance ranges
+// plus the rule that spine slots are assigned in ascending ordinal order
+// (which is how packNodes emits them) reconstruct it exactly.
+func (w *binWriter) writeMetaPacked(ix *Index) {
+	p := ix.packed
+	w.uvarint(uint64(len(ix.Labels)))
+	for _, l := range ix.Labels {
+		w.str(l)
+	}
+	w.uvarint(uint64(len(ix.DocNames)))
+	for _, d := range ix.DocNames {
+		w.str(d)
+	}
+
+	w.uvarint(uint64(len(p.ordInst)))
+
+	w.uvarint(uint64(len(p.spLabel)))
+	for i := range p.spLabel {
+		w.uvarint(uint64(p.spLabel[i]))
+		w.bw.WriteByte(p.spCat[i])
+		w.uvarint(uint64(p.spChild[i]))
+		w.uvarint(uint64(p.spSubtree[i]))
+		w.uvarint(uint64(p.spParent[i] + 1))
+		w.uvarint(uint64(uint32(p.spLast[i])))
+		w.uvarint(uint64(p.spDepth[i]))
+		w.uvarint(uint64(p.spVal[i] + 1))
+	}
+
+	w.uvarint(uint64(len(p.inStart)))
+	for i := range p.inStart {
+		w.uvarint(uint64(p.inStart[i]))
+		w.uvarint(uint64(p.inShape[i]))
+		w.uvarint(uint64(p.inParent[i] + 1))
+		w.uvarint(uint64(uint32(p.inLast[i])))
+		w.uvarint(uint64(p.inDepth[i]))
+	}
+
+	w.uvarint(uint64(len(p.shOff) - 1))
+	for s := 0; s+1 < len(p.shOff); s++ {
+		base, end := p.shOff[s], p.shOff[s+1]
+		w.uvarint(uint64(end - base))
+		for k := base; k < end; k++ {
+			w.uvarint(uint64(p.shLabel[k]))
+			w.bw.WriteByte(p.shCat[k])
+			w.uvarint(uint64(p.shChild[k]))
+			w.uvarint(uint64(p.shSubtree[k]))
+			w.uvarint(uint64(p.shParent[k] + 1))
+			w.uvarint(uint64(uint32(p.shLast[k])))
+			w.uvarint(uint64(p.shDepth[k]))
+			w.uvarint(uint64(p.shVal[k] + 1))
+		}
+	}
+
+	w.uvarint(uint64(len(p.valOff) - 1))
+	w.uvarint(uint64(len(p.valArena)))
+	w.bw.Write(p.valArena)
+	for v := 0; v+1 < len(p.valOff); v++ {
+		w.uvarint(uint64(p.valOff[v+1] - p.valOff[v]))
+	}
+
+	w.uvarint(uint64(len(p.docStart)))
+	for k := range p.docStart {
+		w.uvarint(uint64(p.docStart[k]))
+		w.uvarint(uint64(uint32(p.docNum[k])))
+	}
+}
+
+// metaPackedSentinel distinguishes a packed meta section from the flat v2
+// layout: a flat section starts with the label count, which is at least 1
+// on any buildable index, so a leading 0 byte can only mean "packed
+// follows" (then a version varint for future evolution).
+const metaPackedVersion = 1
+
+// EncodeMeta writes the labels, document names and node table without
+// magic framing. A flat index uses the v2 encoding unchanged; a packed
+// index writes a 0 sentinel, a packed-meta version and the packed arrays.
+// This is the GKS4 segment meta section (internal/segment); DecodeMeta is
+// its inverse and auto-detects the variant. A tombstoned index must be
+// compacted by the caller first.
 func EncodeMeta(w io.Writer, ix *Index) error {
 	bw := &binWriter{bw: bufio.NewWriter(w)}
-	bw.writeMeta(ix)
+	if ix.packed != nil {
+		bw.uvarint(0)
+		bw.uvarint(metaPackedVersion)
+		bw.writeMetaPacked(ix)
+	} else {
+		bw.writeMeta(ix)
+	}
 	return bw.bw.Flush()
 }
 
@@ -101,8 +193,13 @@ func (ix *Index) SaveBinary(w io.Writer) error {
 	bw := &binWriter{bw: bufio.NewWriter(w)}
 
 	bw.bw.WriteString(binaryMagic)
-	bw.uvarint(binaryVersion)
-	bw.writeMeta(ix)
+	if ix.packed != nil {
+		bw.uvarint(binaryVersionPacked)
+		bw.writeMetaPacked(ix)
+	} else {
+		bw.uvarint(binaryVersion)
+		bw.writeMeta(ix)
+	}
 
 	// Keywords are written sorted so the format is deterministic. A
 	// separate buffer keeps list encoding off bw.scratch, which the
@@ -209,13 +306,18 @@ func loadBinaryAfterMagic(br *bufio.Reader, size int64) (*Index, error) {
 	if err != nil {
 		return fail("version", err)
 	}
-	if version != binaryVersion {
-		return nil, corruptf("binary load: unsupported version %d", version)
-	}
-
 	ix := &Index{Postings: make(map[string][]int32), labelIDs: make(map[string]int32)}
-	if err := readMetaInto(br, size, ix); err != nil {
-		return nil, err
+	switch version {
+	case binaryVersion:
+		if err := readMetaInto(br, size, ix); err != nil {
+			return nil, err
+		}
+	case binaryVersionPacked:
+		if err := readMetaPackedInto(br, size, ix); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, corruptf("binary load: unsupported version %d", version)
 	}
 
 	nKeys, err := readUvarint()
@@ -272,11 +374,30 @@ func loadBinaryAfterMagic(br *bufio.Reader, size int64) (*Index, error) {
 
 // DecodeMeta reads the labels/docs/nodes sections written by EncodeMeta
 // into a fresh Index with no posting lists and zero statistics — the
-// skeleton internal/segment hands to NewLazy. size bounds allocations as
-// in Load; damaged input fails with ErrCorrupt.
+// skeleton internal/segment hands to NewLazy. The flat (v2) and packed
+// variants are auto-detected from the leading sentinel byte. size bounds
+// allocations as in Load; damaged input fails with ErrCorrupt.
 func DecodeMeta(r io.Reader, size int64) (*Index, error) {
 	br := bufio.NewReader(r)
 	ix := &Index{labelIDs: make(map[string]int32)}
+	lead, err := br.Peek(1)
+	if err != nil {
+		return nil, corruptf("binary load: meta lead: %v", err)
+	}
+	if lead[0] == 0 {
+		br.Discard(1)
+		ver, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, corruptf("binary load: packed meta version: %v", err)
+		}
+		if ver != metaPackedVersion {
+			return nil, corruptf("binary load: unsupported packed meta version %d", ver)
+		}
+		if err := readMetaPackedInto(br, size, ix); err != nil {
+			return nil, err
+		}
+		return ix, nil
+	}
 	if err := readMetaInto(br, size, ix); err != nil {
 		return nil, err
 	}
@@ -393,6 +514,370 @@ func readMetaInto(br *bufio.Reader, size int64, ix *Index) error {
 		}
 		ix.Nodes = append(ix.Nodes, n)
 	}
+	return nil
+}
+
+// readMetaPackedInto decodes the writeMetaPacked layout into ix.packed.
+// The per-ordinal dispatch array is reconstructed from the instance ranges
+// and the ascending-ordinal spine rule, and the result must pass the full
+// packed validation before it is accepted — the O(1) accessors index
+// blindly, so a decoded image that would make them misbehave is rejected
+// here as ErrCorrupt.
+func readMetaPackedInto(br *bufio.Reader, size int64, ix *Index) error {
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	fail := func(what string, err error) error {
+		if errors.Is(err, ErrCorrupt) {
+			return err
+		}
+		return corruptf("binary load: packed %s: %v", what, err)
+	}
+	readString := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<28 || (size >= 0 && n > uint64(size)) {
+			return "", corruptf("binary load: implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	// readI32 decodes a uvarint that was written as value+bias and must
+	// land in int32 range after unbiasing.
+	readI32 := func(what string, bias int64) (int32, error) {
+		v, err := readUvarint()
+		if err != nil {
+			return 0, fail(what, err)
+		}
+		u := int64(v) - bias
+		if u < -1 || u > 1<<31-1 {
+			return 0, corruptf("binary load: packed %s: value %d out of range", what, u)
+		}
+		return int32(u), nil
+	}
+
+	nLabels, err := readUvarint()
+	if err != nil {
+		return fail("label count", err)
+	}
+	if _, err := boundedCount("label count", nLabels, 1, size, 1<<31); err != nil {
+		return err
+	}
+	for i := uint64(0); i < nLabels; i++ {
+		l, err := readString()
+		if err != nil {
+			return fail("label", err)
+		}
+		ix.labelIDs[l] = int32(len(ix.Labels))
+		ix.Labels = append(ix.Labels, l)
+	}
+	nDocs, err := readUvarint()
+	if err != nil {
+		return fail("doc count", err)
+	}
+	if _, err := boundedCount("doc count", nDocs, 1, size, 1<<31); err != nil {
+		return err
+	}
+	for i := uint64(0); i < nDocs; i++ {
+		d, err := readString()
+		if err != nil {
+			return fail("doc name", err)
+		}
+		ix.DocNames = append(ix.DocNames, d)
+	}
+
+	rawN, err := readUvarint()
+	if err != nil {
+		return fail("node count", err)
+	}
+	// Every node costs at least one byte somewhere (spine record, shape
+	// record amortized over instances, or dispatch coverage); 1 is the only
+	// safe per-node floor for a heavily deduplicated table.
+	n, err := boundedCount("node count", rawN, 1, size, 1<<31)
+	if err != nil {
+		return err
+	}
+	p := &packedNodes{}
+
+	rawSpine, err := readUvarint()
+	if err != nil {
+		return fail("spine count", err)
+	}
+	nSpine, err := boundedCount("spine count", rawSpine, 8, size, uint64(n))
+	if err != nil {
+		return err
+	}
+	cap8 := func(c int) int { return min(c, preallocCap) }
+	p.spLabel = make([]int32, 0, cap8(nSpine))
+	p.spCat = make([]uint8, 0, cap8(nSpine))
+	p.spChild = make([]int32, 0, cap8(nSpine))
+	p.spSubtree = make([]int32, 0, cap8(nSpine))
+	p.spParent = make([]int32, 0, cap8(nSpine))
+	p.spLast = make([]int32, 0, cap8(nSpine))
+	p.spDepth = make([]int32, 0, cap8(nSpine))
+	p.spVal = make([]int32, 0, cap8(nSpine))
+	for i := 0; i < nSpine; i++ {
+		label, err := readI32("spine label", 0)
+		if err != nil {
+			return err
+		}
+		cat, err := br.ReadByte()
+		if err != nil {
+			return fail("spine category", err)
+		}
+		child, err := readI32("spine child count", 0)
+		if err != nil {
+			return err
+		}
+		subtree, err := readI32("spine subtree", 0)
+		if err != nil {
+			return err
+		}
+		parent, err := readI32("spine parent", 1)
+		if err != nil {
+			return err
+		}
+		last, err := readI32("spine last component", 0)
+		if err != nil {
+			return err
+		}
+		depth, err := readI32("spine depth", 0)
+		if err != nil {
+			return err
+		}
+		val, err := readI32("spine value id", 1)
+		if err != nil {
+			return err
+		}
+		p.spLabel = append(p.spLabel, label)
+		p.spCat = append(p.spCat, cat)
+		p.spChild = append(p.spChild, child)
+		p.spSubtree = append(p.spSubtree, subtree)
+		p.spParent = append(p.spParent, parent)
+		p.spLast = append(p.spLast, last)
+		p.spDepth = append(p.spDepth, depth)
+		p.spVal = append(p.spVal, val)
+	}
+
+	rawInst, err := readUvarint()
+	if err != nil {
+		return fail("instance count", err)
+	}
+	nInst, err := boundedCount("instance count", rawInst, 5, size, uint64(n))
+	if err != nil {
+		return err
+	}
+	p.inStart = make([]int32, 0, cap8(nInst))
+	p.inShape = make([]int32, 0, cap8(nInst))
+	p.inParent = make([]int32, 0, cap8(nInst))
+	p.inLast = make([]int32, 0, cap8(nInst))
+	p.inDepth = make([]int32, 0, cap8(nInst))
+	for i := 0; i < nInst; i++ {
+		start, err := readI32("instance start", 0)
+		if err != nil {
+			return err
+		}
+		shape, err := readI32("instance shape", 0)
+		if err != nil {
+			return err
+		}
+		parent, err := readI32("instance parent", 1)
+		if err != nil {
+			return err
+		}
+		last, err := readI32("instance last component", 0)
+		if err != nil {
+			return err
+		}
+		depth, err := readI32("instance depth", 0)
+		if err != nil {
+			return err
+		}
+		p.inStart = append(p.inStart, start)
+		p.inShape = append(p.inShape, shape)
+		p.inParent = append(p.inParent, parent)
+		p.inLast = append(p.inLast, last)
+		p.inDepth = append(p.inDepth, depth)
+	}
+
+	rawShapes, err := readUvarint()
+	if err != nil {
+		return fail("shape count", err)
+	}
+	nShapes, err := boundedCount("shape count", rawShapes, 9, size, uint64(n)+1)
+	if err != nil {
+		return err
+	}
+	p.shOff = make([]int32, 0, cap8(nShapes+1))
+	p.shOff = append(p.shOff, 0)
+	for s := 0; s < nShapes; s++ {
+		rawSize, err := readUvarint()
+		if err != nil {
+			return fail("shape size", err)
+		}
+		shSize, err := boundedCount("shape size", rawSize, 8, size, uint64(n))
+		if err != nil {
+			return err
+		}
+		if shSize < 1 {
+			return corruptf("binary load: packed shape %d: empty shape", s)
+		}
+		for k := 0; k < shSize; k++ {
+			label, err := readI32("shape label", 0)
+			if err != nil {
+				return err
+			}
+			cat, err := br.ReadByte()
+			if err != nil {
+				return fail("shape category", err)
+			}
+			child, err := readI32("shape child count", 0)
+			if err != nil {
+				return err
+			}
+			subtree, err := readI32("shape subtree", 0)
+			if err != nil {
+				return err
+			}
+			parent, err := readI32("shape parent", 1)
+			if err != nil {
+				return err
+			}
+			last, err := readI32("shape last component", 0)
+			if err != nil {
+				return err
+			}
+			depth, err := readI32("shape depth", 0)
+			if err != nil {
+				return err
+			}
+			val, err := readI32("shape value id", 1)
+			if err != nil {
+				return err
+			}
+			p.shLabel = append(p.shLabel, label)
+			p.shCat = append(p.shCat, cat)
+			p.shChild = append(p.shChild, child)
+			p.shSubtree = append(p.shSubtree, subtree)
+			p.shParent = append(p.shParent, parent)
+			p.shLast = append(p.shLast, last)
+			p.shDepth = append(p.shDepth, depth)
+			p.shVal = append(p.shVal, val)
+		}
+		p.shOff = append(p.shOff, int32(len(p.shLabel)))
+	}
+
+	rawVals, err := readUvarint()
+	if err != nil {
+		return fail("value count", err)
+	}
+	nVals, err := boundedCount("value count", rawVals, 1, size, 1<<31)
+	if err != nil {
+		return err
+	}
+	arenaLen, err := readUvarint()
+	if err != nil {
+		return fail("value arena length", err)
+	}
+	if arenaLen > 1<<31 || (size >= 0 && arenaLen > uint64(size)) {
+		return corruptf("binary load: packed value arena length %d exceeds input", arenaLen)
+	}
+	p.valArena = make([]byte, arenaLen)
+	if _, err := io.ReadFull(br, p.valArena); err != nil {
+		return fail("value arena", err)
+	}
+	p.valOff = make([]int32, 0, cap8(nVals+1))
+	p.valOff = append(p.valOff, 0)
+	off := int64(0)
+	for v := 0; v < nVals; v++ {
+		l, err := readUvarint()
+		if err != nil {
+			return fail("value length", err)
+		}
+		off += int64(l)
+		if off > int64(arenaLen) {
+			return corruptf("binary load: packed value lengths overrun arena")
+		}
+		p.valOff = append(p.valOff, int32(off))
+	}
+	if off != int64(arenaLen) {
+		return corruptf("binary load: packed value lengths cover %d of %d arena bytes", off, arenaLen)
+	}
+
+	rawRoots, err := readUvarint()
+	if err != nil {
+		return fail("doc root count", err)
+	}
+	nRoots, err := boundedCount("doc root count", rawRoots, 2, size, uint64(n))
+	if err != nil {
+		return err
+	}
+	p.docStart = make([]int32, 0, cap8(nRoots))
+	p.docNum = make([]int32, 0, cap8(nRoots))
+	for k := 0; k < nRoots; k++ {
+		start, err := readI32("doc root start", 0)
+		if err != nil {
+			return err
+		}
+		num, err := readI32("doc root number", 0)
+		if err != nil {
+			return err
+		}
+		p.docStart = append(p.docStart, start)
+		p.docNum = append(p.docNum, num)
+	}
+
+	// Reconstruct the dispatch array: instance ranges claim their spans,
+	// the remaining ordinals take spine slots in ascending order.
+	p.ordInst = make([]int32, n)
+	for ord := range p.ordInst {
+		p.ordInst[ord] = -1 << 31 // poison: must be overwritten below
+	}
+	for i := int32(0); i < int32(len(p.inStart)); i++ {
+		s := p.inShape[i]
+		if s < 0 || int(s) >= nShapes {
+			return corruptf("binary load: packed instance %d: shape %d out of range", i, s)
+		}
+		sz := p.shOff[s+1] - p.shOff[s]
+		start := p.inStart[i]
+		if start < 0 || int64(start)+int64(sz) > int64(n) {
+			return corruptf("binary load: packed instance %d: range overruns node table", i)
+		}
+		for k := int32(0); k < sz; k++ {
+			if p.ordInst[start+k] != -1<<31 {
+				return corruptf("binary load: packed instance %d overlaps another", i)
+			}
+			p.ordInst[start+k] = i
+		}
+	}
+	slot := int32(0)
+	for ord := range p.ordInst {
+		if p.ordInst[ord] == -1<<31 {
+			if int(slot) >= nSpine {
+				return corruptf("binary load: packed table needs more than %d spine slots", nSpine)
+			}
+			p.ordInst[ord] = ^slot
+			slot++
+		}
+	}
+	if int(slot) != nSpine {
+		return corruptf("binary load: packed table uses %d of %d spine slots", slot, nSpine)
+	}
+
+	if err := p.validatePacked(); err != nil {
+		return corruptf("binary load: %v", err)
+	}
+	for _, arr := range [][]int32{p.spLabel, p.shLabel} {
+		for _, l := range arr {
+			if l < 0 || int(l) >= len(ix.Labels) {
+				return corruptf("binary load: packed node label %d out of range [0,%d)", l, len(ix.Labels))
+			}
+		}
+	}
+	ix.packed = p
 	return nil
 }
 

@@ -50,19 +50,19 @@ func (ix *Index) LabelHistogram() []LabelCount {
 	}
 	for _, sp := range ix.LiveSpans() {
 		for ord := sp[0]; ord < sp[1]; ord++ {
-			n := &ix.Nodes[ord]
-			lc := &counts[n.Label]
+			lc := &counts[ix.LabelIDOf(ord)]
 			lc.Count++
-			if n.Cat&Attribute != 0 {
+			cat := ix.CatOf(ord)
+			if cat&Attribute != 0 {
 				lc.PerCategory[0]++
 			}
-			if n.Cat&Repeating != 0 {
+			if cat&Repeating != 0 {
 				lc.PerCategory[1]++
 			}
-			if n.Cat&Entity != 0 {
+			if cat&Entity != 0 {
 				lc.PerCategory[2]++
 			}
-			if n.Cat&Connecting != 0 {
+			if cat&Connecting != 0 {
 				lc.PerCategory[3]++
 			}
 		}
@@ -82,7 +82,7 @@ func (ix *Index) DepthHistogram() []int {
 	var hist []int
 	for _, sp := range ix.LiveSpans() {
 		for ord := sp[0]; ord < sp[1]; ord++ {
-			d := len(ix.Nodes[ord].ID.Path) - 1
+			d := int(ix.DepthOf(ord))
 			for len(hist) <= d {
 				hist = append(hist, 0)
 			}

@@ -19,7 +19,7 @@ func FuzzLoad(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	var gob, bin, snap bytes.Buffer
+	var gob, bin, snap, binP, snapP bytes.Buffer
 	if err := ix.Save(&gob); err != nil {
 		f.Fatal(err)
 	}
@@ -29,14 +29,25 @@ func FuzzLoad(f *testing.F) {
 	if err := ix.SaveSnapshot(&snap); err != nil {
 		f.Fatal(err)
 	}
+	// Packed-codec seeds: the same index in the DAG-compressed node-table
+	// encoding (GKSI v3 and its snapshot envelope).
+	packed := ix.Pack()
+	if err := packed.SaveBinary(&binP); err != nil {
+		f.Fatal(err)
+	}
+	if err := packed.SaveSnapshot(&snapP); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(gob.Bytes())
 	f.Add(bin.Bytes())
 	f.Add(snap.Bytes())
+	f.Add(binP.Bytes())
+	f.Add(snapP.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte(binaryMagic))
 	f.Add([]byte(snapshotMagic))
 	// Truncations and flips of each format seed the interesting paths.
-	for _, img := range [][]byte{gob.Bytes(), bin.Bytes(), snap.Bytes()} {
+	for _, img := range [][]byte{gob.Bytes(), bin.Bytes(), snap.Bytes(), binP.Bytes(), snapP.Bytes()} {
 		f.Add(img[:len(img)/2])
 		f.Add(img[:min(len(img), 10)])
 		flipped := bytes.Clone(img)

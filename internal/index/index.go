@@ -115,6 +115,11 @@ type Index struct {
 	// GKS4 segment) instead of the Postings map, which stays nil. Never
 	// set together with tomb: mutations materialize first. See lazy.go.
 	lazy *lazyState
+
+	// packed, when non-nil, holds the DAG-compressed node table and Nodes
+	// is nil: all structural reads go through the accessor methods below,
+	// which resolve against the packed arrays. See packed.go.
+	packed *packedNodes
 }
 
 // Stats aggregates the counters reported in the paper's §7.1–7.2.
@@ -387,7 +392,7 @@ func (b *builder) post(keyword string, ord int32) {
 func (ix *Index) finalizeStats() {
 	s := &ix.Stats
 	s.Documents = len(ix.DocNames)
-	s.ElementNodes = len(ix.Nodes)
+	s.ElementNodes = ix.NodeCount()
 	ix.RefreshCategoryStats()
 	s.DistinctKeywords = len(ix.Postings)
 	s.PostingEntries = 0
@@ -405,7 +410,7 @@ func (ix *Index) RefreshCategoryStats() {
 	s.AttributeNodes, s.RepeatingNodes, s.EntityNodes, s.ConnectingNodes = 0, 0, 0, 0
 	for _, sp := range ix.LiveSpans() {
 		for ord := sp[0]; ord < sp[1]; ord++ {
-			c := ix.Nodes[ord].Cat
+			c := ix.CatOf(ord)
 			if c&Attribute != 0 {
 				s.AttributeNodes++
 			}
@@ -434,17 +439,109 @@ func (ix *Index) Lookup(raw string) []int32 {
 }
 
 // LabelOf returns the element label of the node at ord.
-func (ix *Index) LabelOf(ord int32) string { return ix.Labels[ix.Nodes[ord].Label] }
+func (ix *Index) LabelOf(ord int32) string { return ix.Labels[ix.LabelIDOf(ord)] }
 
-// Info returns the NodeInfo at ord.
-func (ix *Index) Info(ord int32) *NodeInfo { return &ix.Nodes[ord] }
+// LabelIDOf returns the interned label id (index into Labels) of the node
+// at ord.
+func (ix *Index) LabelIDOf(ord int32) int32 {
+	if ix.packed != nil {
+		return ix.packed.labelOf(ord)
+	}
+	return ix.Nodes[ord].Label
+}
+
+// CatOf returns the category bit set of the node at ord.
+func (ix *Index) CatOf(ord int32) Category {
+	if ix.packed != nil {
+		return ix.packed.catOf(ord)
+	}
+	return ix.Nodes[ord].Cat
+}
+
+// ChildCountOf returns the direct child count (elements and text nodes) of
+// the node at ord.
+func (ix *Index) ChildCountOf(ord int32) int32 {
+	if ix.packed != nil {
+		return ix.packed.childCountOf(ord)
+	}
+	return ix.Nodes[ord].ChildCount
+}
+
+// SubtreeSizeOf returns the element count of the subtree rooted at ord,
+// including ord itself.
+func (ix *Index) SubtreeSizeOf(ord int32) int32 {
+	if ix.packed != nil {
+		return ix.packed.subtreeOf(ord)
+	}
+	return ix.Nodes[ord].Subtree
+}
+
+// DepthOf returns the Dewey depth of the node at ord (document roots are
+// depth 0). On both representations this is O(1): the flat table stores
+// full paths, the packed table stores depths explicitly.
+func (ix *Index) DepthOf(ord int32) int32 {
+	if ix.packed != nil {
+		return ix.packed.depthOf(ord)
+	}
+	return int32(ix.Nodes[ord].ID.Depth())
+}
+
+// HasValueAt reports whether the node at ord directly contains text.
+func (ix *Index) HasValueAt(ord int32) bool {
+	if ix.packed != nil {
+		return ix.packed.valIDOf(ord) >= 0
+	}
+	return ix.Nodes[ord].HasValue
+}
+
+// ValueAt returns the concatenated direct text of the node at ord ("" when
+// HasValueAt is false).
+func (ix *Index) ValueAt(ord int32) string {
+	if ix.packed != nil {
+		if v := ix.packed.valIDOf(ord); v >= 0 {
+			return ix.packed.value(v)
+		}
+		return ""
+	}
+	return ix.Nodes[ord].Value
+}
+
+// IDOf returns the Dewey identifier of the node at ord. On a packed index
+// the path is materialized by a parent-chain walk (lazy expansion); result
+// formatting is the only hot caller, so the allocation stays off the
+// query's merge/window path.
+func (ix *Index) IDOf(ord int32) dewey.ID {
+	if ix.packed != nil {
+		return ix.packed.idOf(ord)
+	}
+	return ix.Nodes[ord].ID
+}
+
+// DocOf returns the Dewey document number of the node at ord.
+func (ix *Index) DocOf(ord int32) int32 {
+	if ix.packed != nil {
+		return ix.packed.docOf(ord)
+	}
+	return ix.Nodes[ord].ID.Doc
+}
+
+// Info returns the NodeInfo at ord. On a packed index the record is
+// materialized on the fly; callers that need a single field should prefer
+// the field accessors, which do not allocate.
+func (ix *Index) Info(ord int32) *NodeInfo {
+	if ix.packed != nil {
+		n := ix.packed.nodeInfo(ord)
+		return &n
+	}
+	return &ix.Nodes[ord]
+}
 
 // IsEntity mirrors the paper's isEntity(DeweyId) helper: it returns the
 // number of direct children when the node is an entity node, and 0
 // otherwise.
 func (ix *Index) IsEntity(ord int32) int32 {
-	if ix.Nodes[ord].Cat&Entity != 0 {
-		return ix.Nodes[ord].ChildCount
+	if ix.CatOf(ord)&Entity != 0 {
+		return ix.ChildCountOf(ord)
 	}
 	return 0
 }
@@ -452,8 +549,8 @@ func (ix *Index) IsEntity(ord int32) int32 {
 // IsElement mirrors the paper's isElement(DeweyId) helper for repeating and
 // connecting nodes.
 func (ix *Index) IsElement(ord int32) int32 {
-	if ix.Nodes[ord].Cat&(Repeating|Connecting) != 0 {
-		return ix.Nodes[ord].ChildCount
+	if ix.CatOf(ord)&(Repeating|Connecting) != 0 {
+		return ix.ChildCountOf(ord)
 	}
 	return 0
 }
@@ -461,6 +558,14 @@ func (ix *Index) IsElement(ord int32) int32 {
 // OrdinalOf locates the element with the given Dewey ID by binary search
 // over the pre-order node table. Tombstoned nodes are not found.
 func (ix *Index) OrdinalOf(id dewey.ID) (int32, bool) {
+	if p := ix.packed; p != nil {
+		n := len(p.ordInst)
+		i := sort.Search(n, func(i int) bool { return p.compareID(int32(i), id) >= 0 })
+		if i < n && p.compareID(int32(i), id) == 0 && ix.LiveOrd(int32(i)) {
+			return int32(i), true
+		}
+		return 0, false
+	}
 	i := sort.Search(len(ix.Nodes), func(i int) bool {
 		return dewey.Compare(ix.Nodes[i].ID, id) >= 0
 	})
@@ -473,12 +578,12 @@ func (ix *Index) OrdinalOf(id dewey.ID) (int32, bool) {
 // SubtreeRange returns the half-open ordinal range [start, end) of the
 // subtree rooted at ord.
 func (ix *Index) SubtreeRange(ord int32) (start, end int32) {
-	return ord, ord + ix.Nodes[ord].Subtree
+	return ord, ord + ix.SubtreeSizeOf(ord)
 }
 
 // ContainsOrd reports whether desc lies in the subtree of anc (or is anc).
 func (ix *Index) ContainsOrd(anc, desc int32) bool {
-	return desc >= anc && desc < anc+ix.Nodes[anc].Subtree
+	return desc >= anc && desc < anc+ix.SubtreeSizeOf(anc)
 }
 
 // LowestEntityAncestorOrSelf returns the ordinal of the nearest entity node
@@ -487,8 +592,8 @@ func (ix *Index) ContainsOrd(anc, desc int32) bool {
 // (§4.1: "we check if it is an entity node or any of its ancestors is an
 // entity node").
 func (ix *Index) LowestEntityAncestorOrSelf(ord int32) (int32, bool) {
-	for cur := ord; cur >= 0; cur = ix.Nodes[cur].Parent {
-		if ix.Nodes[cur].Cat&Entity != 0 {
+	for cur := ord; cur >= 0; cur = ix.ParentOf(cur) {
+		if ix.CatOf(cur)&Entity != 0 {
 			return cur, true
 		}
 	}
@@ -496,7 +601,12 @@ func (ix *Index) LowestEntityAncestorOrSelf(ord int32) (int32, bool) {
 }
 
 // ParentOf returns the ordinal of ord's parent element, or -1 at a root.
-func (ix *Index) ParentOf(ord int32) int32 { return ix.Nodes[ord].Parent }
+func (ix *Index) ParentOf(ord int32) int32 {
+	if ix.packed != nil {
+		return ix.packed.parentOf(ord)
+	}
+	return ix.Nodes[ord].Parent
+}
 
 // PathLabels returns the element labels on the path from (and including)
 // anc down to (and including) desc. It is used to expose DI semantics —
@@ -507,7 +617,7 @@ func (ix *Index) PathLabels(anc, desc int32) []string {
 		return nil
 	}
 	var rev []int32
-	for cur := desc; cur != anc; cur = ix.Nodes[cur].Parent {
+	for cur := desc; cur != anc; cur = ix.ParentOf(cur) {
 		rev = append(rev, cur)
 	}
 	labels := make([]string, 0, len(rev)+1)
@@ -526,13 +636,12 @@ func (ix *Index) ValueNodesUnder(e int32) []int32 {
 	start, end := ix.SubtreeRange(e)
 	var out []int32
 	for ord := start; ord < end; ord++ {
-		info := &ix.Nodes[ord]
-		if ord != start && info.Cat&Entity != 0 {
+		if ord != start && ix.CatOf(ord)&Entity != 0 {
 			// Skip the whole nested entity subtree.
-			ord += info.Subtree - 1
+			ord += ix.SubtreeSizeOf(ord) - 1
 			continue
 		}
-		if info.HasValue {
+		if ix.HasValueAt(ord) {
 			out = append(out, ord)
 		}
 	}
@@ -547,21 +656,34 @@ func (ix *Index) ValueNodesUnder(e int32) []int32 {
 // swapped into a serving system; reload paths call this between load and
 // swap.
 func (ix *Index) Validate() error {
-	nNodes := len(ix.Nodes)
+	nNodes := ix.NodeCount()
 	nLabels := int32(len(ix.Labels))
-	for i := range ix.Nodes {
-		n := &ix.Nodes[i]
-		if n.Label < 0 || n.Label >= nLabels {
-			return fmt.Errorf("index: validate: node %d: label %d out of range [0,%d)", i, n.Label, nLabels)
+	if p := ix.packed; p != nil {
+		if err := p.validatePacked(); err != nil {
+			return err
 		}
-		if n.Parent < -1 || n.Parent >= int32(i) {
-			return fmt.Errorf("index: validate: node %d: parent %d is not a preceding ordinal", i, n.Parent)
+		for _, arr := range [][]int32{p.spLabel, p.shLabel} {
+			for i, l := range arr {
+				if l < 0 || l >= nLabels {
+					return fmt.Errorf("index: validate: packed node record %d: label %d out of range [0,%d)", i, l, nLabels)
+				}
+			}
 		}
-		if n.ChildCount < 0 {
-			return fmt.Errorf("index: validate: node %d: negative child count %d", i, n.ChildCount)
-		}
-		if n.Subtree < 1 || int64(i)+int64(n.Subtree) > int64(nNodes) {
-			return fmt.Errorf("index: validate: node %d: subtree size %d overruns %d nodes", i, n.Subtree, nNodes)
+	} else {
+		for i := range ix.Nodes {
+			n := &ix.Nodes[i]
+			if n.Label < 0 || n.Label >= nLabels {
+				return fmt.Errorf("index: validate: node %d: label %d out of range [0,%d)", i, n.Label, nLabels)
+			}
+			if n.Parent < -1 || n.Parent >= int32(i) {
+				return fmt.Errorf("index: validate: node %d: parent %d is not a preceding ordinal", i, n.Parent)
+			}
+			if n.ChildCount < 0 {
+				return fmt.Errorf("index: validate: node %d: negative child count %d", i, n.ChildCount)
+			}
+			if n.Subtree < 1 || int64(i)+int64(n.Subtree) > int64(nNodes) {
+				return fmt.Errorf("index: validate: node %d: subtree size %d overruns %d nodes", i, n.Subtree, nNodes)
+			}
 		}
 	}
 	for kw, list := range ix.Postings {

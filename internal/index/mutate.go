@@ -54,10 +54,10 @@ func (ix *Index) Tombstoned() bool { return ix.tomb != nil }
 // live node table; without tombstones that is the whole table.
 func (ix *Index) LiveSpans() [][2]int32 {
 	if ix.tomb == nil {
-		if len(ix.Nodes) == 0 {
+		if ix.NodeCount() == 0 {
 			return nil
 		}
-		return [][2]int32{{0, int32(len(ix.Nodes))}}
+		return [][2]int32{{0, int32(ix.NodeCount())}}
 	}
 	return ix.tomb.live
 }
@@ -161,15 +161,15 @@ type DocSpan struct {
 func (ix *Index) LiveDocSpans() []DocSpan {
 	out := make([]DocSpan, 0, ix.LiveDocCount())
 	k := 0
-	for ord, n := int32(0), int32(len(ix.Nodes)); ord < n && k < len(ix.DocNames); k++ {
-		size := ix.Nodes[ord].Subtree
+	for ord, n := int32(0), int32(ix.NodeCount()); ord < n && k < len(ix.DocNames); k++ {
+		size := ix.SubtreeSizeOf(ord)
 		if size <= 0 {
 			break // corrupt table; Validate reports this properly
 		}
 		if ix.LiveOrd(ord) {
 			out = append(out, DocSpan{
 				Name:  ix.DocNames[k],
-				Doc:   ix.Nodes[ord].ID.Doc,
+				Doc:   ix.DocOf(ord),
 				Start: ord,
 				End:   ord + size,
 			})
@@ -277,7 +277,7 @@ func (ix *Index) DeleteDoc(name string) (*Index, error) {
 		}
 		cur = r[1]
 	}
-	if n := int32(len(ix.Nodes)); cur < n {
+	if n := int32(ix.NodeCount()); cur < n {
 		tomb.live = append(tomb.live, [2]int32{cur, n})
 	}
 
@@ -307,6 +307,7 @@ func (ix *Index) DeleteDoc(name string) (*Index, error) {
 		DocNames: ix.DocNames,
 		labelIDs: ix.labelIDs,
 		tomb:     tomb,
+		packed:   ix.packed,
 	}
 	out.recomputeLiveStats()
 	return out, nil
@@ -320,16 +321,15 @@ func (ix *Index) recomputeLiveStats() {
 	for _, sp := range ix.LiveSpans() {
 		var childSum, roots int32
 		for ord := sp[0]; ord < sp[1]; ord++ {
-			n := &ix.Nodes[ord]
 			st.ElementNodes++
-			childSum += n.ChildCount
-			if n.Parent < 0 {
+			childSum += ix.ChildCountOf(ord)
+			if ix.ParentOf(ord) < 0 {
 				roots++
 			}
-			if d := n.ID.Depth(); d > st.MaxDepth {
+			if d := int(ix.DepthOf(ord)); d > st.MaxDepth {
 				st.MaxDepth = d
 			}
-			c := n.Cat
+			c := ix.CatOf(ord)
 			if c&Attribute != 0 {
 				st.AttributeNodes++
 			}
@@ -364,7 +364,9 @@ func (ix *Index) recomputeLiveStats() {
 // Without tombstones it returns ix itself. The result is a plain
 // immutable index, byte-identical in nodes and postings to a cold rebuild
 // from the surviving documents; only the label table may retain interned
-// labels that no surviving document uses.
+// labels that no surviving document uses. A packed index compacts by
+// materializing the surviving nodes and re-packing the result — packing
+// is deterministic, so the re-packed table equals a cold rebuild's pack.
 func (ix *Index) Compacted() *Index {
 	if ix.tomb == nil {
 		return ix
@@ -380,7 +382,12 @@ func (ix *Index) Compacted() *Index {
 		// Nodes before this span shifted down by the dead mass before it.
 		shift := sp[0] - int32(len(out.Nodes))
 		for ord := sp[0]; ord < sp[1]; ord++ {
-			n := ix.Nodes[ord] // copy
+			var n NodeInfo
+			if ix.packed != nil {
+				n = ix.packed.nodeInfo(ord)
+			} else {
+				n = ix.Nodes[ord] // copy
+			}
 			if n.Parent >= 0 {
 				// A non-root's parent is in the same document, hence the
 				// same live span and the same shift.
@@ -414,8 +421,8 @@ func (ix *Index) Compacted() *Index {
 
 	out.DocNames = make([]string, 0, ix.LiveDocCount())
 	k := 0
-	for ord, n := int32(0), int32(len(ix.Nodes)); ord < n && k < len(ix.DocNames); k++ {
-		size := ix.Nodes[ord].Subtree
+	for ord, n := int32(0), int32(ix.NodeCount()); ord < n && k < len(ix.DocNames); k++ {
+		size := ix.SubtreeSizeOf(ord)
 		if size <= 0 {
 			break
 		}
@@ -423,6 +430,9 @@ func (ix *Index) Compacted() *Index {
 			out.DocNames = append(out.DocNames, ix.DocNames[k])
 		}
 		ord += size
+	}
+	if ix.packed != nil {
+		return out.Pack()
 	}
 	return out
 }

@@ -30,12 +30,14 @@ const formatVersion = 1
 // masks, so every load yields a plain immutable index.
 func (ix *Index) Save(w io.Writer) error {
 	// gob encodes the Postings map directly, so a lazily-backed index must
-	// be materialized first (SaveBinary/SaveSnapshot stream instead).
+	// be materialized first (SaveBinary/SaveSnapshot stream instead), and
+	// the v1 wire format predates the packed node table, so a packed index
+	// is flattened.
 	ix, err := ix.Materialized()
 	if err != nil {
 		return err
 	}
-	ix = ix.Compacted()
+	ix = ix.Compacted().Unpacked()
 	enc := gob.NewEncoder(w)
 	p := persisted{
 		Version:  formatVersion,

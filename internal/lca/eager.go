@@ -57,7 +57,7 @@ func SLCAIndexedLookupEager(ix *index.Index, lists [][]int32) []int32 {
 // candidateFor computes the deepest node containing v plus one match from
 // every list.
 func candidateFor(ix *index.Index, lists [][]int32, skip int, v int32) (int32, bool) {
-	vid := ix.Nodes[v].ID
+	vid := ix.IDOf(v)
 	best := v // deepest possible: v itself
 	for i, list := range lists {
 		if i == skip {
@@ -68,7 +68,7 @@ func candidateFor(ix *index.Index, lists [][]int32, skip int, v int32) (int32, b
 			return 0, false
 		}
 		// All candidates are ancestors-or-self of v: keep the shallowest.
-		if len(ix.Nodes[a].ID.Path) < len(ix.Nodes[best].ID.Path) {
+		if ix.DepthOf(a) < ix.DepthOf(best) {
 			best = a
 		}
 	}
@@ -84,7 +84,7 @@ func deepestAncestorWithMatch(ix *index.Index, list []int32, v int32, vid dewey.
 	bestDepth := -1
 	var best int32
 	consider := func(u int32) {
-		id, ok := dewey.LCA(vid, ix.Nodes[u].ID)
+		id, ok := dewey.LCA(vid, ix.IDOf(u))
 		if !ok {
 			return
 		}

@@ -30,9 +30,9 @@ func FSLCAForType(ix *index.Index, lists [][]int32, label string) (nodes []int32
 		return nil, nil
 	}
 	var instances []int32
-	for i := range ix.Nodes {
-		if ix.Nodes[i].Label == labelID {
-			instances = append(instances, int32(i))
+	for i := int32(0); i < int32(ix.NodeCount()); i++ {
+		if ix.LabelIDOf(i) == labelID {
+			instances = append(instances, i)
 		}
 	}
 	if len(instances) == 0 {

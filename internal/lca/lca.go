@@ -79,7 +79,7 @@ func ELCA(ix *index.Index, lists [][]int32) []int32 {
 	// of SLCA nodes.
 	qualSet := make(map[int32]bool)
 	for _, s := range slcas {
-		for cur := s; cur >= 0; cur = ix.Nodes[cur].Parent {
+		for cur := s; cur >= 0; cur = ix.ParentOf(cur) {
 			if qualSet[cur] {
 				break
 			}
@@ -190,7 +190,7 @@ func lcpOrd(ix *index.Index, a, b int32) (int32, bool) {
 	if a == b {
 		return a, true
 	}
-	ida, idb := ix.Nodes[a].ID, ix.Nodes[b].ID
+	ida, idb := ix.IDOf(a), ix.IDOf(b)
 	if ida.Doc != idb.Doc {
 		return 0, false
 	}

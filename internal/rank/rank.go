@@ -47,7 +47,7 @@ func (s Scorer) Score(root int32, mask uint64, instances []merge.Entry) float64 
 			if inst.Kw != kw {
 				continue
 			}
-			d := len(s.IX.Nodes[inst.Ord].ID.Path)
+			d := int(s.IX.DepthOf(inst.Ord))
 			if minDepth < 0 || d < minDepth {
 				minDepth = d
 			}
@@ -56,7 +56,7 @@ func (s Scorer) Score(root int32, mask uint64, instances []merge.Entry) float64 
 			continue
 		}
 		for _, inst := range instances {
-			if inst.Kw != kw || len(s.IX.Nodes[inst.Ord].ID.Path) != minDepth {
+			if inst.Kw != kw || int(s.IX.DepthOf(inst.Ord)) != minDepth {
 				continue
 			}
 			total += s.flow(root, inst.Ord, p)
@@ -71,11 +71,11 @@ func (s Scorer) Score(root int32, mask uint64, instances []merge.Entry) float64 
 func (s Scorer) flow(root, t int32, p float64) float64 {
 	f := p
 	for cur := t; cur != root; {
-		parent := s.IX.Nodes[cur].Parent
+		parent := s.IX.ParentOf(cur)
 		if parent < 0 {
 			return 0 // t not in root's subtree; defensive
 		}
-		if cc := s.IX.Nodes[parent].ChildCount; cc > 0 {
+		if cc := s.IX.ChildCountOf(parent); cc > 0 {
 			f /= float64(cc)
 		}
 		cur = parent

@@ -71,14 +71,14 @@ func InferIndexes(ixs ...*index.Index) *Summary {
 		// categorized against.
 		for _, sp := range ix.LiveSpans() {
 			for ord := sp[0]; ord < sp[1]; ord++ {
-				n := &ix.Nodes[ord]
-				if n.Parent < 0 {
+				parent := ix.ParentOf(ord)
+				if parent < 0 {
 					continue
 				}
-				p := &ix.Nodes[n.Parent]
-				e := edge{local[p.Label], local[n.Label]}
+				label := ix.LabelIDOf(ord)
+				e := edge{local[ix.LabelIDOf(parent)], local[label]}
 				s.edgeSeen[e] = true
-				k := pk{n.Parent, n.Label}
+				k := pk{parent, label}
 				counts[k]++
 				if counts[k] == 2 {
 					s.repeats[e] = true
@@ -149,7 +149,7 @@ func (s *Summary) labelID(label string) (int32, bool) {
 // (Defs 2.1.1–2.1.4 with "repeating" decided by the schema instead of the
 // instance). The index is not modified; use Apply to install the result.
 func (s *Summary) Categorize(ix *index.Index) []index.Category {
-	n := len(ix.Nodes)
+	n := ix.NodeCount()
 	cats := make([]index.Category, n)
 	// Per-node visibility, computed in reverse ordinal order (children
 	// before parents, since children have larger pre-order ordinals).
@@ -171,11 +171,11 @@ func (s *Summary) Categorize(ix *index.Index) []index.Category {
 		}
 	}
 	isRep := func(i int32) bool {
-		node := &ix.Nodes[i]
-		if node.Parent < 0 {
+		parent := ix.ParentOf(i)
+		if parent < 0 {
 			return false
 		}
-		pl, cl := local[ix.Nodes[node.Parent].Label], local[node.Label]
+		pl, cl := local[ix.LabelIDOf(parent)], local[ix.LabelIDOf(i)]
 		if pl < 0 || cl < 0 {
 			return false
 		}
@@ -183,9 +183,9 @@ func (s *Summary) Categorize(ix *index.Index) []index.Category {
 	}
 
 	for i := n - 1; i >= 0; i-- {
-		node := &ix.Nodes[i]
-		directValue := node.Subtree == 1 && node.HasValue && node.ChildCount == 1
-		rep := isRep(int32(i))
+		ord := int32(i)
+		directValue := ix.SubtreeSizeOf(ord) == 1 && ix.HasValueAt(ord) && ix.ChildCountOf(ord) == 1
+		rep := isRep(ord)
 
 		var cat index.Category
 		switch {
@@ -218,7 +218,7 @@ func (s *Summary) Categorize(ix *index.Index) []index.Category {
 			rv = repC[i]+bothC[i] > 0
 		}
 		qualAttr[i], repVis[i] = qa, rv
-		if p := node.Parent; p >= 0 {
+		if p := ix.ParentOf(ord); p >= 0 {
 			switch {
 			case qa && rv:
 				bothC[p]++
@@ -251,6 +251,13 @@ func entityTest(attr, rep, both int) bool {
 // changed. The search engine picks the new entity structure up
 // immediately (LCE lifting reads ix.Nodes[i].Cat).
 func Apply(ix *index.Index, cats []index.Category) int {
+	// A packed node table is immutable; flatten it, write the categories,
+	// then repack. RepackInPlace preserves ordinals, so the live-span
+	// restriction below and the caller's cats slice stay aligned.
+	repack := ix.IsPacked()
+	if repack {
+		ix.UnpackInPlace()
+	}
 	changed := 0
 	// Restrict writes and the changed count to live nodes: tombstoned
 	// documents are invisible to search and must not inflate the count,
@@ -265,5 +272,8 @@ func Apply(ix *index.Index, cats []index.Category) int {
 		}
 	}
 	ix.RefreshCategoryStats()
+	if repack {
+		ix.RepackInPlace()
+	}
 	return changed
 }

@@ -23,8 +23,12 @@ func FuzzLoadSegment(f *testing.F) {
 	}
 	seedDir := f.TempDir()
 	seedPath := filepath.Join(seedDir, "seed.gks4")
-	for _, bs := range []int{0, 256, 64} {
-		if err := WriteFileOpts(seedPath, ix, WriterOptions{BlockSize: bs}); err != nil {
+	// Both meta variants are seeded: the default packed node table and the
+	// flat v2 encoding (FlatNodes), at several block sizes.
+	for _, opts := range []WriterOptions{
+		{}, {BlockSize: 256}, {BlockSize: 64}, {FlatNodes: true}, {BlockSize: 256, FlatNodes: true},
+	} {
+		if err := WriteFileOpts(seedPath, ix, opts); err != nil {
 			f.Fatal(err)
 		}
 		good, err := os.ReadFile(seedPath)
@@ -64,7 +68,7 @@ func FuzzLoadSegment(f *testing.F) {
 		defer r.Close()
 		st := r.Stats()
 		_ = st
-		nNodes := int32(len(r.Index().Nodes))
+		nNodes := int32(r.Index().NodeCount())
 		walkErr := r.ForEachTerm(func(term string, count int) error {
 			list, err := r.Postings(term)
 			if err != nil {

@@ -136,7 +136,7 @@ func OpenFile(path string, opts Options) (*Reader, error) {
 		}
 		return fail(corruptf("segment %s: decode meta: %v", path, err))
 	}
-	r.nNodes = len(meta.Nodes)
+	r.nNodes = meta.NodeCount()
 	// Posting ordinals index the node table, so no list can hold more
 	// entries than there are nodes; a larger directory count is corruption
 	// caught before the first decode preallocates.

@@ -19,12 +19,19 @@
 //
 //	magic "GKS4"                      4 bytes
 //	version (= 1)                     uvarint
-//	meta section                      raw (uncompressed), CRC-protected:
+//	meta section                      raw (uncompressed), CRC-protected.
+//	  Two variants, self-describing by the leading uvarint:
+//	  flat (leading label count >= 1):
 //	    labels:   count, len+bytes each
 //	    docs:     count, len+bytes each
 //	    nodes:    count, then per node the v2 encoding:
 //	              dewey(binary codec) label cat(byte) childCount subtree
 //	              parent+1 hasValue(byte) [valueLen valueBytes]
+//	  packed (leading uvarint 0, impossible as a label count):
+//	    the DAG-compressed node table of index.EncodeMeta — spine /
+//	    instance / shape / value-arena arrays; shared subtrees stored
+//	    once. The writer emits this variant by default (see
+//	    WriterOptions.FlatNodes) and the reader accepts both.
 //	posting blocks                    concatenated, each flate-compressed;
 //	                                  decompressed form: the delta-varint
 //	                                  posting lists of whole terms, packed

@@ -87,7 +87,7 @@ func (s *Set) mergeBaseline(q core.Query, f func(*index.Index, [][]int32) []int3
 	for i, eng := range s.engines {
 		ix := s.shards[i]
 		for _, ord := range f(ix, eng.PostingLists(q)) {
-			ids = append(ids, ix.Nodes[ord].ID)
+			ids = append(ids, ix.IDOf(ord))
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return dewey.Compare(ids[i], ids[j]) < 0 })

@@ -284,15 +284,15 @@ func computeDocShard(shards []*index.Index) ([]int32, error) {
 	// nodes, not O(nodes).
 	maxDoc := int32(-1)
 	for i, ix := range shards {
-		for ord := int32(0); ord < int32(len(ix.Nodes)); ord += ix.Nodes[ord].Subtree {
-			if ix.Nodes[ord].Subtree <= 0 {
+		for ord := int32(0); ord < int32(ix.NodeCount()); ord += ix.SubtreeSizeOf(ord) {
+			if ix.SubtreeSizeOf(ord) <= 0 {
 				return nil, fmt.Errorf("shard: shard %d has non-positive subtree at root %d", i, ord)
 			}
 			if !ix.LiveOrd(ord) {
 				continue
 			}
-			if ix.Nodes[ord].ID.Doc > maxDoc {
-				maxDoc = ix.Nodes[ord].ID.Doc
+			if ix.DocOf(ord) > maxDoc {
+				maxDoc = ix.DocOf(ord)
 			}
 		}
 	}
@@ -301,11 +301,11 @@ func computeDocShard(shards []*index.Index) ([]int32, error) {
 		docShard[i] = -1
 	}
 	for i, ix := range shards {
-		for ord := int32(0); ord < int32(len(ix.Nodes)); ord += ix.Nodes[ord].Subtree {
+		for ord := int32(0); ord < int32(ix.NodeCount()); ord += ix.SubtreeSizeOf(ord) {
 			if !ix.LiveOrd(ord) {
 				continue
 			}
-			doc := ix.Nodes[ord].ID.Doc
+			doc := ix.DocOf(ord)
 			if doc < 0 {
 				return nil, fmt.Errorf("shard: shard %d holds negative document id %d", i, doc)
 			}

@@ -1,0 +1,313 @@
+package gks
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// Differential tests for the packed (DAG-compressed) node table: a system
+// serving from the packed representation must be observationally identical
+// to the flat system it was packed from, across the entire read surface
+// and across mutation histories. The segment differential suite already
+// exercises the packed form implicitly (the GKS4 writer packs meta by
+// default); this file pins the property directly, without a file format in
+// between, so a future codec change cannot mask an accessor bug.
+
+// packedPair builds a flat in-memory system from docs and a second system
+// serving the Pack()ed form of the same index.
+func packedPair(t *testing.T, docs ...*Document) (flat, packed *System) {
+	t.Helper()
+	flat, err := IndexDocuments(docs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed = newSystem(flat.ix.Pack(), flat.repo)
+	if !packed.ix.IsPacked() {
+		t.Fatal("Pack() did not produce a packed index")
+	}
+	return flat, packed
+}
+
+// packedCorpora extends the segment corpora with a duplicate-heavy DBLP
+// corpus — shared subtrees are where the shape table actually dedups, so
+// the instance-dispatch paths get real coverage.
+func packedCorpora(t *testing.T) map[string][]*Document {
+	t.Helper()
+	c := segmentCorpora(t)
+	c["dblp-dup"] = []*Document{datagen.DBLP(datagen.BibConfig{
+		Config:      datagen.Config{Seed: 13, Scale: 2},
+		DupFraction: 0.6,
+	})}
+	return c
+}
+
+// normExplain strips the wall-clock timings from an explanation; every
+// counted quantity (posting sizes, blocks, LCP nodes, candidates,
+// survivors) and the embedded response must match exactly.
+func normExplain(e *Explanation) Explanation {
+	if e == nil {
+		return Explanation{}
+	}
+	c := *e
+	c.MergeTime, c.ScanTime, c.RankTime = 0, 0, 0
+	c.Stages = core.StageTimings{}
+	if c.Response != nil {
+		r := normResp(c.Response)
+		c.Response = &r
+	}
+	return c
+}
+
+func diffExplain(t *testing.T, a, b *System, query string, s int) {
+	t.Helper()
+	ea, errA := a.Explain(query, s)
+	eb, errB := b.Explain(query, s)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("Explain(%q,%d) error mismatch: flat=%v packed=%v", query, s, errA, errB)
+	}
+	if errA != nil {
+		if errA.Error() != errB.Error() {
+			t.Fatalf("Explain(%q,%d) error text: flat=%v packed=%v", query, s, errA, errB)
+		}
+		return
+	}
+	if !reflect.DeepEqual(normExplain(ea), normExplain(eb)) {
+		t.Fatalf("Explain(%q,%d) differ:\nflat:   %+v\npacked: %+v", query, s, normExplain(ea), normExplain(eb))
+	}
+}
+
+// diffAggregates compares every whole-index summary the System exposes.
+func diffAggregates(t *testing.T, flat, packed *System) {
+	t.Helper()
+	if !reflect.DeepEqual(flat.Stats(), packed.Stats()) {
+		t.Fatalf("Stats differ:\nflat:   %+v\npacked: %+v", flat.Stats(), packed.Stats())
+	}
+	if se, sp := flat.Schema(), packed.Schema(); !reflect.DeepEqual(se, sp) {
+		t.Fatalf("Schema differ: flat=%v packed=%v", se, sp)
+	}
+	if ke, kp := flat.TopKeywords(10), packed.TopKeywords(10); !reflect.DeepEqual(ke, kp) {
+		t.Fatalf("TopKeywords differ: flat=%v packed=%v", ke, kp)
+	}
+	if le, lp := flat.LabelHistogram(), packed.LabelHistogram(); !reflect.DeepEqual(le, lp) {
+		t.Fatalf("LabelHistogram differ: flat=%v packed=%v", le, lp)
+	}
+	if de, dp := flat.DepthHistogram(), packed.DepthHistogram(); !reflect.DeepEqual(de, dp) {
+		t.Fatalf("DepthHistogram differ: flat=%v packed=%v", de, dp)
+	}
+	if ve, vp := flat.ValidateIndex(), packed.ValidateIndex(); ve != nil || vp != nil {
+		t.Fatalf("ValidateIndex: flat=%v packed=%v", ve, vp)
+	}
+}
+
+// TestPackedDifferentialSearch is the central packed-node-table property
+// test: over randomized corpora (including a duplicate-heavy one) and
+// seeded random queries, the packed system answers the entire read surface
+// — search, top-k, best effort, insights, refinements, explain, SLCA,
+// ELCA, schema and every histogram — identically to the flat system.
+func TestPackedDifferentialSearch(t *testing.T) {
+	for name, docs := range packedCorpora(t) {
+		t.Run(name, func(t *testing.T) {
+			flat, packed := packedPair(t, docs...)
+			diffAggregates(t, flat, packed)
+
+			kws := vocab(flat)
+			rng := rand.New(rand.NewSource(77))
+			for i, query := range randomQueries(rng, kws, 40) {
+				s := 1 + rng.Intn(3)
+				diffSearchSurface(t, flat, packed, query, s)
+				if i%5 == 0 {
+					diffExplain(t, flat, packed, query, s)
+				}
+			}
+			for i := 0; i < 5; i++ {
+				kw := kws[rng.Intn(len(kws))] + "x"
+				if se, sp := flat.Suggest(kw, 2, 3), packed.Suggest(kw, 2, 3); !reflect.DeepEqual(se, sp) {
+					t.Fatalf("Suggest(%q) differ: flat=%v packed=%v", kw, se, sp)
+				}
+			}
+
+			// Schema-driven recategorization mutates categories in place;
+			// the packed system must apply it through unpack/repack and
+			// stay packed — and stay identical to the flat system after.
+			ce, cp := flat.ApplySchemaCategorization(), packed.ApplySchemaCategorization()
+			if ce != cp {
+				t.Fatalf("ApplySchemaCategorization: flat recategorized %d, packed %d", ce, cp)
+			}
+			if !packed.ix.IsPacked() {
+				t.Fatal("ApplySchemaCategorization lost the packed representation")
+			}
+			diffAggregates(t, flat, packed)
+			for _, query := range randomQueries(rng, kws, 10) {
+				diffSearchSurface(t, flat, packed, query, 2)
+			}
+		})
+	}
+}
+
+// bagDoc builds a small random document over a fixed vocabulary; repeated
+// words across documents make shared shapes and multi-doc postings common.
+func bagDoc(name string, rng *rand.Rand, words []string) *Document {
+	root := xmltree.E("collection")
+	n := 3 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		entry := xmltree.E("entry")
+		entry.Append(xmltree.ET("title", words[rng.Intn(len(words))]+" "+words[rng.Intn(len(words))]))
+		entry.Append(xmltree.ET("year", words[rng.Intn(len(words))]))
+		root.Append(entry)
+	}
+	return xmltree.NewDocument(name, 0, root)
+}
+
+// TestPackedMutationHistoryDifferential drives random mutation histories
+// (add, replace, delete) against a packed system and pins two properties:
+// every mutation preserves the packed representation, and the compacted
+// survivor — Compacted() over whatever tombstones and appends accumulated
+// — answers the full search surface identically to a cold rebuild from the
+// surviving documents.
+func TestPackedMutationHistoryDifferential(t *testing.T) {
+	words := []string{
+		"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+		"hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+	}
+	for trial := 0; trial < 4; trial++ {
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(100 + trial)))
+			var docs []*Document
+			var names []string
+			for i := 0; i < 4; i++ {
+				name := fmt.Sprintf("d%d", i)
+				docs = append(docs, bagDoc(name, rng, words))
+				names = append(names, name)
+			}
+			_, sys := packedPair(t, docs...)
+			nextName := len(names)
+
+			for step := 0; step < 30; step++ {
+				switch op := rng.Intn(3); op {
+				case 0: // add a new document
+					name := fmt.Sprintf("d%d", nextName)
+					nextName++
+					next, replaced, err := Upsert(sys, bagDoc(name, rng, words))
+					if err != nil || replaced {
+						t.Fatalf("step %d: add %s: replaced=%v err=%v", step, name, replaced, err)
+					}
+					sys = next.(*System)
+					names = append(names, name)
+				case 1: // replace an existing document
+					name := names[rng.Intn(len(names))]
+					next, replaced, err := Upsert(sys, bagDoc(name, rng, words))
+					if err != nil || !replaced {
+						t.Fatalf("step %d: replace %s: replaced=%v err=%v", step, name, replaced, err)
+					}
+					sys = next.(*System)
+				default: // delete (keep >=2 documents so ErrLastDocument's
+					// fresh-rebuild path stays out of this history)
+					if len(names) <= 2 {
+						continue
+					}
+					i := rng.Intn(len(names))
+					next, err := Remove(sys, names[i])
+					if err != nil {
+						t.Fatalf("step %d: remove %s: %v", step, names[i], err)
+					}
+					sys = next.(*System)
+					names = append(names[:i], names[i+1:]...)
+				}
+				if !sys.ix.IsPacked() {
+					t.Fatalf("step %d: mutation lost the packed representation", step)
+				}
+			}
+
+			comp := newSystem(sys.ix.Compacted(), sys.repo)
+			if !comp.ix.IsPacked() {
+				t.Fatal("Compacted() over a packed index is not packed")
+			}
+			// Cold rebuild from the survivors with their document ids
+			// preserved (Repository.Add would renumber); Build requires
+			// Dewey document order.
+			sorted := append([]*Document(nil), sys.repo.Docs...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i].DocID < sorted[j].DocID })
+			coldIx, err := index.Build(&xmltree.Repository{Docs: sorted}, index.DefaultOptions())
+			if err != nil {
+				t.Fatalf("cold rebuild: %v", err)
+			}
+			cold := newSystem(coldIx, &xmltree.Repository{Docs: sorted})
+
+			diffAggregates(t, cold, comp)
+			kws := vocab(cold)
+			for i, query := range randomQueries(rng, kws, 25) {
+				s := 1 + rng.Intn(3)
+				diffSearchSurface(t, cold, comp, query, s)
+				if i%5 == 0 {
+					diffExplain(t, cold, comp, query, s)
+				}
+			}
+		})
+	}
+}
+
+// TestPackedSearchConcurrent hammers one packed system from many
+// goroutines (run under -race by make dag-smoke): packed serving is
+// read-only and must be race-free, and every response must still match the
+// flat oracle.
+func TestPackedSearchConcurrent(t *testing.T) {
+	docs := []*Document{
+		datagen.DBLP(datagen.BibConfig{
+			Config:      datagen.Config{Seed: 21, Scale: 2},
+			DupFraction: 0.5,
+		}),
+		datagen.Mondial(datagen.Config{Seed: 8, Scale: 1}),
+	}
+	flat, packed := packedPair(t, docs...)
+
+	kws := vocab(flat)
+	rng := rand.New(rand.NewSource(55))
+	queries := randomQueries(rng, kws, 24)
+	type oracle struct {
+		resp Response
+		err  string
+	}
+	want := make([]oracle, len(queries))
+	for i, q := range queries {
+		r, err := flat.Search(q, 2)
+		if err != nil {
+			want[i] = oracle{err: err.Error()}
+			continue
+		}
+		want[i] = oracle{resp: normResp(r)}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8*len(queries))
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, q := range queries {
+				r, err := packed.Search(q, 2)
+				switch {
+				case err != nil && want[i].err == "":
+					errc <- fmt.Errorf("goroutine %d: Search(%q): unexpected error %v", g, q, err)
+				case err == nil && want[i].err != "":
+					errc <- fmt.Errorf("goroutine %d: Search(%q): missing error %q", g, q, want[i].err)
+				case err == nil && !reflect.DeepEqual(normResp(r), want[i].resp):
+					errc <- fmt.Errorf("goroutine %d: Search(%q): response diverged", g, q)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
