@@ -290,6 +290,20 @@ func newSystem(ix *index.Index, repo *xmltree.Repository) *System {
 	return &System{ix: ix, engine: eng, an: di.New(eng), repo: repo}
 }
 
+// Packed returns a system serving the same documents through the
+// DAG-compressed packed node table; the receiver is unchanged (and
+// returned as-is when already packed). A packed system stays packed
+// across live ingestion: upserts extend the pack incrementally at
+// O(document) cost against the existing shape table, deletes tombstone,
+// and the accumulated drift from the canonical pack is measured by
+// PackDebt and paid down by RepackIfNeeded (gksd runs it at checkpoints).
+func (s *System) Packed() *System {
+	if s.ix.IsPacked() {
+		return s
+	}
+	return newSystem(s.ix.Pack(), s.repo)
+}
+
 // SaveIndex persists the index ("a onetime activity", §2.4) in the legacy
 // gob format. Prefer SaveIndexFile, which writes the checksummed snapshot
 // format; LoadIndex and LoadIndexFile read both.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/index"
+	"repro/internal/xmltree"
 )
 
 // DAG bench: the node-table compression story of the packed index. One
@@ -58,13 +59,36 @@ type DAGRow struct {
 	WarmRatio  float64
 }
 
+// DAGIngestRow is one append strategy's live-ingestion measurement: the
+// same document stream appended one at a time onto the same base corpus.
+type DAGIngestRow struct {
+	// Strategy identifies the append path: "flat-append" (no packing at
+	// all), "packed-full-repack" (the pre-delta behavior: flatten, splice,
+	// re-pack per document) or "packed-delta" (incremental pack
+	// maintenance).
+	Strategy string
+	// Docs is the number of documents appended; Nodes the final node count.
+	Docs  int
+	Nodes int
+	// Total is the wall-clock for the whole stream; PerDoc the mean;
+	// DocsPerSec the resulting upsert throughput.
+	Total      time.Duration
+	PerDoc     time.Duration
+	DocsPerSec float64
+	// PackDebt is the delta strategy's leftover debt ratio (what a repack
+	// would reclaim); 0 for the other strategies.
+	PackDebt float64
+}
+
 // DAGBenchResult aggregates the experiment for reporting and the
 // BENCH_dag.json artifact.
 type DAGBenchResult struct {
-	Scale   int
-	Queries int
-	Rows    []DAGRow
-	Mode    string
+	Scale      int
+	Queries    int
+	Rows       []DAGRow
+	IngestDocs int
+	Ingest     []DAGIngestRow
+	Mode       string
 }
 
 // dagQueries derives a deterministic mixed query set from the index
@@ -145,6 +169,127 @@ func dagMeasure(eng *core.Engine, queries []string, threshold int) (cold, warm t
 	return coldTotal / n, best / n, responses, nil
 }
 
+// dagLiveDocs generates the live-upsert stream: small bibliography
+// fragments (a handful of entries each), the shape a single ingest API
+// call carries, deterministic in the seed.
+func dagLiveDocs(n int) []*xmltree.Document {
+	docs := make([]*xmltree.Document, n)
+	for i := range docs {
+		d := datagen.DBLP(datagen.BibConfig{
+			Config:  datagen.Config{Seed: int64(1000 + i), Scale: 1},
+			Entries: 5,
+		})
+		d.Name = fmt.Sprintf("live-%d.xml", i)
+		docs[i] = d
+	}
+	return docs
+}
+
+// dagIngest measures live-ingestion throughput: the same document stream
+// appended one at a time via three strategies onto the same base corpus —
+// flat append (never packed), the pre-delta packed behavior (flatten,
+// splice, re-pack every document: the O(N)-per-append collapse this repo
+// fixed) and the delta-maintaining packed append. Final states are diffed
+// query-by-query so a throughput win can never hide divergence.
+func dagIngest(scale int) ([]DAGIngestRow, int, error) {
+	repo := datagen.Repo(datagen.DBLP(datagen.BibConfig{
+		Config:      datagen.Config{Seed: 31, Scale: scale},
+		DupFraction: 0.3,
+	}))
+	flatBase, err := index.Build(repo, index.DefaultOptions())
+	if err != nil {
+		return nil, 0, fmt.Errorf("dag ingest: indexing base: %w", err)
+	}
+	packedBase := flatBase.Pack()
+
+	nDocs := 16 + 4*scale
+	if nDocs > 96 {
+		nDocs = 96
+	}
+	docs := dagLiveDocs(nDocs)
+
+	type strategy struct {
+		name string
+		base *index.Index
+		step func(*index.Index, *xmltree.Document) (*index.Index, error)
+	}
+	strategies := []strategy{
+		{"flat-append", flatBase, func(ix *index.Index, d *xmltree.Document) (*index.Index, error) {
+			return index.AppendAs(ix, d, ix.NextDocID(), index.DefaultOptions())
+		}},
+		{"packed-full-repack", packedBase, func(ix *index.Index, d *xmltree.Document) (*index.Index, error) {
+			return index.AppendAsFullRepack(ix, d, ix.NextDocID(), index.DefaultOptions())
+		}},
+		{"packed-delta", packedBase, func(ix *index.Index, d *xmltree.Document) (*index.Index, error) {
+			return index.AppendAs(ix, d, ix.NextDocID(), index.DefaultOptions())
+		}},
+	}
+
+	rows := make([]DAGIngestRow, 0, len(strategies))
+	finals := make([]*index.Index, 0, len(strategies))
+	for _, s := range strategies {
+		cur := s.base
+		start := time.Now()
+		for _, d := range docs {
+			next, err := s.step(cur, d)
+			if err != nil {
+				return nil, 0, fmt.Errorf("dag ingest: %s: %w", s.name, err)
+			}
+			cur = next
+		}
+		total := time.Since(start)
+		if s.base == packedBase && !cur.IsPacked() {
+			return nil, 0, fmt.Errorf("dag ingest: %s lost the packed representation", s.name)
+		}
+		row := DAGIngestRow{
+			Strategy: s.name,
+			Docs:     nDocs,
+			Nodes:    cur.NodeCount(),
+			Total:    total,
+			PerDoc:   total / time.Duration(nDocs),
+			PackDebt: cur.PackDebt(),
+		}
+		if total > 0 {
+			row.DocsPerSec = float64(nDocs) / total.Seconds()
+		}
+		rows = append(rows, row)
+		finals = append(finals, cur)
+	}
+
+	queries, err := dagQueries(finals[0], 30)
+	if err != nil {
+		return nil, 0, err
+	}
+	onePass := func(ix *index.Index) ([]*core.Response, error) {
+		eng := core.NewEngine(ix)
+		resp := make([]*core.Response, 0, len(queries))
+		for _, q := range queries {
+			r, err := eng.Search(core.ParseQuery(q), 2)
+			if err != nil {
+				return nil, err
+			}
+			resp = append(resp, r)
+		}
+		return resp, nil
+	}
+	refResp, err := onePass(finals[0])
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 1; i < len(finals); i++ {
+		resp, err := onePass(finals[i])
+		if err != nil {
+			return nil, 0, err
+		}
+		for j, q := range queries {
+			if err := diffResponses(q, refResp[j], resp[j]); err != nil {
+				return nil, 0, fmt.Errorf("dag ingest: %s vs flat-append: %w", rows[i].Strategy, err)
+			}
+		}
+	}
+	return rows, nDocs, nil
+}
+
 // DAGBench runs the flat-vs-packed node-table comparison at the given
 // corpus scale across a sweep of duplicate-subtree fractions.
 func DAGBench(scale int) (*DAGBenchResult, error) {
@@ -218,6 +363,11 @@ func DAGBench(scale int) (*DAGBenchResult, error) {
 		res.Rows = append(res.Rows, row)
 		res.Queries = len(queries)
 	}
+	ingest, nDocs, err := dagIngest(scale)
+	if err != nil {
+		return nil, err
+	}
+	res.Ingest, res.IngestDocs = ingest, nDocs
 	return res, nil
 }
 
@@ -236,5 +386,17 @@ func PrintDAGBench(w io.Writer, r *DAGBenchResult) {
 			row.WarmRatio)
 	}
 	tw.Flush()
+	if len(r.Ingest) > 0 {
+		fmt.Fprintf(w, "\nlive ingestion: %d single-document upserts onto the dup=0.3 base, per strategy\n", r.IngestDocs)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "strategy\tdocs/s\tper doc\ttotal\tfinal nodes\tpack debt")
+		for _, row := range r.Ingest {
+			fmt.Fprintf(tw, "%s\t%.1f\t%v\t%v\t%d\t%.3f\n",
+				row.Strategy, row.DocsPerSec,
+				row.PerDoc.Round(time.Microsecond), row.Total.Round(time.Millisecond),
+				row.Nodes, row.PackDebt)
+		}
+		tw.Flush()
+	}
 	fmt.Fprintf(w, "mode: %s\n", r.Mode)
 }

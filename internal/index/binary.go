@@ -601,6 +601,10 @@ func readMetaPackedInto(br *bufio.Reader, size int64, ix *Index) error {
 		return err
 	}
 	p := &packedNodes{}
+	// A loaded table starts a fresh delta-append lineage: debt counters
+	// are not serialized (they only drive repack scheduling), so a loaded
+	// image owes nothing until it delta-appends again.
+	p.app = &appendState{owner: p}
 
 	rawSpine, err := readUvarint()
 	if err != nil {

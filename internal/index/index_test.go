@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"sort"
 	"testing"
 
 	"repro/internal/dewey"
@@ -349,11 +350,94 @@ func TestSizeBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := ix.Save(&buf); err != nil {
+	if err := ix.SaveSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
 	if n != int64(buf.Len()) {
-		t.Errorf("SizeBytes = %d, encoded = %d", n, buf.Len())
+		t.Errorf("SizeBytes = %d, snapshot encoded = %d", n, buf.Len())
+	}
+}
+
+// TestSizeBytesPacked pins that SizeBytes reports the shipping v3 size of
+// a packed index without flattening it: the count must equal the bytes
+// SaveSnapshot writes for the packed form (which serializes the packed
+// node section directly), not the legacy flattened gob encoding.
+func TestSizeBytesPacked(t *testing.T) {
+	packed := buildFig2a(t).Pack()
+	if !packed.IsPacked() {
+		t.Fatal("Pack() did not pack")
+	}
+	n, err := packed.SizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := packed.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("packed SizeBytes = %d, snapshot encoded = %d", n, buf.Len())
+	}
+	if !packed.IsPacked() {
+		t.Error("SizeBytes flattened the packed index")
+	}
+}
+
+// memSource serves a posting map through the PostingSource interface, so
+// lazy-path behavior is testable without a segment file behind it.
+type memSource struct{ posts map[string][]int32 }
+
+func (m *memSource) Postings(term string) ([]int32, error) {
+	list, ok := m.posts[term]
+	if !ok {
+		return nil, nil
+	}
+	return append([]int32(nil), list...), nil
+}
+
+func (m *memSource) ForEachTerm(f func(term string, count int) error) error {
+	terms := make([]string, 0, len(m.posts))
+	for t := range m.posts {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		if err := f(t, len(m.posts[t])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *memSource) TermCount() int { return len(m.posts) }
+
+// TestSizeBytesLazy pins that SizeBytes on a lazily-backed index streams
+// the postings from the source — the index must stay lazy afterwards, and
+// the reported size must equal the eager equivalent's snapshot (the v3
+// writer sorts terms either way, so the bytes coincide).
+func TestSizeBytesLazy(t *testing.T) {
+	eager := buildFig2a(t)
+	want, err := eager.SizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := &Index{
+		Labels:   eager.Labels,
+		Nodes:    eager.Nodes,
+		DocNames: eager.DocNames,
+		Stats:    eager.Stats,
+		labelIDs: eager.labelIDs,
+	}
+	lazy := NewLazy(meta, &memSource{posts: eager.Postings})
+	got, err := lazy.SizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("lazy SizeBytes = %d, eager = %d", got, want)
+	}
+	if !lazy.IsLazy() {
+		t.Error("SizeBytes materialized the lazy index")
 	}
 }
 

@@ -79,6 +79,16 @@ type packedNodes struct {
 	// the k-th document in the table, docNum[k] its Dewey document number.
 	docStart []int32
 	docNum   []int32
+
+	// Delta-append bookkeeping (see packed_append.go). deltaNodes and
+	// deltaDocs count what the delta path appended since the last full
+	// pack — the repack policy's debt numerator. app carries the lineage's
+	// append claim and lookup sidecar; it travels by pointer across
+	// delta-appended generations and is never serialized (a loaded table
+	// starts a fresh lineage with zero debt).
+	deltaNodes int
+	deltaDocs  int
+	app        *appendState
 }
 
 // IsPacked reports whether the node table is DAG-compressed.
@@ -354,8 +364,10 @@ func (ix *Index) RepackInPlace() {
 // an instance and its whole subtree is skipped (so nested repeats dedup at
 // the outermost level); everything else is spine and the scan descends.
 func packNodes(nodes []NodeInfo) *packedNodes {
+	packCount.Add(1)
 	n := int32(len(nodes))
 	p := &packedNodes{ordInst: make([]int32, n)}
+	p.app = &appendState{owner: p}
 
 	// Value interning.
 	valIDs := make(map[string]int32)
@@ -483,6 +495,11 @@ type PackInfo struct {
 	// Values is the interned distinct-value count, ValueBytes the arena
 	// size.
 	Values, ValueBytes int
+	// DeltaNodes and DeltaDocs count what the delta-maintaining append
+	// added since the last full pack; DeadNodes counts tombstoned
+	// ordinals still physically present. (DeltaNodes+DeadNodes)/Nodes is
+	// the pack debt (see Index.PackDebt) the repack policy thresholds on.
+	DeltaNodes, DeltaDocs, DeadNodes int
 }
 
 // PackedInfo returns the dedup summary of a packed index, or a zero value
@@ -492,6 +509,12 @@ func (ix *Index) PackedInfo() (PackInfo, bool) {
 	if p == nil {
 		return PackInfo{}, false
 	}
+	dead := 0
+	if ix.tomb != nil {
+		for _, r := range ix.tomb.dead {
+			dead += int(r[1] - r[0])
+		}
+	}
 	return PackInfo{
 		Nodes:      len(p.ordInst),
 		SpineNodes: len(p.spLabel),
@@ -500,6 +523,9 @@ func (ix *Index) PackedInfo() (PackInfo, bool) {
 		ShapeNodes: len(p.shLabel),
 		Values:     len(p.valOff) - 1,
 		ValueBytes: len(p.valArena),
+		DeltaNodes: p.deltaNodes,
+		DeltaDocs:  p.deltaDocs,
+		DeadNodes:  dead,
 	}, true
 }
 

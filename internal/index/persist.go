@@ -153,10 +153,16 @@ func LoadFile(path string) (*Index, error) {
 }
 
 // SizeBytes returns the size of the serialized index — the "Index Size"
-// column of Table 4.
+// column of Table 4 — as written by SaveSnapshot, the v3 checksummed
+// format everything actually ships. It used to measure the legacy gob v1
+// encoding, which forced a Materialized()+Unpacked() flattening of the
+// whole index and reported a format nothing writes anymore; the snapshot
+// writer streams lazy postings straight from their source and serializes
+// a packed node table without unpacking it, so this is cheap on every
+// representation.
 func (ix *Index) SizeBytes() (int64, error) {
 	var cw countWriter
-	if err := ix.Save(&cw); err != nil {
+	if err := ix.SaveSnapshot(&cw); err != nil {
 		return 0, err
 	}
 	return cw.n, nil

@@ -124,6 +124,11 @@ type Registry struct {
 	ckptDur         *Histogram // checkpoint persist+truncate latency
 	ckptSegsRemoved int64      // total log segments truncated by checkpoints
 
+	packEnabled bool       // any pack-maintenance series observed; gates the block
+	repackTotal int64      // full repacks of the serving node table
+	repackDur   *Histogram // repack+swap latency
+	packBloat   float64    // serving index pack debt (delta+tombstone fraction)
+
 	replicaEnabled   bool   // any replica series observed; gates the block
 	replicaRole      string // "leader" or "follower"
 	replicaStreamed  int64  // leader: records shipped to followers
@@ -371,6 +376,39 @@ func (r *Registry) ObserveCheckpoint(ok bool, removedSegments int, d time.Durati
 		r.ckptDur = newHistogram(r.buckets)
 	}
 	r.ckptDur.observe(d.Seconds())
+}
+
+// ObserveRepack records one full repack of the serving node table — the
+// amortization step that folds accumulated delta appends and tombstones
+// back into a canonically packed index — and its latency (repack + swap).
+func (r *Registry) ObserveRepack(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.packEnabled = true
+	r.repackTotal++
+	if r.repackDur == nil {
+		r.repackDur = newHistogram(r.buckets)
+	}
+	r.repackDur.observe(d.Seconds())
+}
+
+// SetPackBloat publishes the serving index's pack debt: the fraction of
+// the node table that is delta-appended past the canonical pack or
+// tombstoned garbage. The checkpointer refreshes it on every checkpoint;
+// it trends toward zero right after a repack.
+func (r *Registry) SetPackBloat(ratio float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.packEnabled = true
+	r.packBloat = ratio
+}
+
+// RepackStats reports the repack counter and the last-published pack
+// debt, for tests and status endpoints.
+func (r *Registry) RepackStats() (total int64, bloat float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.repackTotal, r.packBloat
 }
 
 // SetReplicaRole marks this process's replication role ("leader" or
@@ -733,6 +771,16 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "gks_wal_checkpoint_segments_removed_total %d\n", r.ckptSegsRemoved)
 	}
 
+	if r.packEnabled {
+		fmt.Fprintln(w, "# HELP gks_repack_total Full repacks of the serving node table.")
+		fmt.Fprintln(w, "# TYPE gks_repack_total counter")
+		fmt.Fprintf(w, "gks_repack_total %d\n", r.repackTotal)
+
+		fmt.Fprintln(w, "# HELP gks_pack_bloat_ratio Fraction of the node table that is delta-appended or tombstoned.")
+		fmt.Fprintln(w, "# TYPE gks_pack_bloat_ratio gauge")
+		fmt.Fprintf(w, "gks_pack_bloat_ratio %s\n", fmtFloat(r.packBloat))
+	}
+
 	if r.replicaEnabled {
 		if r.replicaRole != "" {
 			fmt.Fprintln(w, "# HELP gks_replica_role Replication role of this process (1 = active).")
@@ -843,6 +891,20 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "gks_wal_checkpoint_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.count)
 		fmt.Fprintf(w, "gks_wal_checkpoint_duration_seconds_sum %s\n", fmtFloat(h.sum))
 		fmt.Fprintf(w, "gks_wal_checkpoint_duration_seconds_count %d\n", h.count)
+	}
+
+	if r.repackDur != nil {
+		h := r.repackDur
+		fmt.Fprintln(w, "# HELP gks_repack_duration_seconds Full node-table repack + swap latency.")
+		fmt.Fprintln(w, "# TYPE gks_repack_duration_seconds histogram")
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "gks_repack_duration_seconds_bucket{le=%q} %d\n", fmtFloat(bound), cum)
+		}
+		fmt.Fprintf(w, "gks_repack_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.count)
+		fmt.Fprintf(w, "gks_repack_duration_seconds_sum %s\n", fmtFloat(h.sum))
+		fmt.Fprintf(w, "gks_repack_duration_seconds_count %d\n", h.count)
 	}
 
 	if len(r.shardSearch) > 0 {

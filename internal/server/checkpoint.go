@@ -33,7 +33,8 @@ type Checkpointer struct {
 	lastLSN uint64 // highest lsn folded into a snapshot so far
 	kick    chan struct{}
 
-	ckptMu sync.Mutex // serializes Checkpoint bodies
+	ckptMu   sync.Mutex // serializes Checkpoint bodies
+	repackAt float64    // pack-debt threshold for background repacks; 0 disables
 }
 
 // NewCheckpointer wires a checkpointer over the reloader's serving state.
@@ -47,6 +48,19 @@ func NewCheckpointer(rl *Reloader, l *wal.Log, persist func(gks.Searcher) error,
 		reg: reg, logger: logger,
 		kick: make(chan struct{}, 1),
 	}
+}
+
+// EnableRepack arms background pack maintenance: each checkpoint measures
+// the serving system's pack debt (the fraction of the node table that is
+// delta-appended or tombstoned; see gks.PackDebt) and, at or past
+// threshold, rebuilds a canonically packed system and swaps it into
+// service before persisting — so the snapshot that reaches disk is the
+// repacked one, and boot never replays onto a bloated table. A threshold
+// of 0 (the default) leaves repacking off.
+func (c *Checkpointer) EnableRepack(threshold float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.repackAt = threshold
 }
 
 // LastCheckpointLSN reports the highest LSN folded into a snapshot by
@@ -118,9 +132,32 @@ func (c *Checkpointer) Checkpoint() error {
 	if !done {
 		c.pending = 0
 	}
+	repackAt := c.repackAt
 	c.mu.Unlock()
 	if done {
 		return nil // nothing new since the last checkpoint
+	}
+
+	// Pack maintenance rides the checkpoint, still under rl.mu: once the
+	// serving table's delta+tombstone debt crosses the threshold, rebuild
+	// the canonical pack and swap it into service first, so the snapshot
+	// persisted below is the repacked one. Mutations are stalled by the
+	// same mutex, so no acknowledged write can miss the rebuilt table.
+	repStart := time.Now()
+	if next, ok := gks.RepackIfNeeded(sys, repackAt); ok {
+		c.rl.h.Swap(next)
+		sys = next
+		if c.reg != nil {
+			c.reg.ObserveRepack(time.Since(repStart))
+		}
+		if c.logger != nil {
+			st := sys.Stats()
+			c.logger.Printf("checkpoint: repacked node table in %v, %d document(s) %d element(s)",
+				time.Since(repStart).Round(time.Millisecond), st.Documents, st.ElementNodes)
+		}
+	}
+	if c.reg != nil {
+		c.reg.SetPackBloat(gks.PackDebt(sys))
 	}
 
 	if err := c.persist(sys); err != nil {

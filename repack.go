@@ -1,0 +1,40 @@
+package gks
+
+// Background pack maintenance for live ingestion. The delta-maintaining
+// pack (internal/index/packed_append.go) keeps every append O(document),
+// but the table it extends drifts from canonical: delta documents pack
+// against the frozen base shape table (no cross-document sharing with
+// the base), and deletes accumulate as tombstoned rows. PackDebt
+// measures that drift; RepackIfNeeded pays it down with one full
+// deterministic repack once it crosses a threshold — the LSM-style
+// amortization that bounds both memory bloat and the per-query cost of
+// skipping dead ordinals.
+
+// PackDebt reports the fraction of sys's node table that is garbage or
+// past the canonical pack: tombstoned rows plus delta-appended rows,
+// over total rows, in [0, 1]. Zero for sharded systems and freshly
+// packed (or flat, tombstone-free) indexes.
+func PackDebt(sys Searcher) float64 {
+	if s, ok := sys.(*System); ok {
+		return s.ix.PackDebt()
+	}
+	return 0
+}
+
+// RepackIfNeeded returns a system whose pack debt has been paid — one
+// full deterministic repack of the surviving documents — when sys is a
+// single-index system at or past threshold; otherwise it returns sys
+// unchanged. The rebuilt system is a copy-on-write successor: sys keeps
+// serving searches until the caller swaps the result in. A threshold
+// at or below zero disables repacking (repacking on every mutation
+// would reintroduce the O(N)-per-append collapse this exists to fix).
+func RepackIfNeeded(sys Searcher, threshold float64) (Searcher, bool) {
+	s, ok := sys.(*System)
+	if !ok || threshold <= 0 {
+		return sys, false
+	}
+	if s.ix.PackDebt() < threshold {
+		return sys, false
+	}
+	return newSystem(s.ix.Repacked(), s.repo), true
+}

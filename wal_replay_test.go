@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/index"
 	"repro/internal/wal"
 )
 
@@ -323,6 +324,114 @@ func TestWALReplayEqualsColdRebuild(t *testing.T) {
 			assertStateEqual(t, fmt.Sprintf("trial %d live", trial), ref, sys, queries)
 		})
 	}
+}
+
+// TestWALReplayPacksOnce is the regression test for the boot-time write
+// collapse: replaying a K-record WAL tail onto a packed snapshot used to
+// unpack and re-pack the whole node table once per upsert (O(N·K) boot
+// cost). The batch path must re-pack at most once regardless of K, and
+// still recover exactly the cold-rebuild state, packed.
+func TestWALReplayPacksOnce(t *testing.T) {
+	dir := t.TempDir()
+	flat, err := IndexDocuments(
+		ingestDoc(t, "a.xml", "apple", "pear"),
+		ingestDoc(t, "b.xml", "pear", "plum"),
+		ingestDoc(t, "c.xml", "plum", "fig"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newSystem(flat.ix.Pack(), flat.repo)
+	if !sys.ix.IsPacked() {
+		t.Fatal("base system did not pack")
+	}
+
+	l, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := map[string]string{
+		"a.xml": "<root><item>apple</item><item>pear</item></root>",
+		"b.xml": "<root><item>pear</item><item>plum</item></root>",
+		"c.xml": "<root><item>plum</item><item>fig</item></root>",
+	}
+	// A K-record tail mixing fresh names, replacements (including of the
+	// same name twice, exercising last-writer-wins) and deletes.
+	history := []struct {
+		op   wal.Op
+		name string
+		body string
+	}{
+		{wal.OpUpsert, "d.xml", "<root><item>cherry</item></root>"},
+		{wal.OpUpsert, "b.xml", "<root><item>quince</item></root>"},
+		{wal.OpUpsert, "e.xml", "<root><item>mango</item></root>"},
+		{wal.OpDelete, "a.xml", ""},
+		{wal.OpUpsert, "b.xml", "<root><item>olive</item><item>date</item></root>"},
+		{wal.OpUpsert, "f.xml", "<root><item>grape</item></root>"},
+		{wal.OpDelete, "e.xml", ""},
+		{wal.OpUpsert, "g.xml", "<root><item>fig</item><item>apple</item></root>"},
+		{wal.OpUpsert, "c.xml", "<root><item>pear</item></root>"},
+		{wal.OpUpsert, "h.xml", "<root><item>plum</item></root>"},
+		{wal.OpDelete, "d.xml", ""},
+		{wal.OpUpsert, "i.xml", "<root><item>cherry</item><item>quince</item></root>"},
+	}
+	for _, h := range history {
+		if _, err := l.Enqueue(h.op, h.name, h.body); err != nil {
+			t.Fatal(err)
+		}
+		if h.op == wal.OpUpsert {
+			content[h.name] = h.body
+		} else {
+			delete(content, h.name)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	before := index.PackCount()
+	recovered, applied, err := ReplayWAL(sys, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packs := index.PackCount() - before; packs > 1 {
+		t.Errorf("replay of %d records ran packNodes %d times, want at most 1", len(history), packs)
+	}
+	if applied == 0 {
+		t.Fatal("replay applied nothing")
+	}
+	rs := recovered.(*System)
+	if !rs.ix.IsPacked() {
+		t.Error("recovered system lost its packed representation")
+	}
+	if err := rs.ValidateIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	names := make([]string, 0, len(content))
+	for name := range content {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	docs := make([]*Document, 0, len(names))
+	for _, name := range names {
+		doc, err := ParseDocumentString(content[name], name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, doc)
+	}
+	ref, err := IndexDocuments(docs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := append(append([]string(nil), walTestVocab...), "apple pear", "plum cherry quince")
+	assertStateEqual(t, "packed batch replay", ref, recovered, queries)
 }
 
 // TestWALReplayShardedSmoke checks the replay path against the sharded

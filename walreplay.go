@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/index"
 	"repro/internal/wal"
+	"repro/internal/xmltree"
 )
 
 // Write-ahead-log recovery: folding a surviving log tail into a loaded
@@ -33,6 +35,16 @@ import (
 //     can reject but an acknowledged history can never contain — cannot
 //     fire transiently.
 //
+// A single-index system replays the whole collapsed tail as one batch:
+// every replaced or deleted document tombstones first, then all upserts
+// splice in through a single index.AppendBatch merge, so a packed
+// snapshot re-packs at most once no matter how many records survived.
+// The per-record path below it used to pay a full unpack/repack cycle
+// per upsert — O(snapshot × records) boot cost, the same write collapse
+// the delta pack fixes for live ingestion. Sharded systems still replay
+// record by record (each record touches one shard, there is no shared
+// table to amortize).
+//
 // Damage in the log (ErrCorrupt) or an unparsable logged document fails
 // the whole recovery: serving a partial history would silently drop
 // acknowledged writes.
@@ -56,27 +68,39 @@ func ReplayWAL(sys Searcher, l *wal.Log) (Searcher, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("gks: wal replay: %w", err)
 	}
-	applied := 0
+	// Parse every surviving document before touching sys: an unparsable
+	// record fails recovery without a partially-mutated result to discard.
+	var upserts []*Document
+	var deletes []string
 	for _, name := range order {
 		f := finals[name]
 		if f.op != wal.OpUpsert {
+			deletes = append(deletes, name)
 			continue
 		}
 		doc, err := ParseDocumentString(f.doc, name)
 		if err != nil {
 			return nil, 0, fmt.Errorf("gks: wal replay: document %q: %w", name, err)
 		}
+		upserts = append(upserts, doc)
+	}
+	if s, ok := sys.(*System); ok {
+		next, applied, err := s.replayBatch(upserts, deletes)
+		if err != nil {
+			return nil, 0, err
+		}
+		return next, applied, nil
+	}
+	applied := 0
+	for _, doc := range upserts {
 		next, _, err := Upsert(sys, doc)
 		if err != nil {
-			return nil, 0, fmt.Errorf("gks: wal replay: upsert %q: %w", name, err)
+			return nil, 0, fmt.Errorf("gks: wal replay: upsert %q: %w", doc.Name, err)
 		}
 		sys = next
 		applied++
 	}
-	for _, name := range order {
-		if finals[name].op != wal.OpDelete {
-			continue
-		}
+	for _, name := range deletes {
 		next, err := Remove(sys, name)
 		if errors.Is(err, ErrDocNotFound) {
 			continue // the snapshot never held it, or a replayed state already dropped it
@@ -88,4 +112,92 @@ func ReplayWAL(sys Searcher, l *wal.Log) (Searcher, int, error) {
 		applied++
 	}
 	return sys, applied, nil
+}
+
+// replayBatch applies a collapsed WAL tail (disjoint final upserts and
+// final deletes) to a single-index system in one splice. Replaced and
+// deleted documents tombstone against the shared base — no unpack, no
+// copy — and the upserts then merge through one AppendBatch call, which
+// flattens the base once and re-packs a packed base exactly once. The
+// applied count matches per-record replay: every upsert counts, a delete
+// counts only when the document existed.
+func (s *System) replayBatch(upserts []*Document, deletes []string) (*System, int, error) {
+	opts := index.DefaultOptions()
+	wasPacked := s.ix.IsPacked()
+	work := s.ix
+	applied := len(upserts)
+	freshRebuild := false
+
+	type removal struct {
+		name     string
+		isDelete bool
+	}
+	removals := make([]removal, 0, len(upserts)+len(deletes))
+	for _, d := range upserts {
+		removals = append(removals, removal{d.Name, false})
+	}
+	for _, n := range deletes {
+		removals = append(removals, removal{n, true})
+	}
+	for _, r := range removals {
+		next, err := work.DeleteDoc(r.name)
+		switch {
+		case err == nil:
+			work = next
+			if r.isDelete {
+				applied++
+			}
+		case errors.Is(err, index.ErrNotFound):
+			// New document on upsert, or a delete the snapshot never held.
+		case errors.Is(err, index.ErrLastDocument):
+			// The batch empties the old corpus. With upserts pending the
+			// final state is exactly the upsert set, built fresh below;
+			// without any, an acknowledged history cannot reach here and
+			// the recovery fails like the live path would have.
+			if len(upserts) == 0 {
+				return nil, 0, fmt.Errorf("gks: wal replay: delete %q: %w", r.name, err)
+			}
+			if r.isDelete {
+				applied++
+			}
+			freshRebuild = true
+		default:
+			return nil, 0, fmt.Errorf("gks: wal replay: %q: %w", r.name, err)
+		}
+		if freshRebuild {
+			break
+		}
+	}
+
+	var next *index.Index
+	var err error
+	if freshRebuild {
+		next, err = index.BuildDocumentAs(upserts[0], 0, opts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gks: wal replay: upsert %q: %w", upserts[0].Name, err)
+		}
+		next, err = index.AppendBatch(next, upserts[1:], opts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gks: wal replay: %w", err)
+		}
+		if wasPacked {
+			next = next.Pack()
+		}
+	} else {
+		next, err = index.AppendBatch(work, upserts, opts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gks: wal replay: %w", err)
+		}
+	}
+
+	repo := s.repo
+	if repo != nil {
+		docs := repo.Docs
+		for _, r := range removals {
+			docs = docsWithout(docs, r.name)
+		}
+		docs = append(docs, upserts...)
+		repo = &xmltree.Repository{Docs: docs}
+	}
+	return newSystem(next, repo), applied, nil
 }
